@@ -1,0 +1,41 @@
+//! Quick mechanism smoke check: one benchmark, all five machine modes.
+//! Usage: `cargo run -p cfir-bench --bin smoke [benchmark]`
+
+use cfir_bench::report::{f3, pct};
+use cfir_bench::{run_one, Table};
+use cfir_sim::{Mode, RegFileSize, SimConfig};
+use cfir_workloads::by_name;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "bzip2".into());
+    let w = by_name(&name, cfir_bench::default_spec()).expect("unknown benchmark");
+    let mut t = Table::new(
+        format!("smoke: {name}"),
+        &[
+            "mode", "IPC", "mispred%", "reuse%", "valfail", "commitfail", "replicas",
+            "squashed", "l1dacc", "l1dmiss", "ev(nf/sel/reuse)",
+        ],
+    );
+    for mode in [Mode::Scalar, Mode::WideBus, Mode::CiIw, Mode::Ci, Mode::Vect] {
+        let cfg = SimConfig::paper_baseline()
+            .with_mode(mode)
+            .with_dports(1)
+            .with_regs(RegFileSize::Finite(512));
+        let s = run_one(&w, cfg);
+        let (nf, sel, reu) = s.events.counts();
+        t.row(vec![
+            mode.label().into(),
+            f3(s.ipc()),
+            pct(s.mispredict_rate()),
+            pct(s.reuse_fraction()),
+            s.validation_failures.to_string(),
+            s.commit_check_failures.to_string(),
+            s.replicas_executed.to_string(),
+            s.squashed.to_string(),
+            s.l1d_accesses.to_string(),
+            s.l1d_misses.to_string(),
+            format!("{nf}/{sel}/{reu}"),
+        ]);
+    }
+    print!("{}", t.render());
+}

@@ -1,0 +1,20 @@
+//! # cfir-bench
+//!
+//! The figure/table regeneration harness. One binary per experiment
+//! (`table1`, `fig04`, `fig05`, `fig08`–`fig14`, `exp_regs`,
+//! `exp_coherence`) prints the same rows/series the paper reports,
+//! both as an aligned text table and as CSV (written to `results/`).
+//!
+//! Run sizes are controlled by environment variables so the same
+//! binaries serve quick smoke runs and full reproductions:
+//!
+//! * `CFIR_INSTS` — committed instructions per benchmark per config
+//!   (default 300_000);
+//! * `CFIR_ELEMS` — data-array elements (default 16384);
+//! * `CFIR_SEED` — workload data seed (default 0xC0FFEE).
+
+pub mod report;
+pub mod runner;
+
+pub use report::{write_csv, Table};
+pub use runner::{default_spec, max_insts, run_mode, run_one, suite_specs, RunRow};

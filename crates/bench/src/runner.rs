@@ -1,0 +1,86 @@
+//! Shared simulation-running helpers for the figure binaries.
+
+use cfir_sim::{Mode, Pipeline, RegFileSize, SimConfig, SimStats};
+use cfir_workloads::{by_name, Workload, WorkloadSpec, NAMES};
+
+/// Committed-instruction budget per (benchmark, configuration) run.
+/// Override with `CFIR_INSTS`.
+pub fn max_insts() -> u64 {
+    std::env::var("CFIR_INSTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(150_000)
+}
+
+/// Workload generation parameters (env-overridable).
+pub fn default_spec() -> WorkloadSpec {
+    let mut s = WorkloadSpec::default();
+    if let Some(e) = std::env::var("CFIR_ELEMS").ok().and_then(|v| v.parse().ok()) {
+        s.elems = e;
+    }
+    if let Some(x) = std::env::var("CFIR_SEED").ok().and_then(|v| v.parse().ok()) {
+        s.seed = x;
+    }
+    s
+}
+
+/// Names plus specs for the whole suite.
+pub fn suite_specs() -> Vec<(&'static str, WorkloadSpec)> {
+    NAMES.iter().map(|n| (*n, default_spec())).collect()
+}
+
+/// One (benchmark, config) result.
+#[derive(Debug, Clone)]
+pub struct RunRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Config label (e.g. "ci2p").
+    pub label: String,
+    /// Collected statistics.
+    pub stats: SimStats,
+}
+
+/// Run one workload under one configuration.
+pub fn run_one(w: &Workload, mut cfg: SimConfig) -> SimStats {
+    cfg.max_insts = max_insts();
+    cfg.cosim_check = false; // benchmarking: the oracle is exercised in tests
+    let mut p = Pipeline::new(&w.prog, w.mem.clone(), cfg);
+    p.run();
+    p.stats.clone()
+}
+
+/// Run every benchmark in the suite under `cfg` (same config each).
+pub fn run_mode(cfg: &SimConfig, label: &str) -> Vec<RunRow> {
+    suite_specs()
+        .into_iter()
+        .map(|(name, spec)| {
+            let w = by_name(name, spec).expect("known benchmark");
+            RunRow { name, label: label.to_string(), stats: run_one(&w, cfg.clone()) }
+        })
+        .collect()
+}
+
+/// Convenience: the paper's standard config for a mode/ports/regs point.
+pub fn config(mode: Mode, dports: u32, regs: RegFileSize) -> SimConfig {
+    SimConfig::paper_baseline()
+        .with_mode(mode)
+        .with_dports(dports)
+        .with_regs(regs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_one_commits_the_budget() {
+        std::env::remove_var("CFIR_INSTS");
+        let w = by_name("bzip2", WorkloadSpec { iters: 1 << 30, elems: 1024, seed: 1 }).unwrap();
+        let mut cfg = config(Mode::Scalar, 1, RegFileSize::Finite(256));
+        cfg.max_insts = 20_000;
+        let mut p = cfir_sim::Pipeline::new(&w.prog, w.mem.clone(), cfg);
+        p.run();
+        assert!(p.stats.committed >= 20_000);
+        assert!(p.stats.ipc() > 0.1);
+    }
+}

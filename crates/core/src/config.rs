@@ -1,0 +1,122 @@
+//! Configuration knobs of the CI/DV mechanism.
+
+/// All mechanism parameters, defaulting to the configuration evaluated
+/// in the paper (§3.1, Table 1).
+#[derive(Debug, Clone)]
+pub struct MechConfig {
+    /// Speculative replicas generated per vectorized instruction
+    /// (Figure 11 sweeps 1, 2, 4, 8; the paper's default is 4).
+    pub replicas_per_inst: u8,
+    /// Propagated strided-load PCs per rename-map entry (Figure 4
+    /// sweeps 1, 2, 4; SpecInt2000 needs 1.7 on average).
+    pub strided_pc_slots: usize,
+    /// NRBQ capacity (16 entries, §3.1).
+    pub nrbq_entries: usize,
+    /// DAEC threshold: replica registers of an entry untouched across
+    /// this many misprediction recoveries are released (§2.4.2: 2).
+    pub daec_threshold: u8,
+    /// MBS geometry: sets × ways (64 × 4, §3.1).
+    pub mbs_sets: usize,
+    /// MBS associativity.
+    pub mbs_ways: usize,
+    /// SRSMT geometry: sets × ways (64 × 4, §3.1).
+    pub srsmt_sets: usize,
+    /// SRSMT associativity.
+    pub srsmt_ways: usize,
+    /// Stride predictor geometry: sets × ways (256 × 4, Table 1).
+    pub stride_sets: usize,
+    /// Stride predictor associativity.
+    pub stride_ways: usize,
+    /// Speculative data memory positions (`ci-h-N` of Figure 13);
+    /// `None` = monolithic register file holds replica values.
+    pub specmem_positions: Option<usize>,
+    /// Speculative-memory access latency in cycles ("twice slower than
+    /// the register file", §2.4.6).
+    pub specmem_latency: u32,
+    /// Gate the CI scheme to hard-to-predict branches via the MBS
+    /// (§2.3.1). Disabling treats every misprediction as hard
+    /// (ablation).
+    pub mbs_gating: bool,
+    /// Use the full §2.3.1 re-convergence heuristics. Disabling falls
+    /// back to "next sequential instruction" for every branch
+    /// (ablation).
+    pub full_rcp_heuristic: bool,
+    /// Physical registers the replica engine must leave free for
+    /// scalar rename (see DESIGN.md; 16 by default).
+    pub replica_headroom: usize,
+    /// Issue replicas *before* scalar instructions each cycle —
+    /// inverting §2.4.1's "speculative vectorized instructions are
+    /// given less priority than the rest" (ablation).
+    pub replicas_first: bool,
+    /// Refuse to re-vectorize a PC after this many commit-time
+    /// mis-speculation repairs (a confidence counter, decaying every
+    /// 32k commits). `u8::MAX` disables the filter — the default,
+    /// because suppressing re-vectorization also suppresses the reuse
+    /// the paper measures (see DESIGN.md and the ablations binary).
+    pub misspec_blacklist: u8,
+}
+
+impl Default for MechConfig {
+    fn default() -> Self {
+        MechConfig {
+            replicas_per_inst: 4,
+            strided_pc_slots: 2,
+            nrbq_entries: 16,
+            daec_threshold: 2,
+            mbs_sets: 64,
+            mbs_ways: 4,
+            srsmt_sets: 64,
+            srsmt_ways: 4,
+            stride_sets: 256,
+            stride_ways: 4,
+            specmem_positions: None,
+            specmem_latency: 2,
+            mbs_gating: true,
+            full_rcp_heuristic: true,
+            replica_headroom: 16,
+            replicas_first: false,
+            misspec_blacklist: u8::MAX,
+        }
+    }
+}
+
+impl MechConfig {
+    /// The paper's evaluated configuration (§3.1).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Paper configuration with the §2.4.6 speculative data memory of
+    /// `positions` entries (Figure 13's `ci-h-N`).
+    pub fn paper_with_specmem(positions: usize) -> Self {
+        MechConfig { specmem_positions: Some(positions), ..Self::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = MechConfig::paper();
+        assert_eq!(c.replicas_per_inst, 4);
+        assert_eq!(c.strided_pc_slots, 2);
+        assert_eq!(c.nrbq_entries, 16);
+        assert_eq!(c.daec_threshold, 2);
+        assert_eq!((c.mbs_sets, c.mbs_ways), (64, 4));
+        assert_eq!((c.srsmt_sets, c.srsmt_ways), (64, 4));
+        assert_eq!((c.stride_sets, c.stride_ways), (256, 4));
+        assert!(c.specmem_positions.is_none());
+        assert!(c.mbs_gating);
+        assert!(c.full_rcp_heuristic);
+        assert_eq!(c.replica_headroom, 16);
+    }
+
+    #[test]
+    fn specmem_variant() {
+        let c = MechConfig::paper_with_specmem(768);
+        assert_eq!(c.specmem_positions, Some(768));
+        assert_eq!(c.specmem_latency, 2);
+    }
+}

@@ -1,0 +1,196 @@
+//! Per-misprediction event bookkeeping for the Figure 5 classification.
+//!
+//! Every *hard-branch* misprediction that activates the CRP opens an
+//! event. The event is marked `selected` when at least one control
+//! independent instruction passes the mask test, and `reused` when at
+//! least one reuse attributed to the event validates successfully.
+//! Mispredictions of branches the MBS classifies as easy (or where no
+//! CI instruction is found) fall into the "not found" bucket.
+
+/// Final classification of one misprediction (Figure 5's three bars).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventOutcome {
+    /// No control-independent instruction was identified (white).
+    NotFound,
+    /// CI instructions selected but none successfully reused (gray).
+    SelectedNoReuse,
+    /// At least one CI instruction's precomputed result reused (black).
+    Reused,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Event {
+    selected: bool,
+    reused: bool,
+}
+
+/// Accumulates events across a simulation.
+#[derive(Debug, Clone, Default)]
+pub struct EventStats {
+    events: Vec<Event>,
+    /// All dynamic conditional-branch mispredictions, including those
+    /// for which the mechanism was not activated.
+    pub total_mispredictions: u64,
+}
+
+impl EventStats {
+    /// Fresh, empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a misprediction that did *not* open an event (easy
+    /// branch). Counts toward the "not found" bucket.
+    pub fn mispredict_without_event(&mut self) {
+        self.total_mispredictions += 1;
+    }
+
+    /// Open an event for a hard-branch misprediction; returns its id.
+    pub fn open_event(&mut self) -> u64 {
+        self.total_mispredictions += 1;
+        self.events.push(Event::default());
+        (self.events.len() - 1) as u64
+    }
+
+    /// Mark that the event selected at least one CI instruction.
+    pub fn mark_selected(&mut self, id: u64) {
+        if let Some(e) = self.events.get_mut(id as usize) {
+            e.selected = true;
+        }
+    }
+
+    /// Mark that a reuse attributed to the event validated successfully.
+    pub fn mark_reused(&mut self, id: u64) {
+        if let Some(e) = self.events.get_mut(id as usize) {
+            e.reused = true;
+            e.selected = true;
+        }
+    }
+
+    /// Mark the most recently opened event as reused. Used at commit of
+    /// a reused instruction: the misprediction whose recovery the reuse
+    /// survived is the most recent one — precomputed results outliving
+    /// that squash is precisely what Figure 5's black bars count.
+    pub fn mark_reused_current(&mut self) {
+        if let Some(e) = self.events.last_mut() {
+            e.reused = true;
+            e.selected = true;
+        }
+    }
+
+    /// Outcome of a specific event.
+    pub fn outcome(&self, id: u64) -> Option<EventOutcome> {
+        self.events.get(id as usize).map(|e| {
+            if e.reused {
+                EventOutcome::Reused
+            } else if e.selected {
+                EventOutcome::SelectedNoReuse
+            } else {
+                EventOutcome::NotFound
+            }
+        })
+    }
+
+    /// Counts over *all* mispredictions:
+    /// `(not_found, selected_no_reuse, reused)`. Mispredictions without
+    /// an event are "not found".
+    pub fn counts(&self) -> (u64, u64, u64) {
+        let mut sel = 0u64;
+        let mut reu = 0u64;
+        for e in &self.events {
+            if e.reused {
+                reu += 1;
+            } else if e.selected {
+                sel += 1;
+            }
+        }
+        let nf = self.total_mispredictions - sel - reu;
+        (nf, sel, reu)
+    }
+
+    /// Fractions of all mispredictions, in Figure 5's order
+    /// `(not_found, selected_no_reuse, reused)`.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let (nf, sel, reu) = self.counts();
+        let t = self.total_mispredictions.max(1) as f64;
+        (nf as f64 / t, sel as f64 / t, reu as f64 / t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_buckets() {
+        let mut s = EventStats::new();
+        s.mispredict_without_event(); // not found
+        let a = s.open_event(); // stays not found
+        let b = s.open_event();
+        s.mark_selected(b); // selected, no reuse
+        let c = s.open_event();
+        s.mark_selected(c);
+        s.mark_reused(c); // reused
+        assert_eq!(s.outcome(a), Some(EventOutcome::NotFound));
+        assert_eq!(s.outcome(b), Some(EventOutcome::SelectedNoReuse));
+        assert_eq!(s.outcome(c), Some(EventOutcome::Reused));
+        assert_eq!(s.counts(), (2, 1, 1));
+        assert_eq!(s.total_mispredictions, 4);
+    }
+
+    #[test]
+    fn reuse_implies_selected() {
+        let mut s = EventStats::new();
+        let e = s.open_event();
+        s.mark_reused(e);
+        assert_eq!(s.outcome(e), Some(EventOutcome::Reused));
+        assert_eq!(s.counts(), (0, 0, 1));
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut s = EventStats::new();
+        for i in 0..10 {
+            let e = s.open_event();
+            if i % 2 == 0 {
+                s.mark_selected(e);
+            }
+            if i % 4 == 0 {
+                s.mark_reused(e);
+            }
+        }
+        let (a, b, c) = s.fractions();
+        assert!((a + b + c - 1.0).abs() < 1e-12);
+        assert_eq!(s.counts(), (5, 2, 3));
+    }
+
+    #[test]
+    fn mark_reused_current_hits_latest_event() {
+        let mut s = EventStats::new();
+        let a = s.open_event();
+        let b = s.open_event();
+        s.mark_reused_current();
+        assert_eq!(s.outcome(a), Some(EventOutcome::NotFound));
+        assert_eq!(s.outcome(b), Some(EventOutcome::Reused));
+        // No events at all: must be a no-op.
+        let mut empty = EventStats::new();
+        empty.mark_reused_current();
+        assert_eq!(empty.counts(), (0, 0, 0));
+    }
+
+    #[test]
+    fn unknown_event_ids_are_ignored() {
+        let mut s = EventStats::new();
+        s.mark_selected(99);
+        s.mark_reused(99);
+        assert_eq!(s.counts(), (0, 0, 0));
+        assert_eq!(s.outcome(99), None);
+    }
+
+    #[test]
+    fn empty_fractions_do_not_divide_by_zero() {
+        let s = EventStats::new();
+        let (a, b, c) = s.fractions();
+        assert_eq!((a, b, c), (0.0, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,239 @@
+//! NRBQ — Not-Retired Branch Queue (§2.3.1, §2.3.2).
+//!
+//! One entry per in-flight conditional branch, in program order. Each
+//! entry carries the branch's estimated re-convergent point and a
+//! 64-bit mask recording which logical registers were written *after
+//! this branch and before the next one*. On a misprediction the CRP
+//! mask is initialised by ORing the masks from the mispredicted branch
+//! to the tail (i.e. everything written since the branch was fetched,
+//! wrong path included).
+
+use std::collections::VecDeque;
+
+/// One NRBQ entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NrbqEntry {
+    /// Dynamic sequence number of the branch (assigned at rename).
+    pub seq: u64,
+    /// Static PC of the branch.
+    pub pc: u32,
+    /// Estimated re-convergent point.
+    pub rcp: u32,
+    /// Registers written after this branch, before the next one.
+    pub mask: u64,
+}
+
+/// The bounded queue. When full, new branches are simply not tracked;
+/// their register writes accumulate in the current tail, which only
+/// makes the CI test more conservative (extra bits set), never wrong.
+#[derive(Debug, Clone)]
+pub struct Nrbq {
+    q: VecDeque<NrbqEntry>,
+    cap: usize,
+    /// Branches that could not be tracked because the queue was full.
+    pub overflows: u64,
+}
+
+impl Nrbq {
+    /// Create a queue with `cap` entries (16 in the paper).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0);
+        Nrbq { q: VecDeque::with_capacity(cap), cap, overflows: 0 }
+    }
+
+    /// Track a newly decoded conditional branch. The new entry's mask
+    /// starts cleared ("when a branch is found, the corresponding mask
+    /// is cleared"). Returns whether the branch was tracked.
+    pub fn on_branch_decode(&mut self, seq: u64, pc: u32, rcp: u32) -> bool {
+        if self.q.len() == self.cap {
+            self.overflows += 1;
+            return false;
+        }
+        debug_assert!(self.q.back().map(|e| e.seq < seq).unwrap_or(true), "seqs must increase");
+        self.q.push_back(NrbqEntry { seq, pc, rcp, mask: 0 });
+        true
+    }
+
+    /// Record a register write by a newly decoded instruction: sets the
+    /// bit in the entry at the tail (the youngest tracked branch).
+    #[inline]
+    pub fn on_dest_write(&mut self, reg: u8) {
+        if let Some(tail) = self.q.back_mut() {
+            tail.mask |= 1u64 << reg;
+        }
+    }
+
+    /// Entry for the branch with dynamic sequence `seq`, if tracked.
+    pub fn find(&self, seq: u64) -> Option<&NrbqEntry> {
+        self.q.iter().find(|e| e.seq == seq)
+    }
+
+    /// OR of the masks from the branch `seq` (inclusive) to the tail.
+    /// Used to initialise the CRP mask on a misprediction. If the
+    /// branch is untracked, ORs *all* masks (conservative).
+    pub fn or_masks_from(&self, seq: u64) -> u64 {
+        self.q
+            .iter()
+            .filter(|e| e.seq >= seq)
+            .fold(0u64, |m, e| m | e.mask)
+    }
+
+    /// Remove entries for squashed branches (younger than `seq`).
+    pub fn squash_younger(&mut self, seq: u64) {
+        while let Some(tail) = self.q.back() {
+            if tail.seq > seq {
+                self.q.pop_back();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Remove entries for retired branches (older than or equal to
+    /// `seq`); they are no longer in flight.
+    pub fn retire_through(&mut self, seq: u64) {
+        while let Some(head) = self.q.front() {
+            if head.seq <= seq {
+                self.q.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Number of tracked branches.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Clear everything (full pipeline flush).
+    pub fn clear(&mut self) {
+        self.q.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_accumulate_in_tail_only() {
+        let mut q = Nrbq::new(16);
+        q.on_branch_decode(1, 0x10, 0x20);
+        q.on_dest_write(3);
+        q.on_branch_decode(2, 0x30, 0x40);
+        q.on_dest_write(5);
+        q.on_dest_write(5);
+        assert_eq!(q.find(1).unwrap().mask, 1 << 3);
+        assert_eq!(q.find(2).unwrap().mask, 1 << 5);
+    }
+
+    #[test]
+    fn or_masks_from_mispredicted_branch() {
+        let mut q = Nrbq::new(16);
+        q.on_branch_decode(1, 0, 0);
+        q.on_dest_write(1);
+        q.on_branch_decode(2, 0, 0);
+        q.on_dest_write(2);
+        q.on_branch_decode(3, 0, 0);
+        q.on_dest_write(3);
+        assert_eq!(q.or_masks_from(2), (1 << 2) | (1 << 3));
+        assert_eq!(q.or_masks_from(1), (1 << 1) | (1 << 2) | (1 << 3));
+        assert_eq!(q.or_masks_from(3), 1 << 3);
+    }
+
+    #[test]
+    fn untracked_branch_ors_everything() {
+        let mut q = Nrbq::new(16);
+        q.on_branch_decode(5, 0, 0);
+        q.on_dest_write(7);
+        // Branch 3 is older than anything tracked; conservative OR.
+        assert_eq!(q.or_masks_from(3), 1 << 7);
+    }
+
+    #[test]
+    fn capacity_overflow_drops_tracking() {
+        let mut q = Nrbq::new(2);
+        assert!(q.on_branch_decode(1, 0, 0));
+        assert!(q.on_branch_decode(2, 0, 0));
+        assert!(!q.on_branch_decode(3, 0, 0));
+        assert_eq!(q.overflows, 1);
+        // Writes after the untracked branch land in entry 2 (conservative).
+        q.on_dest_write(9);
+        assert_eq!(q.find(2).unwrap().mask, 1 << 9);
+    }
+
+    #[test]
+    fn squash_younger_pops_tail() {
+        let mut q = Nrbq::new(16);
+        for s in 1..=4 {
+            q.on_branch_decode(s, 0, 0);
+        }
+        q.squash_younger(2);
+        assert_eq!(q.len(), 2);
+        assert!(q.find(2).is_some());
+        assert!(q.find(3).is_none());
+    }
+
+    #[test]
+    fn retire_pops_head() {
+        let mut q = Nrbq::new(16);
+        for s in 1..=4 {
+            q.on_branch_decode(s, 0, 0);
+        }
+        q.retire_through(2);
+        assert_eq!(q.len(), 2);
+        assert!(q.find(1).is_none());
+        assert!(q.find(3).is_some());
+    }
+
+    #[test]
+    fn writes_with_empty_queue_are_ignored() {
+        let mut q = Nrbq::new(4);
+        q.on_dest_write(1); // no branch in flight yet
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut q = Nrbq::new(4);
+        q.on_branch_decode(1, 0, 0);
+        q.clear();
+        assert!(q.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn interleaved_retire_and_squash_keep_order() {
+        let mut q = Nrbq::new(8);
+        for s in 1..=6 {
+            q.on_branch_decode(s, s as u32 * 4, 0);
+        }
+        q.retire_through(2); // 3,4,5,6 left
+        q.squash_younger(4); // 3,4 left
+        assert_eq!(q.len(), 2);
+        assert!(q.find(3).is_some() && q.find(4).is_some());
+        assert!(q.find(2).is_none() && q.find(5).is_none());
+        // Writes land in the surviving tail (4).
+        q.on_dest_write(9);
+        assert_eq!(q.find(4).unwrap().mask, 1 << 9);
+        assert_eq!(q.find(3).unwrap().mask, 0);
+    }
+
+    #[test]
+    fn or_masks_from_future_seq_is_zero() {
+        let mut q = Nrbq::new(4);
+        q.on_branch_decode(1, 0, 0);
+        q.on_dest_write(5);
+        assert_eq!(q.or_masks_from(99), 0, "no branch at/after seq 99");
+    }
+}

@@ -1,0 +1,157 @@
+//! Re-convergent point estimation heuristics (§2.3.1, Figure 2).
+//!
+//! Estimation does not have to be correct — a wrong estimate affects
+//! performance only, never correctness — so the heuristics are simple:
+//!
+//! * **backward branch** (loop-closing): the re-convergent point is the
+//!   next sequential instruction after the branch (Figure 2-a);
+//! * **forward branch**: inspect the instruction *one location above
+//!   the target*. If it is an unconditional forward branch, the code is
+//!   an if-then-else hammock and the re-convergent point is that
+//!   branch's destination (Figure 2-c); otherwise the code is an
+//!   if-then and the re-convergent point is the branch's own target
+//!   (Figure 2-b).
+
+use cfir_isa::{Inst, Program};
+
+/// Estimate the re-convergent point of the conditional branch at
+/// `branch_pc`. Returns `None` for instructions that are not
+/// conditional branches or whose target information is unavailable.
+pub fn estimate(prog: &Program, branch_pc: u32) -> Option<u32> {
+    let inst = prog.fetch(branch_pc)?;
+    let target = match *inst {
+        Inst::Br { target, .. } => target,
+        _ => return None,
+    };
+    if target <= branch_pc {
+        // Backward branch: loop structure, re-converges at fall-through.
+        return Some(branch_pc + 1);
+    }
+    // Forward branch: look one instruction above the target.
+    if target >= 1 {
+        let above = target - 1;
+        if let Some(i) = prog.fetch(above) {
+            if i.is_uncond_direct() && i.is_forward_from(above) {
+                // if-then-else: re-converges where the `then` side jumps.
+                return i.static_target();
+            }
+        }
+    }
+    // if-then: re-converges at the branch target itself.
+    Some(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfir_isa::assemble;
+
+    #[test]
+    fn backward_branch_reconverges_at_fallthrough() {
+        let p = assemble(
+            "t",
+            "top:\n addi r1, r1, 1\n blt r1, r2, top\n halt",
+        )
+        .unwrap();
+        // branch at pc 1, backward -> RCP = 2 (the halt)
+        assert_eq!(estimate(&p, 1), Some(2));
+    }
+
+    #[test]
+    fn if_then_reconverges_at_target() {
+        let p = assemble(
+            "t",
+            r#"
+            beq r1, r0, skip   ; 0
+            addi r2, r2, 1     ; 1 (then body)
+        skip:
+            add r3, r3, r2     ; 2
+            halt               ; 3
+            "#,
+        )
+        .unwrap();
+        assert_eq!(estimate(&p, 0), Some(2));
+    }
+
+    #[test]
+    fn if_then_else_reconverges_at_join() {
+        let p = assemble(
+            "t",
+            r#"
+            beq r1, r0, else_  ; 0
+            addi r2, r2, 1     ; 1 (then)
+            jmp join           ; 2  <- one above target, uncond forward
+        else_:
+            addi r3, r3, 1     ; 3 (else)
+        join:
+            add r4, r4, r2     ; 4
+            halt               ; 5
+            "#,
+        )
+        .unwrap();
+        assert_eq!(estimate(&p, 0), Some(4), "RCP is the join, not the else head");
+    }
+
+    #[test]
+    fn paper_figure_1_hammock() {
+        // The exact hammock of Figure 1 (I7 branches to else, then-side
+        // closes with an unconditional jump to IP).
+        let p = assemble(
+            "t",
+            r#"
+            li r1, 0           ; 0  I1
+        loop:
+            ld r8, 0(r1)       ; 1  I5
+            beq r8, r0, else_  ; 2  I7
+            addi r2, r2, 1     ; 3  I8 (then: INC R2)
+            jmp ip             ; 4  I9
+        else_:
+            addi r3, r3, 1     ; 5  I10 (else: INC R3)
+        ip:
+            add r4, r4, r8     ; 6  I11
+            addi r1, r1, 8     ; 7  I12
+            blt r1, r6, loop   ; 8  I13/I14
+            halt               ; 9
+            "#,
+        )
+        .unwrap();
+        assert_eq!(estimate(&p, 2), Some(6), "I11 is the re-convergent point of I7");
+        assert_eq!(estimate(&p, 8), Some(9), "loop-closing branch re-converges after itself");
+    }
+
+    #[test]
+    fn backward_jmp_above_target_is_not_a_hammock() {
+        // The instruction above the target is an unconditional *backward*
+        // jump (e.g. the bottom of an enclosing loop) — must fall back to
+        // the if-then rule.
+        let p = assemble(
+            "t",
+            r#"
+            nop                ; 0
+            jmp 0              ; 1 backward jmp
+            beq r1, r0, tgt    ; 2
+            nop                ; 3
+            jmp 0              ; 4 backward, one above tgt
+        tgt:
+            halt               ; 5
+            "#,
+        )
+        .unwrap();
+        assert_eq!(estimate(&p, 2), Some(5));
+    }
+
+    #[test]
+    fn non_branch_returns_none() {
+        let p = assemble("t", "nop\nhalt").unwrap();
+        assert_eq!(estimate(&p, 0), None);
+        assert_eq!(estimate(&p, 5), None, "out of range PC");
+    }
+
+    #[test]
+    fn branch_to_next_instruction() {
+        // Degenerate empty-then hammock: target == pc+1; the inst above
+        // the target is the branch itself.
+        let p = assemble("t", "beq r1, r0, 1\nhalt").unwrap();
+        assert_eq!(estimate(&p, 0), Some(1));
+    }
+}

@@ -1,0 +1,337 @@
+//! # cfir-emu
+//!
+//! The architectural (functional) emulator for the CFIR ISA, plus the
+//! paged word memory shared with the out-of-order core.
+//!
+//! The emulator serves two purposes:
+//!
+//! 1. A reference implementation of the ISA semantics.
+//! 2. A *golden model* for co-simulation: the OOO core in `cfir-sim`
+//!    checks every committed instruction against an emulator running in
+//!    lock-step, so any speculation bug (including a wrong reuse by the
+//!    CI/DV mechanism) is caught immediately.
+//!
+//! Semantics are total: loads of unmapped memory read 0, addresses are
+//! force-aligned to 8 bytes, division by zero yields 0, so wrong-path
+//! execution in the OOO core can never fault.
+//!
+//! ```
+//! use cfir_emu::{Emulator, MemImage, StopReason};
+//!
+//! let prog = cfir_isa::assemble("sum", r#"
+//!     li r1, 1000
+//!     ld r2, 0(r1)
+//!     ld r3, 8(r1)
+//!     add r4, r2, r3
+//!     halt
+//! "#).unwrap();
+//! let mut mem = MemImage::new();
+//! mem.write_words(1000, &[40, 2]);
+//! let mut emu = Emulator::new(mem);
+//! assert_eq!(emu.run(&prog, 100), StopReason::Halted);
+//! assert_eq!(emu.reg(4), 42);
+//! ```
+
+pub mod mem;
+
+pub use mem::MemImage;
+
+use cfir_isa::{Inst, Program, NUM_LOGICAL_REGS};
+
+/// What one architecturally-executed instruction did. Produced by
+/// [`Emulator::step`]; consumed by the co-simulation checks and by
+/// trace-analysis tooling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Retired {
+    /// PC of the instruction.
+    pub pc: u32,
+    /// The instruction itself.
+    pub inst: Inst,
+    /// Next PC after this instruction.
+    pub next_pc: u32,
+    /// For control transfers: taken or not (always true for jumps).
+    pub taken: bool,
+    /// Destination register and the value written, if any.
+    pub wrote: Option<(u8, u64)>,
+    /// Effective (aligned) address for loads/stores.
+    pub addr: Option<u64>,
+}
+
+/// Why [`Emulator::run`] stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// `halt` retired.
+    Halted,
+    /// The instruction budget was exhausted.
+    Budget,
+    /// PC ran off the end of the program.
+    FellOff,
+}
+
+/// The architectural machine: 64 registers, PC, and a word memory.
+#[derive(Debug, Clone)]
+pub struct Emulator {
+    /// Architectural register file. `regs[0]` is kept at zero.
+    pub regs: [u64; NUM_LOGICAL_REGS],
+    /// Current program counter (instruction index).
+    pub pc: u32,
+    /// Data memory.
+    pub mem: MemImage,
+    /// Set once `halt` retires.
+    pub halted: bool,
+    /// Number of instructions retired so far.
+    pub retired: u64,
+}
+
+impl Emulator {
+    /// Fresh machine with zeroed registers and the given memory image.
+    pub fn new(mem: MemImage) -> Self {
+        Emulator { regs: [0; NUM_LOGICAL_REGS], pc: 0, mem, halted: false, retired: 0 }
+    }
+
+    /// Read a register (r0 always reads 0).
+    #[inline]
+    pub fn reg(&self, r: u8) -> u64 {
+        self.regs[r as usize]
+    }
+
+    /// Write a register (writes to r0 are discarded).
+    #[inline]
+    pub fn set_reg(&mut self, r: u8, v: u64) {
+        if r != 0 {
+            self.regs[r as usize] = v;
+        }
+    }
+
+    /// Execute one instruction of `prog`. Returns `None` when halted or
+    /// when the PC is outside the program.
+    pub fn step(&mut self, prog: &Program) -> Option<Retired> {
+        if self.halted {
+            return None;
+        }
+        let pc = self.pc;
+        let inst = *prog.fetch(pc)?;
+        let mut taken = false;
+        let mut wrote = None;
+        let mut addr = None;
+        let mut next_pc = pc + 1;
+        match inst {
+            Inst::Alu { op, rd, rs1, rs2 } => {
+                let v = op.eval(self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, v);
+                if rd != 0 {
+                    wrote = Some((rd, v));
+                }
+            }
+            Inst::AluImm { op, rd, rs1, imm } => {
+                let v = op.eval(self.reg(rs1), imm as u64);
+                self.set_reg(rd, v);
+                if rd != 0 {
+                    wrote = Some((rd, v));
+                }
+            }
+            Inst::Fp { op, rd, rs1, rs2 } => {
+                let v = op.eval(self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, v);
+                if rd != 0 {
+                    wrote = Some((rd, v));
+                }
+            }
+            Inst::Li { rd, imm } => {
+                self.set_reg(rd, imm as u64);
+                if rd != 0 {
+                    wrote = Some((rd, imm as u64));
+                }
+            }
+            Inst::Ld { rd, base, offset } => {
+                let a = self.reg(base).wrapping_add(offset as u64);
+                let v = self.mem.read(a);
+                addr = Some(MemImage::align(a));
+                self.set_reg(rd, v);
+                if rd != 0 {
+                    wrote = Some((rd, v));
+                }
+            }
+            Inst::St { src, base, offset } => {
+                let a = self.reg(base).wrapping_add(offset as u64);
+                addr = Some(MemImage::align(a));
+                let v = self.reg(src);
+                self.mem.write(a, v);
+            }
+            Inst::Br { cond, rs1, rs2, target } => {
+                taken = cond.eval(self.reg(rs1), self.reg(rs2));
+                if taken {
+                    next_pc = target;
+                }
+            }
+            Inst::Jmp { target } => {
+                taken = true;
+                next_pc = target;
+            }
+            Inst::Jr { rs1 } => {
+                taken = true;
+                next_pc = self.reg(rs1) as u32;
+            }
+            Inst::Halt => {
+                self.halted = true;
+                next_pc = pc;
+            }
+            Inst::Nop => {}
+        }
+        self.pc = next_pc;
+        self.retired += 1;
+        Some(Retired { pc, inst, next_pc, taken, wrote, addr })
+    }
+
+    /// Run until halt, budget exhaustion, or falling off the program.
+    pub fn run(&mut self, prog: &Program, max_insts: u64) -> StopReason {
+        for _ in 0..max_insts {
+            if self.step(prog).is_none() {
+                return if self.halted { StopReason::Halted } else { StopReason::FellOff };
+            }
+            if self.halted {
+                return StopReason::Halted;
+            }
+        }
+        StopReason::Budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfir_isa::assemble;
+
+    fn run_src(src: &str, max: u64) -> Emulator {
+        let p = assemble("t", src).unwrap();
+        let mut e = Emulator::new(MemImage::new());
+        e.run(&p, max);
+        e
+    }
+
+    #[test]
+    fn straightline_arithmetic() {
+        let e = run_src("li r1, 6\nli r2, 7\nmul r3, r1, r2\nhalt", 100);
+        assert!(e.halted);
+        assert_eq!(e.reg(3), 42);
+        assert_eq!(e.retired, 4);
+    }
+
+    #[test]
+    fn r0_stays_zero() {
+        let e = run_src("li r0, 99\nadd r0, r0, r0\nhalt", 100);
+        assert_eq!(e.reg(0), 0);
+    }
+
+    #[test]
+    fn loop_sums_memory() {
+        let p = assemble(
+            "t",
+            r#"
+            li r1, 1000       ; base
+            li r2, 0          ; i
+            li r3, 10         ; n
+            li r4, 0          ; sum
+        top:
+            muli r5, r2, 8
+            add r5, r5, r1
+            ld r6, 0(r5)
+            add r4, r4, r6
+            addi r2, r2, 1
+            blt r2, r3, top
+            halt
+            "#,
+        )
+        .unwrap();
+        let mut mem = MemImage::new();
+        for i in 0..10u64 {
+            mem.write(1000 + i * 8, i + 1);
+        }
+        let mut e = Emulator::new(mem);
+        assert_eq!(e.run(&p, 10_000), StopReason::Halted);
+        assert_eq!(e.reg(4), 55);
+    }
+
+    #[test]
+    fn branch_taken_and_not_taken() {
+        let e = run_src(
+            "li r1, 5\nbeq r1, r0, 4\nli r2, 1\njmp 5\nli r2, 2\nhalt",
+            100,
+        );
+        assert_eq!(e.reg(2), 1, "beq on non-zero must fall through");
+        let e = run_src(
+            "li r1, 0\nbeq r1, r0, 4\nli r2, 1\njmp 5\nli r2, 2\nhalt",
+            100,
+        );
+        assert_eq!(e.reg(2), 2, "beq on zero must take");
+    }
+
+    #[test]
+    fn jr_computed_target() {
+        let e = run_src("li r1, 3\njr r1\nli r2, 1\nhalt", 100);
+        assert_eq!(e.reg(2), 0, "jr skipped the li");
+        assert!(e.halted);
+    }
+
+    #[test]
+    fn store_then_load_roundtrip() {
+        let e = run_src(
+            "li r1, 4096\nli r2, -77\nst r2, 8(r1)\nld r3, 8(r1)\nhalt",
+            100,
+        );
+        assert_eq!(e.reg(3) as i64, -77);
+    }
+
+    #[test]
+    fn unmapped_load_reads_zero() {
+        let e = run_src("li r1, 123456\nld r2, 0(r1)\nhalt", 100);
+        assert_eq!(e.reg(2), 0);
+    }
+
+    #[test]
+    fn budget_stops_infinite_loop() {
+        let p = assemble("t", "jmp 0").unwrap();
+        let mut e = Emulator::new(MemImage::new());
+        assert_eq!(e.run(&p, 50), StopReason::Budget);
+        assert_eq!(e.retired, 50);
+    }
+
+    #[test]
+    fn fell_off_end() {
+        let p = assemble("t", "nop").unwrap();
+        let mut e = Emulator::new(MemImage::new());
+        assert_eq!(e.run(&p, 50), StopReason::FellOff);
+    }
+
+    #[test]
+    fn retired_event_fields() {
+        let p = assemble("t", "li r1, 1000\nld r2, 8(r1)\nbeq r2, r0, 0\nhalt").unwrap();
+        let mut e = Emulator::new(MemImage::new());
+        let r1 = e.step(&p).unwrap();
+        assert_eq!(r1.wrote, Some((1, 1000)));
+        let r2 = e.step(&p).unwrap();
+        assert_eq!(r2.addr, Some(1008));
+        assert_eq!(r2.wrote, Some((2, 0)));
+        let r3 = e.step(&p).unwrap();
+        assert!(r3.taken);
+        assert_eq!(r3.next_pc, 0);
+    }
+
+    #[test]
+    fn step_after_halt_is_none() {
+        let p = assemble("t", "halt").unwrap();
+        let mut e = Emulator::new(MemImage::new());
+        assert!(e.step(&p).is_some());
+        assert!(e.step(&p).is_none());
+    }
+
+    #[test]
+    fn fp_pipeline_through_registers() {
+        // li 3.0 bits, li 1.5 bits, fdiv -> 2.0
+        let a = 3.0f64.to_bits() as i64;
+        let b = 1.5f64.to_bits() as i64;
+        let src = format!("li r1, {a}\nli r2, {b}\nfdiv r3, r1, r2\nhalt");
+        let e = run_src(&src, 100);
+        assert_eq!(f64::from_bits(e.reg(3)), 2.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Paged word memory.
+//!
+//! Data memory is byte-addressed but every access moves one 8-byte
+//! word; addresses are force-aligned down to 8 bytes so that wrong-path
+//! or mis-speculated accesses in the OOO core are always well defined.
+//! Unmapped reads return 0. Pages are 4 KiB (512 words), allocated on
+//! first write, so sparse address spaces (pointer-chasing workloads)
+//! stay cheap.
+
+use std::collections::HashMap;
+
+/// Words per page (4 KiB pages of 8-byte words).
+const PAGE_WORDS: usize = 512;
+const PAGE_SHIFT: u32 = 12;
+const OFFSET_MASK: u64 = (1 << PAGE_SHIFT) - 1;
+
+/// A sparse, paged word memory.
+#[derive(Debug, Clone, Default)]
+pub struct MemImage {
+    pages: HashMap<u64, Box<[u64; PAGE_WORDS]>>,
+    /// Total words written at least once (for reporting).
+    writes: u64,
+}
+
+impl MemImage {
+    /// Empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Align a byte address down to its word.
+    #[inline]
+    pub fn align(addr: u64) -> u64 {
+        addr & !7
+    }
+
+    /// Read the word containing `addr` (0 if unmapped).
+    #[inline]
+    pub fn read(&self, addr: u64) -> u64 {
+        let a = Self::align(addr);
+        match self.pages.get(&(a >> PAGE_SHIFT)) {
+            Some(p) => p[((a & OFFSET_MASK) >> 3) as usize],
+            None => 0,
+        }
+    }
+
+    /// Write the word containing `addr`.
+    #[inline]
+    pub fn write(&mut self, addr: u64, value: u64) {
+        let a = Self::align(addr);
+        let page = self
+            .pages
+            .entry(a >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0; PAGE_WORDS]));
+        page[((a & OFFSET_MASK) >> 3) as usize] = value;
+        self.writes += 1;
+    }
+
+    /// Bulk-initialise a slice of words starting at `base`.
+    pub fn write_words(&mut self, base: u64, words: &[u64]) {
+        for (i, w) in words.iter().enumerate() {
+            self.write(base + (i as u64) * 8, *w);
+        }
+    }
+
+    /// Read `n` words starting at `base`.
+    pub fn read_words(&self, base: u64, n: usize) -> Vec<u64> {
+        (0..n).map(|i| self.read(base + (i as u64) * 8)).collect()
+    }
+
+    /// Number of mapped 4-KiB pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Total writes performed (diagnostic).
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_reads_zero() {
+        let m = MemImage::new();
+        assert_eq!(m.read(0), 0);
+        assert_eq!(m.read(u64::MAX), 0);
+        assert_eq!(m.page_count(), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut m = MemImage::new();
+        m.write(8192, 0xdead_beef);
+        assert_eq!(m.read(8192), 0xdead_beef);
+        assert_eq!(m.page_count(), 1);
+    }
+
+    #[test]
+    fn alignment_forced_down() {
+        let mut m = MemImage::new();
+        m.write(100, 7); // aligns to 96
+        assert_eq!(m.read(96), 7);
+        assert_eq!(m.read(103), 7);
+        assert_eq!(m.read(104), 0);
+        assert_eq!(MemImage::align(103), 96);
+    }
+
+    #[test]
+    fn adjacent_words_do_not_alias() {
+        let mut m = MemImage::new();
+        m.write(0, 1);
+        m.write(8, 2);
+        m.write(16, 3);
+        assert_eq!((m.read(0), m.read(8), m.read(16)), (1, 2, 3));
+    }
+
+    #[test]
+    fn cross_page_writes() {
+        let mut m = MemImage::new();
+        m.write(4088, 11); // last word of page 0
+        m.write(4096, 22); // first word of page 1
+        assert_eq!(m.read(4088), 11);
+        assert_eq!(m.read(4096), 22);
+        assert_eq!(m.page_count(), 2);
+    }
+
+    #[test]
+    fn bulk_helpers() {
+        let mut m = MemImage::new();
+        m.write_words(1000, &[5, 6, 7]);
+        // base 1000 aligns to 1000 (already 8-aligned)
+        assert_eq!(m.read_words(1000, 3), vec![5, 6, 7]);
+        assert_eq!(m.write_count(), 3);
+    }
+
+    #[test]
+    fn huge_addresses_work() {
+        let mut m = MemImage::new();
+        let a = u64::MAX - 15;
+        m.write(a, 9);
+        assert_eq!(m.read(a), 9);
+    }
+}

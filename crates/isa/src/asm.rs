@@ -1,0 +1,519 @@
+//! A small two-pass textual assembler.
+//!
+//! Syntax (one instruction per line, `;` or `#` start a comment):
+//!
+//! ```text
+//!     li   r1, 0
+//! loop:
+//!     ld   r2, 8(r1)        ; word load, base+offset
+//!     addi r1, r1, 8
+//!     beq  r2, r0, skip
+//!     add  r3, r3, r2
+//! skip:
+//!     blt  r1, r4, loop
+//!     halt
+//! ```
+//!
+//! Branch/jump targets may be labels or absolute instruction indices,
+//! so the [`crate::disasm`] output re-assembles bit-identically.
+//!
+//! Pseudo-instructions (each expands to one real instruction):
+//! `mov rd, rs` · `inc r` · `dec r` · `clr r` · `neg rd, rs` ·
+//! `not rd, rs` · `beqz r, target` · `bnez r, target`.
+
+use crate::inst::{AluOp, Cond, FpOp, Inst, Reg};
+use crate::Program;
+use std::collections::HashMap;
+
+/// Assembler failure, with the 1-based source line where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "asm error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, msg: impl Into<String>) -> AsmError {
+    AsmError { line, msg: msg.into() }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let t = tok.trim();
+    let body = t
+        .strip_prefix('r')
+        .or_else(|| t.strip_prefix('R'))
+        .ok_or_else(|| err(line, format!("expected register, got `{t}`")))?;
+    let n: u32 = body
+        .parse()
+        .map_err(|_| err(line, format!("bad register `{t}`")))?;
+    if n >= crate::NUM_LOGICAL_REGS as u32 {
+        return Err(err(line, format!("register out of range `{t}`")));
+    }
+    Ok(n as Reg)
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let t = tok.trim();
+    let (neg, body) = match t.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, t),
+    };
+    let v: i64 = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).map_err(|_| err(line, format!("bad immediate `{t}`")))?
+    } else {
+        body.parse().map_err(|_| err(line, format!("bad immediate `{t}`")))?
+    };
+    Ok(if neg { -v } else { v })
+}
+
+/// `off(rN)` memory operand.
+fn parse_mem(tok: &str, line: usize) -> Result<(i64, Reg), AsmError> {
+    let t = tok.trim();
+    let open = t
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected off(reg), got `{t}`")))?;
+    if !t.ends_with(')') {
+        return Err(err(line, format!("expected off(reg), got `{t}`")));
+    }
+    let off_s = &t[..open];
+    let reg_s = &t[open + 1..t.len() - 1];
+    let off = if off_s.is_empty() { 0 } else { parse_imm(off_s, line)? };
+    Ok((off, parse_reg(reg_s, line)?))
+}
+
+enum Target {
+    Label(String),
+    Abs(u32),
+}
+
+fn parse_target(tok: &str, line: usize) -> Result<Target, AsmError> {
+    let t = tok.trim();
+    if t.is_empty() {
+        return Err(err(line, "missing branch target"));
+    }
+    if t.chars().all(|c| c.is_ascii_digit()) {
+        Ok(Target::Abs(t.parse().map_err(|_| err(line, "bad target"))?))
+    } else {
+        Ok(Target::Label(t.to_string()))
+    }
+}
+
+fn alu_op(m: &str) -> Option<AluOp> {
+    Some(match m {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "div" => AluOp::Div,
+        "rem" => AluOp::Rem,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "sll" => AluOp::Sll,
+        "srl" => AluOp::Srl,
+        "sra" => AluOp::Sra,
+        "slt" => AluOp::Slt,
+        "sltu" => AluOp::Sltu,
+        "seq" => AluOp::Seq,
+        "sne" => AluOp::Sne,
+        "sge" => AluOp::Sge,
+        _ => return None,
+    })
+}
+
+fn fp_op(m: &str) -> Option<FpOp> {
+    Some(match m {
+        "fadd" => FpOp::Fadd,
+        "fsub" => FpOp::Fsub,
+        "fmul" => FpOp::Fmul,
+        "fdiv" => FpOp::Fdiv,
+        _ => return None,
+    })
+}
+
+fn br_cond(m: &str) -> Option<Cond> {
+    Some(match m {
+        "beq" => Cond::Eq,
+        "bne" => Cond::Ne,
+        "blt" => Cond::Lt,
+        "bge" => Cond::Ge,
+        "ble" => Cond::Le,
+        "bgt" => Cond::Gt,
+        _ => return None,
+    })
+}
+
+enum Pending {
+    Done(Inst),
+    Br { cond: Cond, rs1: Reg, rs2: Reg, target: Target },
+    Jmp { target: Target },
+}
+
+/// Assemble `src` into a [`Program`] named `name`.
+pub fn assemble(name: &str, src: &str) -> Result<Program, AsmError> {
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut pendings: Vec<(usize, Pending)> = Vec::new();
+
+    for (lineno0, raw) in src.lines().enumerate() {
+        let line = lineno0 + 1;
+        let mut text = raw;
+        if let Some(p) = text.find([';', '#']) {
+            text = &text[..p];
+        }
+        let mut text = text.trim();
+        // Leading labels, possibly several on one line.
+        while let Some(colon) = text.find(':') {
+            let (lab, rest) = text.split_at(colon);
+            let lab = lab.trim();
+            if lab.is_empty()
+                || !lab
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+            {
+                return Err(err(line, format!("bad label `{lab}`")));
+            }
+            if labels
+                .insert(lab.to_string(), pendings.len() as u32)
+                .is_some()
+            {
+                return Err(err(line, format!("duplicate label `{lab}`")));
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+
+        let (mnemonic, rest) = match text.find(char::is_whitespace) {
+            Some(p) => (&text[..p], text[p..].trim()),
+            None => (text, ""),
+        };
+        let ops: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        let nops = |want: usize| -> Result<(), AsmError> {
+            if ops.len() != want {
+                Err(err(line, format!("`{mnemonic}` expects {want} operands, got {}", ops.len())))
+            } else {
+                Ok(())
+            }
+        };
+
+        let m = mnemonic.to_ascii_lowercase();
+        let pending = if let Some(op) = alu_op(&m) {
+            nops(3)?;
+            Pending::Done(Inst::Alu {
+                op,
+                rd: parse_reg(ops[0], line)?,
+                rs1: parse_reg(ops[1], line)?,
+                rs2: parse_reg(ops[2], line)?,
+            })
+        } else if let Some(op) = m.strip_suffix('i').and_then(alu_op) {
+            nops(3)?;
+            Pending::Done(Inst::AluImm {
+                op,
+                rd: parse_reg(ops[0], line)?,
+                rs1: parse_reg(ops[1], line)?,
+                imm: parse_imm(ops[2], line)?,
+            })
+        } else if let Some(op) = fp_op(&m) {
+            nops(3)?;
+            Pending::Done(Inst::Fp {
+                op,
+                rd: parse_reg(ops[0], line)?,
+                rs1: parse_reg(ops[1], line)?,
+                rs2: parse_reg(ops[2], line)?,
+            })
+        } else if let Some(cond) = br_cond(&m) {
+            nops(3)?;
+            Pending::Br {
+                cond,
+                rs1: parse_reg(ops[0], line)?,
+                rs2: parse_reg(ops[1], line)?,
+                target: parse_target(ops[2], line)?,
+            }
+        } else {
+            match m.as_str() {
+                "li" => {
+                    nops(2)?;
+                    Pending::Done(Inst::Li {
+                        rd: parse_reg(ops[0], line)?,
+                        imm: parse_imm(ops[1], line)?,
+                    })
+                }
+                "mov" => {
+                    nops(2)?;
+                    Pending::Done(Inst::Alu {
+                        op: AluOp::Add,
+                        rd: parse_reg(ops[0], line)?,
+                        rs1: parse_reg(ops[1], line)?,
+                        rs2: 0,
+                    })
+                }
+                // Pseudo-instructions expanding to one real instruction.
+                "inc" => {
+                    nops(1)?;
+                    let r = parse_reg(ops[0], line)?;
+                    Pending::Done(Inst::AluImm { op: AluOp::Add, rd: r, rs1: r, imm: 1 })
+                }
+                "dec" => {
+                    nops(1)?;
+                    let r = parse_reg(ops[0], line)?;
+                    Pending::Done(Inst::AluImm { op: AluOp::Sub, rd: r, rs1: r, imm: 1 })
+                }
+                "clr" => {
+                    nops(1)?;
+                    let r = parse_reg(ops[0], line)?;
+                    Pending::Done(Inst::Alu { op: AluOp::Xor, rd: r, rs1: r, rs2: r })
+                }
+                "neg" => {
+                    nops(2)?;
+                    Pending::Done(Inst::Alu {
+                        op: AluOp::Sub,
+                        rd: parse_reg(ops[0], line)?,
+                        rs1: 0,
+                        rs2: parse_reg(ops[1], line)?,
+                    })
+                }
+                "not" => {
+                    nops(2)?;
+                    Pending::Done(Inst::AluImm {
+                        op: AluOp::Xor,
+                        rd: parse_reg(ops[0], line)?,
+                        rs1: parse_reg(ops[1], line)?,
+                        imm: -1,
+                    })
+                }
+                // Zero-comparing branch aliases.
+                "beqz" => {
+                    nops(2)?;
+                    Pending::Br {
+                        cond: Cond::Eq,
+                        rs1: parse_reg(ops[0], line)?,
+                        rs2: 0,
+                        target: parse_target(ops[1], line)?,
+                    }
+                }
+                "bnez" => {
+                    nops(2)?;
+                    Pending::Br {
+                        cond: Cond::Ne,
+                        rs1: parse_reg(ops[0], line)?,
+                        rs2: 0,
+                        target: parse_target(ops[1], line)?,
+                    }
+                }
+                "ld" => {
+                    nops(2)?;
+                    let (offset, base) = parse_mem(ops[1], line)?;
+                    Pending::Done(Inst::Ld { rd: parse_reg(ops[0], line)?, base, offset })
+                }
+                "st" => {
+                    nops(2)?;
+                    let (offset, base) = parse_mem(ops[1], line)?;
+                    Pending::Done(Inst::St { src: parse_reg(ops[0], line)?, base, offset })
+                }
+                "jmp" => {
+                    nops(1)?;
+                    Pending::Jmp { target: parse_target(ops[0], line)? }
+                }
+                "jr" => {
+                    nops(1)?;
+                    Pending::Done(Inst::Jr { rs1: parse_reg(ops[0], line)? })
+                }
+                "halt" => {
+                    nops(0)?;
+                    Pending::Done(Inst::Halt)
+                }
+                "nop" => {
+                    nops(0)?;
+                    Pending::Done(Inst::Nop)
+                }
+                _ => return Err(err(line, format!("unknown mnemonic `{mnemonic}`"))),
+            }
+        };
+        pendings.push((line, pending));
+    }
+
+    let resolve = |t: &Target, line: usize| -> Result<u32, AsmError> {
+        match t {
+            Target::Abs(a) => Ok(*a),
+            Target::Label(l) => labels
+                .get(l)
+                .copied()
+                .ok_or_else(|| err(line, format!("undefined label `{l}`"))),
+        }
+    };
+
+    let mut insts = Vec::with_capacity(pendings.len());
+    for (line, p) in &pendings {
+        insts.push(match p {
+            Pending::Done(i) => *i,
+            Pending::Br { cond, rs1, rs2, target } => Inst::Br {
+                cond: *cond,
+                rs1: *rs1,
+                rs2: *rs2,
+                target: resolve(target, *line)?,
+            },
+            Pending::Jmp { target } => Inst::Jmp { target: resolve(target, *line)? },
+        });
+    }
+
+    let prog = Program::from_insts(name, insts);
+    if let Err(pc) = prog.validate() {
+        return Err(err(0, format!("instruction {pc} targets outside the program")));
+    }
+    Ok(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disasm::disasm;
+
+    #[test]
+    fn assembles_the_paper_example() {
+        // Figure 1 of the paper, transliterated to this ISA: counts the
+        // zero/non-zero elements of a[0..100] and accumulates the sum.
+        let src = r#"
+            li   r1, 0          ; I1: index
+            li   r2, 0          ; I2: non-zero count
+            li   r3, 0          ; I3: zero count
+            li   r4, 0          ; I4: sum
+            li   r5, 1000       ; &a
+            li   r6, 800        ; 100 elements * 8 bytes
+        loop:
+            add  r7, r5, r1
+            ld   r0, 0(r7)      ; placeholder (overwritten below)
+            ld   r8, 0(r7)      ; I5: LD R0, a[R1]
+            bne  r8, r0, then   ; I7 inverted: BE else
+            addi r3, r3, 1      ; I10: INC R3
+            jmp  ip
+        then:
+            addi r2, r2, 1      ; I8: INC R2
+        ip:
+            add  r4, r4, r8     ; I11: ADD R4, R4, R0
+            addi r1, r1, 8      ; I12
+            blt  r1, r6, loop   ; I13/I14
+            halt
+        "#;
+        let p = assemble("fig1", src).expect("assembles");
+        assert_eq!(p.name, "fig1");
+        assert!(p.validate().is_ok());
+        // The `jmp ip` must point at the add after `then:`+1.
+        let jmp = p
+            .insts
+            .iter()
+            .find_map(|i| if let Inst::Jmp { target } = i { Some(*target) } else { None })
+            .unwrap();
+        assert!(matches!(p.insts[jmp as usize], Inst::Alu { op: AluOp::Add, rd: 4, .. }));
+    }
+
+    #[test]
+    fn labels_on_own_line_and_inline() {
+        let p = assemble(
+            "t",
+            "a:\n b: nop\n jmp a\n jmp b\n halt",
+        )
+        .unwrap();
+        assert_eq!(p.insts[1], Inst::Jmp { target: 0 });
+        assert_eq!(p.insts[2], Inst::Jmp { target: 0 });
+    }
+
+    #[test]
+    fn numeric_targets_accepted() {
+        let p = assemble("t", "nop\njmp 0\nhalt").unwrap();
+        assert_eq!(p.insts[1], Inst::Jmp { target: 0 });
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let p = assemble("t", "li r1, 0x10\naddi r2, r1, -3\nhalt").unwrap();
+        assert_eq!(p.insts[0], Inst::Li { rd: 1, imm: 16 });
+        assert_eq!(p.insts[1], Inst::AluImm { op: AluOp::Add, rd: 2, rs1: 1, imm: -3 });
+    }
+
+    #[test]
+    fn mem_operands() {
+        let p = assemble("t", "ld r1, -8(r2)\nst r3, (r4)\nhalt").unwrap();
+        assert_eq!(p.insts[0], Inst::Ld { rd: 1, base: 2, offset: -8 });
+        assert_eq!(p.insts[1], Inst::St { src: 3, base: 4, offset: 0 });
+    }
+
+    #[test]
+    fn mov_is_add_with_r0() {
+        let p = assemble("t", "mov r5, r6\nhalt").unwrap();
+        assert_eq!(p.insts[0], Inst::Alu { op: AluOp::Add, rd: 5, rs1: 6, rs2: 0 });
+    }
+
+    #[test]
+    fn errors_reported_with_line() {
+        assert_eq!(assemble("t", "nop\nbogus r1").unwrap_err().line, 2);
+        assert_eq!(assemble("t", "li r64, 0").unwrap_err().line, 1);
+        assert_eq!(assemble("t", "jmp nowhere").unwrap_err().line, 1);
+        assert!(assemble("t", "add r1, r2").unwrap_err().msg.contains("expects 3"));
+        assert!(assemble("t", "a: nop\na: nop").unwrap_err().msg.contains("duplicate"));
+    }
+
+    #[test]
+    fn disasm_round_trips() {
+        let src = r#"
+            li r1, -42
+            addi r2, r1, 0x7f
+            mul r3, r2, r2
+            fdiv r4, r3, r2
+            ld r5, 16(r3)
+            st r5, -16(r3)
+            beq r5, r0, 8
+            jmp 0
+            jr r5
+            sltu r6, r5, r1
+            halt
+            nop
+        "#;
+        let p = assemble("rt", src).unwrap();
+        let text: String = p.insts.iter().map(|i| disasm(i) + "\n").collect();
+        let p2 = assemble("rt", &text).unwrap();
+        assert_eq!(p.insts, p2.insts);
+    }
+
+    #[test]
+    fn pseudo_instructions_expand() {
+        let p = assemble(
+            "t",
+            "inc r3\ndec r4\nclr r5\nneg r6, r7\nnot r8, r9\nbeqz r1, 0\nbnez r2, 0\nhalt",
+        )
+        .unwrap();
+        assert_eq!(p.insts[0], Inst::AluImm { op: AluOp::Add, rd: 3, rs1: 3, imm: 1 });
+        assert_eq!(p.insts[1], Inst::AluImm { op: AluOp::Sub, rd: 4, rs1: 4, imm: 1 });
+        assert_eq!(p.insts[2], Inst::Alu { op: AluOp::Xor, rd: 5, rs1: 5, rs2: 5 });
+        assert_eq!(p.insts[3], Inst::Alu { op: AluOp::Sub, rd: 6, rs1: 0, rs2: 7 });
+        assert_eq!(p.insts[4], Inst::AluImm { op: AluOp::Xor, rd: 8, rs1: 9, imm: -1 });
+        assert_eq!(p.insts[5], Inst::Br { cond: Cond::Eq, rs1: 1, rs2: 0, target: 0 });
+        assert_eq!(p.insts[6], Inst::Br { cond: Cond::Ne, rs1: 2, rs2: 0, target: 0 });
+    }
+
+    #[test]
+    fn pseudo_semantics_via_emulation_shapes() {
+        // `neg` and `not` must produce two's-complement results.
+        use crate::inst::AluOp as A;
+        assert_eq!(A::Sub.eval(0, 5), (-5i64) as u64);
+        assert_eq!(A::Xor.eval(0b1010, u64::MAX), !0b1010u64);
+    }
+
+    #[test]
+    fn comments_both_styles() {
+        let p = assemble("t", "nop ; c1\nnop # c2\nhalt").unwrap();
+        assert_eq!(p.len(), 3);
+    }
+}

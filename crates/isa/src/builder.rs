@@ -1,0 +1,215 @@
+//! Programmatic program construction with forward-label patching.
+//!
+//! The synthetic workload generators build thousands of instructions;
+//! doing that through text would be slow and error-prone, so this
+//! builder emits [`Inst`]s directly and patches branch targets once
+//! labels are bound.
+
+use crate::inst::{AluOp, Cond, FpOp, Inst, Reg};
+use crate::Program;
+
+/// An opaque label handle created by [`ProgramBuilder::label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+#[derive(Debug, Clone, Copy)]
+enum Patch {
+    Br(usize),
+    Jmp(usize),
+}
+
+/// Builder for [`Program`]s. All `br_*`/`jmp` methods accept labels that
+/// may be bound later with [`ProgramBuilder::bind`].
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    name: String,
+    insts: Vec<Inst>,
+    labels: Vec<Option<u32>>,
+    patches: Vec<(Label, Patch)>,
+}
+
+impl ProgramBuilder {
+    /// Start a new program named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder { name: name.into(), ..Default::default() }
+    }
+
+    /// Current instruction index (the PC of the next emitted instruction).
+    #[inline]
+    pub fn here(&self) -> u32 {
+        self.insts.len() as u32
+    }
+
+    /// Create a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Create a label already bound to the current position.
+    pub fn label_here(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Bind `label` to the current position. Panics if already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.here());
+    }
+
+    /// Emit a raw instruction.
+    pub fn emit(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    /// `rd = rs1 <op> rs2`
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.emit(Inst::Alu { op, rd, rs1, rs2 })
+    }
+
+    /// `rd = rs1 <op> imm`
+    pub fn alui(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.emit(Inst::AluImm { op, rd, rs1, imm })
+    }
+
+    /// `rd = rs1 <fop> rs2`
+    pub fn fp(&mut self, op: FpOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.emit(Inst::Fp { op, rd, rs1, rs2 })
+    }
+
+    /// `rd = imm`
+    pub fn li(&mut self, rd: Reg, imm: i64) -> &mut Self {
+        self.emit(Inst::Li { rd, imm })
+    }
+
+    /// `rd = rs` (encoded as `add rd, rs, r0`)
+    pub fn mov(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.alu(AluOp::Add, rd, rs, 0)
+    }
+
+    /// `rd = mem[base + offset]`
+    pub fn ld(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.emit(Inst::Ld { rd, base, offset })
+    }
+
+    /// `mem[base + offset] = src`
+    pub fn st(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.emit(Inst::St { src, base, offset })
+    }
+
+    /// Conditional branch to `target` label.
+    pub fn br(&mut self, cond: Cond, rs1: Reg, rs2: Reg, target: Label) -> &mut Self {
+        self.patches.push((target, Patch::Br(self.insts.len())));
+        self.emit(Inst::Br { cond, rs1, rs2, target: u32::MAX })
+    }
+
+    /// Unconditional jump to `target` label.
+    pub fn jmp(&mut self, target: Label) -> &mut Self {
+        self.patches.push((target, Patch::Jmp(self.insts.len())));
+        self.emit(Inst::Jmp { target: u32::MAX })
+    }
+
+    /// Indirect jump through `rs1`.
+    pub fn jr(&mut self, rs1: Reg) -> &mut Self {
+        self.emit(Inst::Jr { rs1 })
+    }
+
+    /// Stop the machine.
+    pub fn halt(&mut self) -> &mut Self {
+        self.emit(Inst::Halt)
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.emit(Inst::Nop)
+    }
+
+    /// Resolve all labels and produce the program.
+    ///
+    /// # Panics
+    /// Panics on unbound labels or out-of-range targets — these are
+    /// programming errors in a generator, not runtime conditions.
+    pub fn finish(mut self) -> Program {
+        for (label, patch) in &self.patches {
+            let target = self.labels[label.0].expect("unbound label at finish()");
+            match *patch {
+                Patch::Br(i) => {
+                    if let Inst::Br { target: t, .. } = &mut self.insts[i] {
+                        *t = target;
+                    } else {
+                        unreachable!("patch site is not a branch")
+                    }
+                }
+                Patch::Jmp(i) => {
+                    if let Inst::Jmp { target: t } = &mut self.insts[i] {
+                        *t = target;
+                    } else {
+                        unreachable!("patch site is not a jump")
+                    }
+                }
+            }
+        }
+        let prog = Program::from_insts(self.name, self.insts);
+        assert!(prog.validate().is_ok(), "builder produced invalid targets");
+        prog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_loop_with_forward_and_backward_labels() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(1, 0).li(2, 10);
+        let exit = b.label();
+        let top = b.label_here();
+        b.br(Cond::Ge, 1, 2, exit);
+        b.alui(AluOp::Add, 1, 1, 1);
+        b.jmp(top);
+        b.bind(exit);
+        b.halt();
+        let p = b.finish();
+        assert_eq!(p.insts[2], Inst::Br { cond: Cond::Ge, rs1: 1, rs2: 2, target: 5 });
+        assert_eq!(p.insts[4], Inst::Jmp { target: 2 });
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn here_tracks_position() {
+        let mut b = ProgramBuilder::new("t");
+        assert_eq!(b.here(), 0);
+        b.nop().nop();
+        assert_eq!(b.here(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut b = ProgramBuilder::new("t");
+        let l = b.label();
+        b.jmp(l);
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new("t");
+        let l = b.label();
+        b.bind(l);
+        b.bind(l);
+    }
+
+    #[test]
+    fn mov_encoding() {
+        let mut b = ProgramBuilder::new("t");
+        b.mov(3, 4).halt();
+        let p = b.finish();
+        assert_eq!(p.insts[0], Inst::Alu { op: AluOp::Add, rd: 3, rs1: 4, rs2: 0 });
+    }
+}

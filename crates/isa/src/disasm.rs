@@ -1,0 +1,100 @@
+//! Disassembler: renders instructions in the same syntax the assembler
+//! accepts, so `assemble(disasm(p))` round-trips (labels become absolute
+//! numeric targets, which the assembler also accepts).
+
+use crate::inst::{AluOp, Cond, FpOp, Inst};
+
+fn alu_mnemonic(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Mul => "mul",
+        AluOp::Div => "div",
+        AluOp::Rem => "rem",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Sll => "sll",
+        AluOp::Srl => "srl",
+        AluOp::Sra => "sra",
+        AluOp::Slt => "slt",
+        AluOp::Sltu => "sltu",
+        AluOp::Seq => "seq",
+        AluOp::Sne => "sne",
+        AluOp::Sge => "sge",
+    }
+}
+
+fn fp_mnemonic(op: FpOp) -> &'static str {
+    match op {
+        FpOp::Fadd => "fadd",
+        FpOp::Fsub => "fsub",
+        FpOp::Fmul => "fmul",
+        FpOp::Fdiv => "fdiv",
+    }
+}
+
+fn br_mnemonic(c: Cond) -> &'static str {
+    match c {
+        Cond::Eq => "beq",
+        Cond::Ne => "bne",
+        Cond::Lt => "blt",
+        Cond::Ge => "bge",
+        Cond::Le => "ble",
+        Cond::Gt => "bgt",
+    }
+}
+
+/// Render one instruction as assembler text.
+pub fn disasm(inst: &Inst) -> String {
+    match *inst {
+        Inst::Alu { op, rd, rs1, rs2 } => {
+            format!("{} r{rd}, r{rs1}, r{rs2}", alu_mnemonic(op))
+        }
+        Inst::AluImm { op, rd, rs1, imm } => {
+            format!("{}i r{rd}, r{rs1}, {imm}", alu_mnemonic(op))
+        }
+        Inst::Fp { op, rd, rs1, rs2 } => {
+            format!("{} r{rd}, r{rs1}, r{rs2}", fp_mnemonic(op))
+        }
+        Inst::Li { rd, imm } => format!("li r{rd}, {imm}"),
+        Inst::Ld { rd, base, offset } => format!("ld r{rd}, {offset}(r{base})"),
+        Inst::St { src, base, offset } => format!("st r{src}, {offset}(r{base})"),
+        Inst::Br { cond, rs1, rs2, target } => {
+            format!("{} r{rs1}, r{rs2}, {target}", br_mnemonic(cond))
+        }
+        Inst::Jmp { target } => format!("jmp {target}"),
+        Inst::Jr { rs1 } => format!("jr r{rs1}"),
+        Inst::Halt => "halt".to_string(),
+        Inst::Nop => "nop".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats() {
+        assert_eq!(
+            disasm(&Inst::Alu { op: AluOp::Add, rd: 1, rs1: 2, rs2: 3 }),
+            "add r1, r2, r3"
+        );
+        assert_eq!(
+            disasm(&Inst::AluImm { op: AluOp::Add, rd: 1, rs1: 2, imm: -4 }),
+            "addi r1, r2, -4"
+        );
+        assert_eq!(disasm(&Inst::Ld { rd: 9, base: 8, offset: 16 }), "ld r9, 16(r8)");
+        assert_eq!(disasm(&Inst::St { src: 9, base: 8, offset: -8 }), "st r9, -8(r8)");
+        assert_eq!(
+            disasm(&Inst::Br { cond: Cond::Le, rs1: 1, rs2: 2, target: 7 }),
+            "ble r1, r2, 7"
+        );
+        assert_eq!(disasm(&Inst::Jmp { target: 0 }), "jmp 0");
+        assert_eq!(disasm(&Inst::Jr { rs1: 3 }), "jr r3");
+        assert_eq!(disasm(&Inst::Li { rd: 2, imm: 100 }), "li r2, 100");
+        assert_eq!(disasm(&Inst::Fp { op: FpOp::Fmul, rd: 1, rs1: 1, rs2: 1 }), "fmul r1, r1, r1");
+        assert_eq!(disasm(&Inst::Halt), "halt");
+        assert_eq!(disasm(&Inst::Nop), "nop");
+    }
+}

@@ -1,0 +1,452 @@
+//! Instruction definitions and classification helpers.
+
+use core::fmt;
+
+/// A logical register identifier (`r0`..`r63`). `r0` reads as zero and
+/// writes to it are discarded.
+pub type Reg = u8;
+
+/// Integer ALU operation. `Slt`/`Sltu`/`Seq`/`Sne`/`Sge` produce 0/1,
+/// which together with conditional branches gives the compare idioms the
+/// workloads need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Sra,
+    Slt,
+    Sltu,
+    Seq,
+    Sne,
+    Sge,
+}
+
+impl AluOp {
+    /// Evaluate the operation on two 64-bit values (two's complement).
+    /// Division by zero yields 0, matching the emulator's trap-free
+    /// semantics (SimpleScalar's fast mode behaves comparably).
+    #[inline]
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        let (sa, sb) = (a as i64, b as i64);
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if sb == 0 {
+                    0
+                } else {
+                    sa.wrapping_div(sb) as u64
+                }
+            }
+            AluOp::Rem => {
+                if sb == 0 {
+                    0
+                } else {
+                    sa.wrapping_rem(sb) as u64
+                }
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sll => a.wrapping_shl((b & 63) as u32),
+            AluOp::Srl => a.wrapping_shr((b & 63) as u32),
+            AluOp::Sra => (sa.wrapping_shr((b & 63) as u32)) as u64,
+            AluOp::Slt => (sa < sb) as u64,
+            AluOp::Sltu => (a < b) as u64,
+            AluOp::Seq => (a == b) as u64,
+            AluOp::Sne => (a != b) as u64,
+            AluOp::Sge => (sa >= sb) as u64,
+        }
+    }
+
+    /// `true` for multiply (2-cycle FU per Table 1 of the paper).
+    #[inline]
+    pub fn is_mul(self) -> bool {
+        matches!(self, AluOp::Mul)
+    }
+
+    /// `true` for divide/remainder (12-cycle FU per Table 1).
+    #[inline]
+    pub fn is_div(self) -> bool {
+        matches!(self, AluOp::Div | AluOp::Rem)
+    }
+}
+
+/// Floating-point operation over `f64` values stored bit-for-bit in the
+/// 64-bit registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpOp {
+    Fadd,
+    Fsub,
+    Fmul,
+    Fdiv,
+}
+
+impl FpOp {
+    /// Evaluate on raw register bits (interpreted as `f64`).
+    #[inline]
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        let (fa, fb) = (f64::from_bits(a), f64::from_bits(b));
+        let r = match self {
+            FpOp::Fadd => fa + fb,
+            FpOp::Fsub => fa - fb,
+            FpOp::Fmul => fa * fb,
+            FpOp::Fdiv => fa / fb,
+        };
+        r.to_bits()
+    }
+
+    /// `true` for the long-latency mul/div class (Table 1: FP mult/div unit).
+    #[inline]
+    pub fn is_muldiv(self) -> bool {
+        matches!(self, FpOp::Fmul | FpOp::Fdiv)
+    }
+}
+
+/// Branch condition comparing `rs1` against `rs2` as signed integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Le,
+    Gt,
+}
+
+impl Cond {
+    /// Evaluate the condition on two register values.
+    #[inline]
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        let (sa, sb) = (a as i64, b as i64);
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => sa < sb,
+            Cond::Ge => sa >= sb,
+            Cond::Le => sa <= sb,
+            Cond::Gt => sa > sb,
+        }
+    }
+}
+
+/// Functional-unit class an instruction executes on, mirroring Table 1
+/// of the paper (6 simple int, 3 int mul/div, 4 simple FP, 2 FP mul/div,
+/// load/store units tied to the D-cache ports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    /// Simple integer op, branches and jumps. Latency 1.
+    IntAlu,
+    /// Integer multiply. Latency 2.
+    IntMul,
+    /// Integer divide. Latency 12.
+    IntDiv,
+    /// Simple FP. Latency 2.
+    FpAlu,
+    /// FP multiply. Latency 4.
+    FpMul,
+    /// FP divide. Latency 14.
+    FpDiv,
+    /// Load (latency set by the cache hierarchy).
+    Load,
+    /// Store address generation. Latency 1; data written at commit.
+    Store,
+}
+
+impl FuClass {
+    /// Fixed execution latency; `None` for loads (cache-determined).
+    #[inline]
+    pub fn latency(self) -> Option<u32> {
+        match self {
+            FuClass::IntAlu | FuClass::Store => Some(1),
+            FuClass::IntMul => Some(2),
+            FuClass::IntDiv => Some(12),
+            FuClass::FpAlu => Some(2),
+            FuClass::FpMul => Some(4),
+            FuClass::FpDiv => Some(14),
+            FuClass::Load => None,
+        }
+    }
+}
+
+/// One architectural instruction. Branch/jump targets are instruction
+/// indices into the owning [`crate::Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// `rd = rs1 <op> rs2`
+    Alu { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 <op> imm`
+    AluImm { op: AluOp, rd: Reg, rs1: Reg, imm: i64 },
+    /// `rd = rs1 <op> rs2` over f64 bits
+    Fp { op: FpOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = imm` (64-bit immediate load)
+    Li { rd: Reg, imm: i64 },
+    /// `rd = mem[rs(base) + offset]` (8-byte word)
+    Ld { rd: Reg, base: Reg, offset: i64 },
+    /// `mem[rs(base) + offset] = src`
+    St { src: Reg, base: Reg, offset: i64 },
+    /// Conditional branch to `target` when `cond(rs1, rs2)`.
+    Br { cond: Cond, rs1: Reg, rs2: Reg, target: u32 },
+    /// Unconditional direct jump.
+    Jmp { target: u32 },
+    /// Unconditional indirect jump to the instruction index in `rs1`.
+    Jr { rs1: Reg },
+    /// Stop the machine.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+impl Inst {
+    /// Destination logical register, if any (writes to `r0` count as no
+    /// destination: they are architecturally discarded).
+    #[inline]
+    pub fn dest(&self) -> Option<Reg> {
+        let rd = match *self {
+            Inst::Alu { rd, .. }
+            | Inst::AluImm { rd, .. }
+            | Inst::Fp { rd, .. }
+            | Inst::Li { rd, .. }
+            | Inst::Ld { rd, .. } => rd,
+            _ => return None,
+        };
+        if rd == 0 {
+            None
+        } else {
+            Some(rd)
+        }
+    }
+
+    /// Source logical registers (up to two). Reads of `r0` are reported —
+    /// rename must map them to the always-ready zero register.
+    #[inline]
+    pub fn sources(&self) -> [Option<Reg>; 2] {
+        match *self {
+            Inst::Alu { rs1, rs2, .. } | Inst::Fp { rs1, rs2, .. } => {
+                [Some(rs1), Some(rs2)]
+            }
+            Inst::AluImm { rs1, .. } => [Some(rs1), None],
+            Inst::Li { .. } => [None, None],
+            Inst::Ld { base, .. } => [Some(base), None],
+            Inst::St { src, base, .. } => [Some(base), Some(src)],
+            Inst::Br { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            Inst::Jmp { .. } | Inst::Halt | Inst::Nop => [None, None],
+            Inst::Jr { rs1 } => [Some(rs1), None],
+        }
+    }
+
+    /// Functional-unit class.
+    #[inline]
+    pub fn class(&self) -> FuClass {
+        match *self {
+            Inst::Alu { op, .. } | Inst::AluImm { op, .. } => {
+                if op.is_div() {
+                    FuClass::IntDiv
+                } else if op.is_mul() {
+                    FuClass::IntMul
+                } else {
+                    FuClass::IntAlu
+                }
+            }
+            Inst::Fp { op, .. } => {
+                if op.is_muldiv() {
+                    if matches!(op, FpOp::Fdiv) {
+                        FuClass::FpDiv
+                    } else {
+                        FuClass::FpMul
+                    }
+                } else {
+                    FuClass::FpAlu
+                }
+            }
+            Inst::Ld { .. } => FuClass::Load,
+            Inst::St { .. } => FuClass::Store,
+            _ => FuClass::IntAlu,
+        }
+    }
+
+    /// `true` for a conditional branch.
+    #[inline]
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self, Inst::Br { .. })
+    }
+
+    /// `true` for any control-flow transfer (conditional or not).
+    #[inline]
+    pub fn is_control(&self) -> bool {
+        matches!(self, Inst::Br { .. } | Inst::Jmp { .. } | Inst::Jr { .. })
+    }
+
+    /// `true` for a direct unconditional jump (`Jmp`). Used by the
+    /// re-convergent-point heuristic to recognise if-then-else hammocks.
+    #[inline]
+    pub fn is_uncond_direct(&self) -> bool {
+        matches!(self, Inst::Jmp { .. })
+    }
+
+    /// Static target for direct control transfers.
+    #[inline]
+    pub fn static_target(&self) -> Option<u32> {
+        match *self {
+            Inst::Br { target, .. } | Inst::Jmp { target } => Some(target),
+            _ => None,
+        }
+    }
+
+    /// `true` if this is a *forward* direct branch/jump relative to `pc`.
+    #[inline]
+    pub fn is_forward_from(&self, pc: u32) -> bool {
+        self.static_target().map(|t| t > pc).unwrap_or(false)
+    }
+
+    /// `true` for loads.
+    #[inline]
+    pub fn is_load(&self) -> bool {
+        matches!(self, Inst::Ld { .. })
+    }
+
+    /// `true` for stores.
+    #[inline]
+    pub fn is_store(&self) -> bool {
+        matches!(self, Inst::St { .. })
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::disasm::disasm(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_eval_basics() {
+        assert_eq!(AluOp::Add.eval(3, 4), 7);
+        assert_eq!(AluOp::Sub.eval(3, 4), (-1i64) as u64);
+        assert_eq!(AluOp::Mul.eval(6, 7), 42);
+        assert_eq!(AluOp::Div.eval((-12i64) as u64, 4), (-3i64) as u64);
+        assert_eq!(AluOp::Div.eval(5, 0), 0, "div by zero is 0, not a trap");
+        assert_eq!(AluOp::Rem.eval(7, 3), 1);
+        assert_eq!(AluOp::Rem.eval(7, 0), 0);
+        assert_eq!(AluOp::And.eval(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.eval(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.eval(0b1100, 0b1010), 0b0110);
+    }
+
+    #[test]
+    fn alu_eval_shifts_mask_amount() {
+        assert_eq!(AluOp::Sll.eval(1, 64), 1, "shift amounts wrap mod 64");
+        assert_eq!(AluOp::Sll.eval(1, 3), 8);
+        assert_eq!(AluOp::Srl.eval(u64::MAX, 63), 1);
+        assert_eq!(AluOp::Sra.eval((-8i64) as u64, 1), (-4i64) as u64);
+    }
+
+    #[test]
+    fn alu_eval_compares() {
+        assert_eq!(AluOp::Slt.eval((-1i64) as u64, 0), 1);
+        assert_eq!(AluOp::Sltu.eval((-1i64) as u64, 0), 0);
+        assert_eq!(AluOp::Seq.eval(5, 5), 1);
+        assert_eq!(AluOp::Sne.eval(5, 5), 0);
+        assert_eq!(AluOp::Sge.eval(5, 5), 1);
+        assert_eq!(AluOp::Sge.eval((-5i64) as u64, 5), 0);
+    }
+
+    #[test]
+    fn alu_overflow_wraps() {
+        assert_eq!(AluOp::Add.eval(u64::MAX, 1), 0);
+        assert_eq!(AluOp::Mul.eval(u64::MAX, 2), u64::MAX.wrapping_mul(2));
+        // i64::MIN / -1 overflows in two's complement; must not panic.
+        assert_eq!(
+            AluOp::Div.eval(i64::MIN as u64, (-1i64) as u64),
+            (i64::MIN).wrapping_div(-1) as u64
+        );
+    }
+
+    #[test]
+    fn fp_eval() {
+        let a = 1.5f64.to_bits();
+        let b = 2.0f64.to_bits();
+        assert_eq!(f64::from_bits(FpOp::Fadd.eval(a, b)), 3.5);
+        assert_eq!(f64::from_bits(FpOp::Fsub.eval(a, b)), -0.5);
+        assert_eq!(f64::from_bits(FpOp::Fmul.eval(a, b)), 3.0);
+        assert_eq!(f64::from_bits(FpOp::Fdiv.eval(a, b)), 0.75);
+    }
+
+    #[test]
+    fn cond_eval() {
+        assert!(Cond::Eq.eval(1, 1));
+        assert!(Cond::Ne.eval(1, 2));
+        assert!(Cond::Lt.eval((-3i64) as u64, 2));
+        assert!(Cond::Ge.eval(2, 2));
+        assert!(Cond::Le.eval(2, 2));
+        assert!(Cond::Gt.eval(3, 2));
+        assert!(!Cond::Gt.eval((-3i64) as u64, 2));
+    }
+
+    #[test]
+    fn dest_r0_is_discarded() {
+        let i = Inst::Alu { op: AluOp::Add, rd: 0, rs1: 1, rs2: 2 };
+        assert_eq!(i.dest(), None);
+        let i = Inst::Li { rd: 5, imm: 7 };
+        assert_eq!(i.dest(), Some(5));
+    }
+
+    #[test]
+    fn sources_per_format() {
+        let st = Inst::St { src: 3, base: 4, offset: 8 };
+        assert_eq!(st.sources(), [Some(4), Some(3)]);
+        assert_eq!(st.dest(), None);
+        let ld = Inst::Ld { rd: 2, base: 9, offset: 0 };
+        assert_eq!(ld.sources(), [Some(9), None]);
+        let br = Inst::Br { cond: Cond::Eq, rs1: 1, rs2: 0, target: 3 };
+        assert_eq!(br.sources(), [Some(1), Some(0)]);
+        assert_eq!(Inst::Halt.sources(), [None, None]);
+    }
+
+    #[test]
+    fn classes_and_latencies() {
+        let mul = Inst::Alu { op: AluOp::Mul, rd: 1, rs1: 2, rs2: 3 };
+        assert_eq!(mul.class(), FuClass::IntMul);
+        assert_eq!(mul.class().latency(), Some(2));
+        let div = Inst::AluImm { op: AluOp::Div, rd: 1, rs1: 2, imm: 3 };
+        assert_eq!(div.class(), FuClass::IntDiv);
+        assert_eq!(div.class().latency(), Some(12));
+        let fdiv = Inst::Fp { op: FpOp::Fdiv, rd: 1, rs1: 2, rs2: 3 };
+        assert_eq!(fdiv.class(), FuClass::FpDiv);
+        assert_eq!(fdiv.class().latency(), Some(14));
+        let fmul = Inst::Fp { op: FpOp::Fmul, rd: 1, rs1: 2, rs2: 3 };
+        assert_eq!(fmul.class().latency(), Some(4));
+        let ld = Inst::Ld { rd: 1, base: 2, offset: 0 };
+        assert_eq!(ld.class(), FuClass::Load);
+        assert_eq!(ld.class().latency(), None);
+    }
+
+    #[test]
+    fn branch_direction_helpers() {
+        let fwd = Inst::Br { cond: Cond::Eq, rs1: 1, rs2: 2, target: 10 };
+        assert!(fwd.is_forward_from(5));
+        assert!(!fwd.is_forward_from(10));
+        assert!(!fwd.is_forward_from(15));
+        assert!(fwd.is_cond_branch());
+        assert!(fwd.is_control());
+        let jmp = Inst::Jmp { target: 3 };
+        assert!(jmp.is_uncond_direct());
+        assert!(!jmp.is_cond_branch());
+        let jr = Inst::Jr { rs1: 4 };
+        assert!(jr.is_control());
+        assert_eq!(jr.static_target(), None);
+        assert!(!jr.is_uncond_direct());
+    }
+}

@@ -1,0 +1,61 @@
+//! # cfir-isa
+//!
+//! Instruction-set architecture for the CFIR (Control-Flow Independence
+//! Reuse) simulator suite: a 64-register load/store RISC ISA, close in
+//! spirit to the Alpha ISA that the original paper (Pajuelo et al.,
+//! IPDPS 2005) targeted through SimpleScalar.
+//!
+//! The crate provides:
+//!
+//! * [`Inst`] — the instruction type, with the operand/classification
+//!   helpers every pipeline stage of the simulator needs
+//!   ([`Inst::dest`], [`Inst::sources`], [`Inst::class`], ...).
+//! * [`Program`] — an assembled program (instruction memory is
+//!   word-indexed; `byte_pc` gives the byte PC used by predictors).
+//! * [`asm`] — a textual assembler with labels, used by tests,
+//!   examples and the workload generators.
+//! * [`ProgramBuilder`] — a programmatic builder with label patching,
+//!   used by the synthetic SpecInt-like workload generators.
+//!
+//! Instruction and data memories are separate (Harvard style): branch
+//! targets are instruction indices, data addresses are byte addresses
+//! into the 8-byte-aligned word memory of `cfir-emu`.
+//!
+//! ```
+//! use cfir_isa::{assemble, AluOp, Cond, Inst, ProgramBuilder};
+//!
+//! // Text in, instructions out:
+//! let p = assemble("demo", "li r1, 5\nadd r2, r1, r1\nhalt").unwrap();
+//! assert_eq!(p.insts[1], Inst::Alu { op: AluOp::Add, rd: 2, rs1: 1, rs2: 1 });
+//!
+//! // Or build programmatically with label patching:
+//! let mut b = ProgramBuilder::new("demo");
+//! b.li(1, 0);
+//! let top = b.label_here();
+//! b.alui(AluOp::Add, 1, 1, 1);
+//! b.br(Cond::Lt, 1, 2, top);
+//! b.halt();
+//! let p = b.finish();
+//! assert!(p.validate().is_ok());
+//! ```
+
+pub mod asm;
+pub mod builder;
+pub mod disasm;
+pub mod inst;
+pub mod program;
+
+pub use asm::{assemble, AsmError};
+pub use builder::{Label, ProgramBuilder};
+pub use inst::{AluOp, Cond, FpOp, FuClass, Inst, Reg};
+pub use program::Program;
+
+/// Number of architectural (logical) integer registers. Register `r0`
+/// is hard-wired to zero, as in MIPS/Alpha ($31). The paper's per-branch
+/// write masks are 64 bits wide — one bit per logical register.
+pub const NUM_LOGICAL_REGS: usize = 64;
+
+/// Architectural instruction size in bytes. Instruction memory is
+/// word-indexed in this simulator; predictors hash `index * INST_BYTES`
+/// so that their aliasing behaviour resembles a byte-addressed PC.
+pub const INST_BYTES: u64 = 4;

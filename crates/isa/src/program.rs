@@ -1,0 +1,123 @@
+//! Assembled program representation.
+
+use crate::{Inst, INST_BYTES};
+
+/// An assembled program: a word-indexed instruction memory plus an
+/// optional name (used for reporting in the benchmark harness).
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Program name (e.g. the synthetic benchmark it models).
+    pub name: String,
+    /// Instruction memory, indexed by instruction PC.
+    pub insts: Vec<Inst>,
+}
+
+impl Program {
+    /// Create an empty named program.
+    pub fn new(name: impl Into<String>) -> Self {
+        Program { name: name.into(), insts: Vec::new() }
+    }
+
+    /// Create from a raw instruction vector.
+    pub fn from_insts(name: impl Into<String>, insts: Vec<Inst>) -> Self {
+        Program { name: name.into(), insts }
+    }
+
+    /// Number of instructions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// `true` when the program holds no instructions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Fetch the instruction at `pc`, or `None` past the end.
+    #[inline]
+    pub fn fetch(&self, pc: u32) -> Option<&Inst> {
+        self.insts.get(pc as usize)
+    }
+
+    /// Byte PC used for predictor indexing (instruction index × 4).
+    #[inline]
+    pub fn byte_pc(pc: u32) -> u64 {
+        pc as u64 * INST_BYTES
+    }
+
+    /// Validate static properties: every direct branch/jump target must
+    /// be inside the program. Returns the offending PC on failure.
+    pub fn validate(&self) -> Result<(), u32> {
+        for (pc, inst) in self.insts.iter().enumerate() {
+            if let Some(t) = inst.static_target() {
+                if t as usize >= self.insts.len() {
+                    return Err(pc as u32);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the whole program as assembly text (one instruction per
+    /// line, prefixed with its PC).
+    pub fn listing(&self) -> String {
+        use core::fmt::Write as _;
+        let mut s = String::with_capacity(self.insts.len() * 24);
+        for (pc, inst) in self.insts.iter().enumerate() {
+            let _ = writeln!(s, "{pc:5}: {inst}");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluOp, Cond};
+
+    fn prog(insts: Vec<Inst>) -> Program {
+        Program::from_insts("t", insts)
+    }
+
+    #[test]
+    fn fetch_and_len() {
+        let p = prog(vec![Inst::Nop, Inst::Halt]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert!(matches!(p.fetch(0), Some(Inst::Nop)));
+        assert!(matches!(p.fetch(1), Some(Inst::Halt)));
+        assert!(p.fetch(2).is_none());
+    }
+
+    #[test]
+    fn byte_pc_is_word_times_four() {
+        assert_eq!(Program::byte_pc(0), 0);
+        assert_eq!(Program::byte_pc(7), 28);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_targets() {
+        let p = prog(vec![
+            Inst::Br { cond: Cond::Eq, rs1: 0, rs2: 0, target: 5 },
+            Inst::Halt,
+        ]);
+        assert_eq!(p.validate(), Err(0));
+        let ok = prog(vec![Inst::Jmp { target: 1 }, Inst::Halt]);
+        assert_eq!(ok.validate(), Ok(()));
+    }
+
+    #[test]
+    fn listing_contains_every_pc() {
+        let p = prog(vec![
+            Inst::Li { rd: 1, imm: 3 },
+            Inst::Alu { op: AluOp::Add, rd: 2, rs1: 1, rs2: 1 },
+            Inst::Halt,
+        ]);
+        let l = p.listing();
+        assert!(l.contains("0:"));
+        assert!(l.contains("2:"));
+        assert!(l.contains("halt"));
+    }
+}

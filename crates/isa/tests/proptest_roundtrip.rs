@@ -1,0 +1,141 @@
+//! Property tests: assembler/disassembler round-trips for arbitrary
+//! instructions, and emulator semantics against direct evaluation.
+
+use cfir_isa::{assemble, disasm::disasm, AluOp, Cond, FpOp, Inst, Program};
+use proptest::prelude::*;
+
+fn any_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+        Just(AluOp::Rem),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Sll),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Seq),
+        Just(AluOp::Sne),
+        Just(AluOp::Sge),
+    ]
+}
+
+fn any_fp_op() -> impl Strategy<Value = FpOp> {
+    prop_oneof![Just(FpOp::Fadd), Just(FpOp::Fsub), Just(FpOp::Fmul), Just(FpOp::Fdiv)]
+}
+
+fn any_cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Eq),
+        Just(Cond::Ne),
+        Just(Cond::Lt),
+        Just(Cond::Ge),
+        Just(Cond::Le),
+        Just(Cond::Gt),
+    ]
+}
+
+fn reg() -> impl Strategy<Value = u8> {
+    0u8..64
+}
+
+/// Any instruction whose direct targets stay inside a `len`-long
+/// program.
+fn any_inst(len: u32) -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (any_alu_op(), reg(), reg(), reg()).prop_map(|(op, rd, rs1, rs2)| Inst::Alu {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
+        (any_alu_op(), reg(), reg(), any::<i32>()).prop_map(|(op, rd, rs1, imm)| {
+            Inst::AluImm { op, rd, rs1, imm: imm as i64 }
+        }),
+        (any_fp_op(), reg(), reg(), reg()).prop_map(|(op, rd, rs1, rs2)| Inst::Fp {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
+        (reg(), any::<i32>()).prop_map(|(rd, imm)| Inst::Li { rd, imm: imm as i64 }),
+        (reg(), reg(), -1024i64..1024).prop_map(|(rd, base, offset)| Inst::Ld {
+            rd,
+            base,
+            offset
+        }),
+        (reg(), reg(), -1024i64..1024).prop_map(|(src, base, offset)| Inst::St {
+            src,
+            base,
+            offset
+        }),
+        (any_cond(), reg(), reg(), 0..len).prop_map(|(cond, rs1, rs2, target)| Inst::Br {
+            cond,
+            rs1,
+            rs2,
+            target
+        }),
+        (0..len).prop_map(|target| Inst::Jmp { target }),
+        reg().prop_map(|rs1| Inst::Jr { rs1 }),
+        Just(Inst::Nop),
+        Just(Inst::Halt),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn disasm_assemble_roundtrip(insts in prop::collection::vec(any_inst(64), 1..64)) {
+        // Pad to 64 so all branch targets are valid.
+        let mut insts = insts;
+        while insts.len() < 64 {
+            insts.push(Inst::Nop);
+        }
+        let text: String = insts.iter().map(|i| disasm(i) + "\n").collect();
+        let p = assemble("rt", &text).unwrap();
+        prop_assert_eq!(p.insts, insts);
+    }
+
+    #[test]
+    fn operand_helpers_are_consistent(inst in any_inst(16)) {
+        // dest() only reports writable architectural state.
+        if let Some(d) = inst.dest() {
+            prop_assert_ne!(d, 0, "r0 is never a reported destination");
+        }
+        // Control classification is mutually consistent.
+        if inst.is_cond_branch() {
+            prop_assert!(inst.is_control());
+            prop_assert!(inst.static_target().is_some());
+        }
+        if inst.is_uncond_direct() {
+            prop_assert!(inst.is_control());
+        }
+        // Latency exists for everything but loads.
+        if inst.is_load() {
+            prop_assert!(inst.class().latency().is_none());
+        } else {
+            prop_assert!(inst.class().latency().is_some());
+        }
+    }
+
+    #[test]
+    fn listing_parses_back(insts in prop::collection::vec(any_inst(32), 1..32)) {
+        let mut insts = insts;
+        while insts.len() < 32 {
+            insts.push(Inst::Nop);
+        }
+        let p = Program::from_insts("t", insts);
+        // The listing prefixes PCs; strip them and re-assemble.
+        let stripped: String = p
+            .listing()
+            .lines()
+            .map(|l| l.split_once(": ").unwrap().1.to_string() + "\n")
+            .collect();
+        let p2 = assemble("t", &stripped).unwrap();
+        prop_assert_eq!(p.insts, p2.insts);
+    }
+}

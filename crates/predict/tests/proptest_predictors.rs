@@ -1,0 +1,82 @@
+//! Property tests for the predictors.
+
+use cfir_predict::{Gshare, StridePredictor};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn gshare_history_restore_is_exact(
+        pushes in prop::collection::vec(any::<bool>(), 1..64),
+    ) {
+        let mut g = Gshare::new(1024);
+        let h0 = g.history();
+        for &t in &pushes {
+            g.push(t);
+        }
+        g.restore_history(h0);
+        prop_assert_eq!(g.history(), h0);
+    }
+
+    #[test]
+    fn gshare_converges_on_constant_direction(
+        pc in (0u64..4096).prop_map(|x| x * 4),
+        taken in any::<bool>(),
+    ) {
+        let mut g = Gshare::new(4096);
+        for _ in 0..32 {
+            let h = g.history();
+            let p = g.predict_and_update(pc);
+            if p != taken {
+                g.restore_history(h);
+                g.push(taken);
+            }
+            g.train(pc, h, taken);
+        }
+        // After convergence, predictions with the steady history match.
+        let h = g.history();
+        let p = g.predict_and_update(pc);
+        g.restore_history(h);
+        prop_assert_eq!(p, taken);
+    }
+
+    #[test]
+    fn stride_trust_requires_three_consistent_deltas(
+        base in 0u64..1_000_000,
+        stride in 1i64..512,
+        n in 1usize..10,
+    ) {
+        let mut sp = StridePredictor::paper();
+        for i in 0..n {
+            sp.observe(0x80, base.wrapping_add((stride as u64) * i as u64));
+        }
+        let trusted = sp.is_strided(0x80);
+        // Entry allocated at obs 1 (conf 0, stride 0); stride locks at
+        // obs 2; confidence reaches 2 at obs 4.
+        prop_assert_eq!(trusted, n >= 4, "n = {}", n);
+        if trusted {
+            let e = sp.lookup(0x80).unwrap();
+            prop_assert_eq!(e.stride, stride);
+        }
+    }
+
+    #[test]
+    fn stride_sets_are_isolated(
+        pcs in prop::collection::hash_set(0u64..256u64, 2..8),
+    ) {
+        // Each PC gets its own arithmetic sequence; none may corrupt
+        // another's stride.
+        let mut sp = StridePredictor::paper();
+        let pcs: Vec<u64> = pcs.into_iter().map(|p| p * 4).collect();
+        for round in 0..6u64 {
+            for (k, &pc) in pcs.iter().enumerate() {
+                let stride = 8 * (k as u64 + 1);
+                sp.observe(pc, 10_000 * (k as u64 + 1) + round * stride);
+            }
+        }
+        for (k, &pc) in pcs.iter().enumerate() {
+            let e = sp.lookup(pc).unwrap();
+            prop_assert_eq!(e.stride, 8 * (k as i64 + 1), "pc {:#x}", pc);
+            prop_assert!(e.trusted());
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Load/store queue with store→load forwarding.
+//!
+//! Table 1: 64 entries, store-load forwarding, and loads may execute
+//! only when all prior store addresses are known (conservative
+//! disambiguation, as in SimpleScalar's default).
+
+use std::collections::VecDeque;
+
+/// One LSQ entry (loads and stores share the queue, in program order).
+#[derive(Debug, Clone, Copy)]
+pub struct LsqEntry {
+    /// Dynamic sequence number of the owning instruction.
+    pub seq: u64,
+    /// `true` for stores.
+    pub store: bool,
+    /// Effective address once computed.
+    pub addr: Option<u64>,
+    /// Store data once available.
+    pub data: Option<u64>,
+}
+
+/// What a load should do this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadSearch {
+    /// No older conflicting store: access the data cache.
+    CacheAccess,
+    /// An older store to the same word supplies the value.
+    Forwarded(u64),
+    /// Cannot execute yet (unknown older store address, or matching
+    /// store data not ready).
+    Stall,
+}
+
+/// The bounded load/store queue.
+#[derive(Debug, Clone)]
+pub struct Lsq {
+    q: VecDeque<LsqEntry>,
+    cap: usize,
+}
+
+impl Lsq {
+    /// Create a queue with `cap` entries.
+    pub fn new(cap: usize) -> Self {
+        Lsq { q: VecDeque::with_capacity(cap), cap }
+    }
+
+    /// Whether a new memory instruction can be accepted.
+    #[inline]
+    pub fn has_room(&self) -> bool {
+        self.q.len() < self.cap
+    }
+
+    /// Occupancy.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Whether empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Append a memory instruction at dispatch (program order).
+    ///
+    /// # Panics
+    /// Panics when full — callers must check [`Lsq::has_room`].
+    pub fn push(&mut self, seq: u64, store: bool) {
+        assert!(self.has_room(), "LSQ overflow");
+        debug_assert!(self.q.back().map(|e| e.seq < seq).unwrap_or(true));
+        self.q.push_back(LsqEntry { seq, store, addr: None, data: None });
+    }
+
+    fn find_mut(&mut self, seq: u64) -> Option<&mut LsqEntry> {
+        self.q.iter_mut().find(|e| e.seq == seq)
+    }
+
+    /// Record the computed effective address (word-aligned).
+    pub fn set_addr(&mut self, seq: u64, addr: u64) {
+        if let Some(e) = self.find_mut(seq) {
+            e.addr = Some(addr);
+        }
+    }
+
+    /// Record a store's data value.
+    pub fn set_data(&mut self, seq: u64, data: u64) {
+        if let Some(e) = self.find_mut(seq) {
+            e.data = Some(data);
+        }
+    }
+
+    /// Entry lookup (diagnostics / commit).
+    pub fn get(&self, seq: u64) -> Option<&LsqEntry> {
+        self.q.iter().find(|e| e.seq == seq)
+    }
+
+    /// Decide what the load `seq` at `addr` should do, scanning older
+    /// stores youngest-first.
+    pub fn search_for_load(&self, seq: u64, addr: u64) -> LoadSearch {
+        let mut unknown_older_addr = false;
+        let mut forward: Option<LoadSearch> = None;
+        for e in self.q.iter().rev() {
+            if e.seq >= seq || !e.store {
+                continue;
+            }
+            match e.addr {
+                None => {
+                    unknown_older_addr = true;
+                    // Keep scanning: a younger-than-this store match would
+                    // still be unsafe because this unknown store sits in
+                    // between only if it is *younger* than the match; since
+                    // we scan youngest-first, any match found later is older
+                    // than this unknown store, so bail out conservatively.
+                    break;
+                }
+                Some(a) if a == addr && forward.is_none() => {
+                    forward = Some(match e.data {
+                        Some(d) => LoadSearch::Forwarded(d),
+                        None => LoadSearch::Stall,
+                    });
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if let Some(f) = forward {
+            return f;
+        }
+        if unknown_older_addr {
+            return LoadSearch::Stall;
+        }
+        LoadSearch::CacheAccess
+    }
+
+    /// Remove the head entry when its instruction commits.
+    pub fn pop_committed(&mut self, seq: u64) {
+        if let Some(head) = self.q.front() {
+            if head.seq == seq {
+                self.q.pop_front();
+                return;
+            }
+        }
+        debug_assert!(
+            self.q.front().map(|e| e.seq > seq).unwrap_or(true),
+            "LSQ head older than committing instruction"
+        );
+    }
+
+    /// Drop entries of squashed instructions (younger than `seq`).
+    pub fn squash_younger(&mut self, seq: u64) {
+        while let Some(tail) = self.q.back() {
+            if tail.seq > seq {
+                self.q.pop_back();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Clear everything (full flush).
+    pub fn clear(&mut self) {
+        self.q.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forwarding_from_matching_store() {
+        let mut l = Lsq::new(8);
+        l.push(1, true);
+        l.set_addr(1, 1000);
+        l.set_data(1, 77);
+        l.push(2, false);
+        assert_eq!(l.search_for_load(2, 1000), LoadSearch::Forwarded(77));
+        assert_eq!(l.search_for_load(2, 1008), LoadSearch::CacheAccess);
+    }
+
+    #[test]
+    fn youngest_matching_store_wins() {
+        let mut l = Lsq::new(8);
+        l.push(1, true);
+        l.set_addr(1, 1000);
+        l.set_data(1, 1);
+        l.push(2, true);
+        l.set_addr(2, 1000);
+        l.set_data(2, 2);
+        l.push(3, false);
+        assert_eq!(l.search_for_load(3, 1000), LoadSearch::Forwarded(2));
+    }
+
+    #[test]
+    fn unknown_older_store_address_stalls() {
+        let mut l = Lsq::new(8);
+        l.push(1, true); // no address yet
+        l.push(2, false);
+        assert_eq!(l.search_for_load(2, 1000), LoadSearch::Stall);
+        l.set_addr(1, 2000);
+        l.set_data(1, 9);
+        assert_eq!(l.search_for_load(2, 1000), LoadSearch::CacheAccess);
+    }
+
+    #[test]
+    fn matching_store_without_data_stalls() {
+        let mut l = Lsq::new(8);
+        l.push(1, true);
+        l.set_addr(1, 1000);
+        l.push(2, false);
+        assert_eq!(l.search_for_load(2, 1000), LoadSearch::Stall);
+    }
+
+    #[test]
+    fn younger_stores_are_ignored() {
+        let mut l = Lsq::new(8);
+        l.push(1, false);
+        l.push(2, true);
+        l.set_addr(2, 1000);
+        l.set_data(2, 5);
+        assert_eq!(l.search_for_load(1, 1000), LoadSearch::CacheAccess);
+    }
+
+    #[test]
+    fn intervening_unknown_store_blocks_older_match() {
+        let mut l = Lsq::new(8);
+        l.push(1, true);
+        l.set_addr(1, 1000);
+        l.set_data(1, 5);
+        l.push(2, true); // unknown address between the match and the load
+        l.push(3, false);
+        assert_eq!(l.search_for_load(3, 1000), LoadSearch::Stall);
+    }
+
+    #[test]
+    fn commit_pops_head_and_squash_pops_tail() {
+        let mut l = Lsq::new(8);
+        l.push(1, true);
+        l.push(2, false);
+        l.push(3, false);
+        l.squash_younger(2);
+        assert_eq!(l.len(), 2);
+        l.pop_committed(1);
+        assert_eq!(l.len(), 1);
+        l.pop_committed(2);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut l = Lsq::new(2);
+        l.push(1, false);
+        l.push(2, false);
+        assert!(!l.has_room());
+    }
+
+    #[test]
+    #[should_panic(expected = "LSQ overflow")]
+    fn overflow_panics() {
+        let mut l = Lsq::new(1);
+        l.push(1, false);
+        l.push(2, false);
+    }
+}

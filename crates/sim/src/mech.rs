@@ -1,0 +1,172 @@
+//! Mechanism state bundle: the paper's tables plus the replica engine
+//! records, owned by the pipeline when the mode uses them.
+
+use cfir_core::{Crp, Mbs, MechConfig, Nrbq, SpecMem, Srsmt};
+use cfir_isa::Inst;
+use cfir_predict::StridePredictor;
+use std::collections::HashMap;
+
+/// A replica's source operand, resolved at batch-creation time.
+#[derive(Debug, Clone, Copy)]
+pub enum RepSrc {
+    /// Operand absent.
+    None,
+    /// Scalar value captured at vectorization time.
+    Val(u64),
+    /// The seed of a loop-carried self-dependence chain: read the own
+    /// entry's `seed_value` once the creating instruction delivers it.
+    SeedSelf,
+    /// Instance `idx` of the vectorized producer at `pc`.
+    Dep {
+        /// Producer instruction PC (SRSMT key).
+        pc: u64,
+        /// Producer generation expected.
+        gen: u32,
+        /// Producer instance index to consume.
+        idx: u32,
+    },
+}
+
+/// What the replica computes.
+#[derive(Debug, Clone, Copy)]
+pub enum RepKind {
+    /// Stride-generated load: the address is known at creation.
+    StridedLoad {
+        /// Effective address this instance reads.
+        addr: u64,
+    },
+    /// Replicated dependent instruction (ALU/FP/load-with-vector-base).
+    Op {
+        /// The instruction to evaluate.
+        inst: Inst,
+        /// Resolved sources.
+        srcs: [RepSrc; 2],
+    },
+}
+
+/// Execution state of one replica instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepState {
+    /// Waiting for sources / resources.
+    Waiting,
+    /// Issued; completes at the stored cycle.
+    Exec {
+        /// Completion cycle.
+        done_at: u64,
+    },
+}
+
+/// One speculative replica in flight.
+#[derive(Debug, Clone, Copy)]
+pub struct Replica {
+    /// PC of the owning vectorized instruction (identity check against
+    /// the SRSMT entry, which may have been reallocated).
+    pub pc: u64,
+    /// SRSMT entry index this replica belongs to.
+    pub srsmt_idx: usize,
+    /// Entry generation it was created for.
+    pub gen: u32,
+    /// Absolute instance index within the entry's replica stream.
+    pub idx: u32,
+    /// Work description.
+    pub kind: RepKind,
+    /// Execution state.
+    pub state: RepState,
+    /// Value computed (valid once issued; delivered at `done_at`).
+    pub value: u64,
+    /// Memory address touched (loads), for the coherence range.
+    pub addr: Option<u64>,
+}
+
+/// Pending register-file copy injected by a validation in the
+/// speculative-data-memory mode (§2.4.6).
+#[derive(Debug, Clone, Copy)]
+pub struct PendingCopy {
+    /// Destination physical register.
+    pub phys: u32,
+    /// Value being moved from the speculative memory.
+    pub value: u64,
+    /// Cycle at which the value lands in the register file.
+    pub ready_at: u64,
+}
+
+/// A value harvested from the squashed wrong path (ci-iw mode).
+#[derive(Debug, Clone, Copy)]
+pub struct SquashReuse {
+    /// Value the wrong-path instance computed.
+    pub value: u64,
+    /// Event that produced it (Figure 5 attribution).
+    pub event: u64,
+}
+
+/// All mechanism state.
+#[derive(Debug)]
+pub struct Mech {
+    /// Mechanism configuration.
+    pub cfg: MechConfig,
+    /// Mispredicted Branch Status table.
+    pub mbs: Mbs,
+    /// Not-Retired Branch Queue.
+    pub nrbq: Nrbq,
+    /// Current Re-convergent Point register.
+    pub crp: Crp,
+    /// Stride predictor (with the `S` selection flags).
+    pub stride: StridePredictor,
+    /// Scalar Register Set Map Table.
+    pub srsmt: Srsmt,
+    /// Speculative data memory, when configured (`ci-h-N`).
+    pub specmem: Option<SpecMem>,
+    /// Event id that selected each load PC (Figure 5 attribution).
+    pub sel_event: HashMap<u64, u64>,
+    /// Self-loop entries waiting for their seed value, keyed by the
+    /// creating instruction's sequence number -> (entry idx, gen).
+    pub seed_waiters: HashMap<u64, (usize, u32)>,
+    /// Commit-time mis-speculation count per instruction PC. A PC that
+    /// repeatedly delivers wrong values (each costing a repair flush)
+    /// is refused further vectorization — a small confidence counter a
+    /// real implementation would also want.
+    pub misspec_count: HashMap<u64, u8>,
+    /// Squash-reuse buffer: wrong-path CI values keyed by PC (ci-iw).
+    pub squash_buf: HashMap<u32, std::collections::VecDeque<SquashReuse>>,
+}
+
+impl Mech {
+    /// Build the mechanism state from its configuration.
+    pub fn new(cfg: MechConfig) -> Self {
+        let specmem = cfg
+            .specmem_positions
+            .map(|n| SpecMem::new(n, cfg.specmem_latency));
+        Mech {
+            mbs: Mbs::new(cfg.mbs_sets, cfg.mbs_ways),
+            nrbq: Nrbq::new(cfg.nrbq_entries),
+            crp: Crp::new(),
+            stride: StridePredictor::new(cfg.stride_sets, cfg.stride_ways),
+            srsmt: Srsmt::new(cfg.srsmt_sets, cfg.srsmt_ways, cfg.daec_threshold),
+            specmem,
+            sel_event: HashMap::new(),
+            seed_waiters: HashMap::new(),
+            misspec_count: HashMap::new(),
+            squash_buf: HashMap::new(),
+            cfg,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_from_paper_config() {
+        let m = Mech::new(MechConfig::paper());
+        assert!(m.specmem.is_none());
+        assert!(!m.crp.active);
+        assert!(m.nrbq.is_empty());
+    }
+
+    #[test]
+    fn specmem_configured_when_requested() {
+        let m = Mech::new(MechConfig::paper_with_specmem(256));
+        assert_eq!(m.specmem.as_ref().unwrap().capacity(), 256);
+    }
+}

@@ -1,0 +1,791 @@
+//! The execution-driven out-of-order pipeline.
+//!
+//! Stage order inside one simulated cycle (reverse pipeline order so a
+//! producer completing in `writeback` can wake a consumer issuing the
+//! same cycle, modelling full bypassing):
+//!
+//! 1. `commit` — in-order retire (≤ 8), store write-back + coherence,
+//!    reuse finalisation, golden-model check;
+//! 2. `writeback` — finish executing instructions & replicas, resolve
+//!    branches (misprediction recovery happens here);
+//! 3. `issue` — oldest-first out-of-order select (≤ 8) over the window,
+//!    constrained by FUs, D-cache ports, the wide bus and MSHRs;
+//! 4. `replica_pump` — the CI replica engine uses *leftover* issue
+//!    bandwidth, FUs and ports (§2.4.1: lower priority);
+//! 5. `dispatch` — rename + window insertion, mechanism decode hooks
+//!    (validation, vectorization, NRBQ/CRP bookkeeping);
+//! 6. `fetch` — gshare-directed instruction fetch (≤ 8, one taken
+//!    branch), I-cache latency modelled.
+
+use crate::config::{RegFileSize, SimConfig};
+use crate::lsq::Lsq;
+use crate::mech::{Mech, Replica};
+use crate::regfile::{PhysId, PhysRegFile};
+use crate::rob::{Checkpoint, ReuseInfo, RobEntry, RobState};
+use crate::stats::SimStats;
+use cfir_core::RenameExt;
+use cfir_emu::{Emulator, MemImage};
+use cfir_isa::{Inst, Program, NUM_LOGICAL_REGS};
+use cfir_mem::Hierarchy;
+use cfir_predict::Gshare;
+use std::collections::{HashMap, VecDeque};
+
+const NLR: usize = NUM_LOGICAL_REGS;
+
+/// An instruction in flight between fetch and dispatch.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Fetched {
+    pub pc: u32,
+    pub inst: Inst,
+    pub pred_taken: bool,
+    pub pred_target: u32,
+    /// Gshare history *before* this branch's prediction was shifted in.
+    pub ghist: u64,
+    /// Cycle at which the instruction reaches rename.
+    pub ready_at: u64,
+}
+
+/// Per-cycle consumable resources.
+#[derive(Debug, Default)]
+pub(crate) struct CycleRes {
+    pub issue: u32,
+    pub int_alu: u32,
+    pub int_muldiv: u32,
+    pub fp_alu: u32,
+    pub fp_muldiv: u32,
+    pub dports: u32,
+    /// Open wide-bus line groups this cycle: (line, loads left, latency).
+    pub wide_groups: Vec<(u64, u32, u32)>,
+    pub specmem_reads: u32,
+    pub specmem_writes: u32,
+    pub stores_committed: u32,
+}
+
+/// One committed instruction, as seen by the commit-log observer.
+#[derive(Debug, Clone, Copy)]
+pub struct CommitRecord {
+    /// Cycle of the commit.
+    pub cycle: u64,
+    /// Dynamic sequence number.
+    pub seq: u64,
+    /// Static PC.
+    pub pc: u32,
+    /// The instruction.
+    pub inst: Inst,
+    /// Result value (stores: the stored data).
+    pub value: u64,
+    /// Whether a precomputed result was reused.
+    pub reused: bool,
+}
+
+/// Point-in-time pipeline occupancy (see [`Pipeline::snapshot`]).
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineSnapshot {
+    /// Current cycle.
+    pub cycle: u64,
+    /// Next fetch PC.
+    pub fetch_pc: u32,
+    /// Instructions between fetch and rename.
+    pub decode_q: usize,
+    /// Window occupancy.
+    pub rob: usize,
+    /// Window entries with results, waiting to retire in order.
+    pub rob_done: usize,
+    /// Load/store queue occupancy.
+    pub lsq: usize,
+    /// Physical registers in use.
+    pub regs_in_use: usize,
+    /// Replica-engine work items in flight.
+    pub replicas_in_flight: usize,
+    /// Live SRSMT entries.
+    pub srsmt_entries: usize,
+    /// Instructions committed so far.
+    pub committed: u64,
+}
+
+/// Why [`Pipeline::run`] stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunExit {
+    /// `halt` committed.
+    Halted,
+    /// The committed-instruction budget was reached.
+    InstBudget,
+    /// The cycle budget was reached.
+    CycleBudget,
+}
+
+/// The simulator.
+pub struct Pipeline<'a> {
+    pub(crate) prog: &'a Program,
+    /// Configuration (read-only during the run).
+    pub cfg: SimConfig,
+    /// Statistics.
+    pub stats: SimStats,
+
+    pub(crate) cycle: u64,
+    pub(crate) next_seq: u64,
+    pub(crate) last_committed_seq: u64,
+    pub(crate) halted: bool,
+
+    // Front end.
+    pub(crate) fetch_pc: u32,
+    pub(crate) fetch_wait_until: u64,
+    pub(crate) fetch_halted: bool,
+    pub(crate) decode_q: VecDeque<Fetched>,
+
+    // Rename.
+    pub(crate) rf: PhysRegFile,
+    pub(crate) rmap: [PhysId; NLR],
+    pub(crate) ext: [RenameExt; NLR],
+    pub(crate) arch_map: [PhysId; NLR],
+    pub(crate) arch_regs: [u64; NLR],
+    pub(crate) arch_pc: u32,
+    /// Gshare history as of the last *committed* branch (restored on a
+    /// full flush so the predictor does not desynchronise).
+    pub(crate) arch_ghist: u64,
+
+    // Window.
+    pub(crate) rob: VecDeque<RobEntry>,
+    pub(crate) lsq: Lsq,
+
+    // Memory system.
+    pub(crate) mem: MemImage,
+    pub(crate) hier: Hierarchy,
+    /// In-flight L1D line fills: (line, ready_at). Doubles as the MSHR
+    /// occupancy (Table 1: up to 16 outstanding misses).
+    pub(crate) outstanding_misses: Vec<(u64, u64)>,
+
+    // Predictors.
+    pub(crate) gshare: Gshare,
+    pub(crate) jr_btb: HashMap<u32, u32>,
+
+    // Mechanism.
+    pub(crate) mech: Option<Mech>,
+    pub(crate) replicas: Vec<Replica>,
+
+    // Golden model.
+    pub(crate) emu: Option<Emulator>,
+    /// Fetch-side oracle for perfect branch prediction (limit study):
+    /// an emulator kept in lock-step with the fetch stream.
+    pub(crate) oracle: Option<Box<Emulator>>,
+
+    // Per-cycle resources.
+    pub(crate) res: CycleRes,
+
+    /// Debug tracing enabled (CFIR_DEBUG/CFIR_TRACE read once).
+    pub(crate) dbg: bool,
+
+    /// Ring buffer of recent commits (enabled by
+    /// [`Pipeline::enable_commit_log`]).
+    pub(crate) commit_log: Option<(usize, std::collections::VecDeque<CommitRecord>)>,
+}
+
+impl<'a> Pipeline<'a> {
+    /// Build a pipeline over `prog` with initial memory `mem`.
+    pub fn new(prog: &'a Program, mem: MemImage, cfg: SimConfig) -> Self {
+        assert!(prog.validate().is_ok(), "program has invalid targets");
+        let capacity = match cfg.regs {
+            RegFileSize::Finite(n) => Some(n),
+            RegFileSize::Infinite => None,
+        };
+        let mut rf = PhysRegFile::new(capacity);
+        // Architectural mappings: r0 -> p0 (zero), r1..r63 -> fresh regs.
+        let mut rmap = [0 as PhysId; NLR];
+        for (r, slot) in rmap.iter_mut().enumerate().skip(1) {
+            let p = rf.alloc().expect("register file too small for arch state");
+            rf.force_ready(p, 0);
+            *slot = p;
+            let _ = r;
+        }
+        let mech = if cfg.mode.vectorizes() || cfg.mode.selects_ci() {
+            Some(Mech::new(cfg.mech.clone()))
+        } else {
+            None
+        };
+        let emu = if cfg.cosim_check {
+            Some(Emulator::new(mem.clone()))
+        } else {
+            None
+        };
+        let oracle = if cfg.perfect_branch_prediction {
+            Some(Box::new(Emulator::new(mem.clone())))
+        } else {
+            None
+        };
+        let gshare = Gshare::new(cfg.gshare_entries);
+        let hier = Hierarchy::new(cfg.hierarchy.clone());
+        let lsq = Lsq::new(cfg.lsq as usize);
+        Pipeline {
+            prog,
+            stats: SimStats::default(),
+            cycle: 0,
+            next_seq: 1,
+            last_committed_seq: 0,
+            halted: false,
+            fetch_pc: 0,
+            fetch_wait_until: 0,
+            fetch_halted: false,
+            decode_q: VecDeque::new(),
+            rf,
+            arch_map: rmap,
+            rmap,
+            ext: [RenameExt::new(); NLR],
+            arch_regs: [0; NLR],
+            arch_pc: 0,
+            arch_ghist: 0,
+            rob: VecDeque::with_capacity(cfg.window as usize),
+            lsq,
+            mem,
+            hier,
+            outstanding_misses: Vec::new(),
+            gshare,
+            jr_btb: HashMap::new(),
+            mech,
+            replicas: Vec::new(),
+            emu,
+            oracle,
+            res: CycleRes::default(),
+            dbg: std::env::var_os("CFIR_DEBUG").is_some()
+                || std::env::var_os("CFIR_TRACE").is_some(),
+            commit_log: None,
+            cfg,
+        }
+    }
+
+    /// Keep the last `n` committed instructions for inspection
+    /// ([`Pipeline::commit_log`]).
+    pub fn enable_commit_log(&mut self, n: usize) {
+        self.commit_log = Some((n, std::collections::VecDeque::with_capacity(n)));
+    }
+
+    /// The recorded commit log (empty unless enabled).
+    pub fn commit_log(&self) -> impl Iterator<Item = &CommitRecord> {
+        self.commit_log.iter().flat_map(|(_, q)| q.iter())
+    }
+
+    /// A one-line snapshot of pipeline occupancy, for teaching-style
+    /// per-cycle views (`cfir-run --pipeview`).
+    pub fn snapshot(&self) -> PipelineSnapshot {
+        PipelineSnapshot {
+            cycle: self.cycle,
+            fetch_pc: self.fetch_pc,
+            decode_q: self.decode_q.len(),
+            rob: self.rob.len(),
+            rob_done: self
+                .rob
+                .iter()
+                .filter(|e| e.state == RobState::Done)
+                .count(),
+            lsq: self.lsq.len(),
+            regs_in_use: self.rf.in_use(),
+            replicas_in_flight: self.replicas.len(),
+            srsmt_entries: self.mech.as_ref().map(|m| m.srsmt.occupancy()).unwrap_or(0),
+            committed: self.stats.committed,
+        }
+    }
+
+    /// Current cycle (diagnostics).
+    pub fn now(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Committed architectural register value (diagnostics/tests).
+    pub fn arch_reg(&self, r: u8) -> u64 {
+        self.arch_regs[r as usize]
+    }
+
+    /// Committed memory (diagnostics/tests).
+    pub fn memory(&self) -> &MemImage {
+        &self.mem
+    }
+
+    /// Run to completion. Returns why the run stopped and fills
+    /// [`Pipeline::stats`].
+    pub fn run(&mut self) -> RunExit {
+        let mut last_commit_cycle = 0u64;
+        let mut last_committed = 0u64;
+        loop {
+            self.step();
+            if self.halted {
+                self.finalize_stats();
+                return RunExit::Halted;
+            }
+            if self.stats.committed >= self.cfg.max_insts {
+                self.finalize_stats();
+                return RunExit::InstBudget;
+            }
+            if self.cfg.max_cycles > 0 && self.cycle >= self.cfg.max_cycles {
+                self.finalize_stats();
+                return RunExit::CycleBudget;
+            }
+            // Deadlock detector: the pipeline must commit something
+            // every so often; a simulator bug would otherwise hang.
+            if self.stats.committed != last_committed {
+                last_committed = self.stats.committed;
+                last_commit_cycle = self.cycle;
+            } else {
+                assert!(
+                    self.cycle - last_commit_cycle < 200_000,
+                    "pipeline deadlock at cycle {} (pc {}, rob {}, decode_q {}, free regs {})",
+                    self.cycle,
+                    self.fetch_pc,
+                    self.rob.len(),
+                    self.decode_q.len(),
+                    self.rf.available()
+                );
+            }
+        }
+    }
+
+    /// Simulate one cycle.
+    pub fn step(&mut self) {
+        self.res = CycleRes {
+            issue: self.cfg.issue_width,
+            int_alu: self.cfg.int_alu,
+            int_muldiv: self.cfg.int_muldiv,
+            fp_alu: self.cfg.fp_alu,
+            fp_muldiv: self.cfg.fp_muldiv,
+            dports: self.cfg.dports,
+            wide_groups: Vec::new(),
+            specmem_reads: 2,
+            specmem_writes: 2,
+            stores_committed: 0,
+        };
+        self.outstanding_misses.retain(|&(_, d)| d > self.cycle);
+
+        self.commit();
+        if !self.halted {
+            self.writeback();
+            if self.cfg.mech.replicas_first {
+                // §2.4.1 ablation: replicas steal bandwidth first.
+                self.replica_pump();
+                self.issue();
+            } else {
+                self.issue();
+                self.replica_pump();
+            }
+            self.dispatch();
+            self.fetch();
+        }
+
+        self.stats.reg_occupancy_sum += self.rf.in_use() as u64;
+        self.stats.reg_high_water = self.stats.reg_high_water.max(self.rf.high_water as u64);
+        self.stats.cycles += 1;
+        self.cycle += 1;
+        if self.cfg.interval_cycles > 0 && self.cycle.is_multiple_of(self.cfg.interval_cycles) {
+            let prev = self.stats.intervals.last().map(|s| (s.cycle, s.committed));
+            let (pc, pi) = prev.unwrap_or((0, 0));
+            let dc = self.cycle - pc;
+            let di = self.stats.committed - pi;
+            self.stats.intervals.push(crate::stats::IntervalSample {
+                cycle: self.cycle,
+                committed: self.stats.committed,
+                committed_reuse: self.stats.committed_reuse,
+                interval_ipc: if dc == 0 { 0.0 } else { di as f64 / dc as f64 },
+            });
+        }
+    }
+
+    fn finalize_stats(&mut self) {
+        self.stats.l1d_misses = self.hier.l1d.misses;
+        self.stats.l1i_accesses = self.hier.l1i.accesses;
+        if let Some(m) = &self.mech {
+            self.stats.srsmt = m.srsmt.stats;
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Fetch
+    // ----------------------------------------------------------------
+
+    fn fetch(&mut self) {
+        if self.fetch_halted || self.cycle < self.fetch_wait_until {
+            return;
+        }
+        if self.decode_q.len() >= (3 * self.cfg.fetch_width) as usize {
+            return; // decoupled front end: bounded fetch buffer
+        }
+        // One I-cache access per fetch cycle.
+        let lat = self.hier.access_inst(Program::byte_pc(self.fetch_pc));
+        if lat > self.cfg.hierarchy.l1_hit {
+            self.fetch_wait_until = self.cycle + lat as u64;
+            return;
+        }
+        let mut taken_seen = false;
+        for _ in 0..self.cfg.fetch_width {
+            let pc = self.fetch_pc;
+            let Some(&inst) = self.prog.fetch(pc) else {
+                // Ran off the program: stop fetching (workloads halt).
+                self.fetch_halted = true;
+                break;
+            };
+            let ghist = self.gshare.history();
+            let (pred_taken, pred_target) = if let Some(oracle) = &mut self.oracle {
+                // Limit study: the oracle emulator supplies the true
+                // direction and target for every control transfer.
+                debug_assert_eq!(oracle.pc, pc, "oracle out of step with fetch");
+                let r = oracle.step(self.prog).expect("oracle must keep running");
+                if inst.is_cond_branch() {
+                    // Keep gshare's speculative history shaped like the
+                    // real stream so its state stays comparable.
+                    let _ = self.gshare.predict_and_update(Program::byte_pc(pc));
+                    self.gshare.restore_history(ghist);
+                    self.gshare.push(r.taken);
+                }
+                (r.taken, r.next_pc)
+            } else {
+                match inst {
+                    Inst::Br { target, .. } => {
+                        let t = self.gshare.predict_and_update(Program::byte_pc(pc));
+                        (t, if t { target } else { pc + 1 })
+                    }
+                    Inst::Jmp { target } => (true, target),
+                    Inst::Jr { .. } => {
+                        let t = self.jr_btb.get(&pc).copied().unwrap_or(pc + 1);
+                        (true, t)
+                    }
+                    _ => (false, pc + 1),
+                }
+            };
+            self.decode_q.push_back(Fetched {
+                pc,
+                inst,
+                pred_taken,
+                pred_target,
+                ghist,
+                ready_at: self.cycle + self.cfg.decode_delay as u64,
+            });
+            self.stats.fetched += 1;
+            if matches!(inst, Inst::Halt) {
+                self.fetch_halted = true;
+                break;
+            }
+            self.fetch_pc = pred_target;
+            if pred_taken {
+                if taken_seen {
+                    break; // at most one taken branch per fetch group
+                }
+                taken_seen = true;
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Dispatch (decode + rename + window insertion)
+    // ----------------------------------------------------------------
+
+    fn dispatch(&mut self) {
+        for _ in 0..self.cfg.issue_width {
+            let Some(f) = self.decode_q.front().copied() else { break };
+            if f.ready_at > self.cycle {
+                break;
+            }
+            if self.rob.len() >= self.cfg.window as usize {
+                break;
+            }
+            let is_mem = f.inst.is_load() || f.inst.is_store();
+            if is_mem && !self.lsq.has_room() {
+                break;
+            }
+            if f.inst.dest().is_some() && self.rf.available() < 1 {
+                break; // no physical register for the destination
+            }
+            self.decode_q.pop_front();
+
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let mut e = RobEntry::new(seq, f.pc, f.inst);
+            e.pred_taken = f.pred_taken;
+            e.pred_target = f.pred_target;
+            e.ghist = f.ghist;
+
+            // Mechanism decode hooks (validation may deliver a reuse).
+            let reuse = self.mech_decode(&mut e);
+
+            // Rename sources.
+            let srcs = f.inst.sources();
+            for (i, s) in srcs.iter().enumerate() {
+                if let Some(r) = s {
+                    e.src_phys[i] = Some(self.rmap[*r as usize]);
+                }
+            }
+            // Checkpoint for everything that can redirect (Br, Jr).
+            if matches!(f.inst, Inst::Br { .. } | Inst::Jr { .. }) {
+                e.checkpoint = Some(Box::new(Checkpoint {
+                    rmap: self.rmap,
+                    ext: self.ext,
+                    ghist: f.ghist,
+                }));
+            }
+            // Rename destination.
+            if let Some(d) = f.inst.dest() {
+                let p = self.rf.alloc().expect("checked above");
+                e.old_phys = Some(self.rmap[d as usize]);
+                e.new_phys = Some(p);
+                e.ldest = Some(d);
+                self.rmap[d as usize] = p;
+            }
+            // Memory instructions enter the LSQ.
+            if is_mem {
+                self.lsq.push(seq, f.inst.is_store());
+                e.in_lsq = true;
+            }
+            // Vectorization triggers run post-rename (the destination
+            // register seeds loop-carried self-dependences); skipped
+            // when the instruction is a validated reuse.
+            if reuse.is_none() {
+                self.mech_vectorize(&e);
+            }
+            // Rename-extension propagation + reuse wiring.
+            self.update_ext_and_state(&mut e, reuse);
+
+            self.rob.push_back(e);
+        }
+    }
+
+    /// Apply the stridedPC/V-S propagation rules to the destination and
+    /// wire a validated reuse into the entry.
+    fn update_ext_and_state(&mut self, e: &mut RobEntry, reuse: Option<ReuseInfo>) {
+        // Destination extension update.
+        if let Some(d) = e.ldest {
+            let d = d as usize;
+            match e.inst {
+                Inst::Ld { .. } => {
+                    let mut x = RenameExt::new();
+                    if let Some(m) = &self.mech {
+                        let bpc = Program::byte_pc(e.pc);
+                        if m.stride.is_strided(bpc) {
+                            x.set_strided_load(bpc);
+                        }
+                    }
+                    self.ext[d] = x;
+                }
+                Inst::Alu { .. } | Inst::AluImm { .. } | Inst::Fp { .. } => {
+                    let cap = self.cfg.mech.strided_pc_slots;
+                    let srcs = e.inst.sources();
+                    let mut refs: Vec<&RenameExt> = Vec::with_capacity(2);
+                    for s in srcs.iter().flatten() {
+                        refs.push(&self.ext[*s as usize]);
+                    }
+                    let (x, dropped) = RenameExt::propagate_from(&refs, cap);
+                    self.stats.strided_pc_dropped += dropped as u64;
+                    if x.len() + dropped > 0 {
+                        self.stats.strided_pc_sum += (x.len() + dropped) as u64;
+                        self.stats.strided_pc_samples += 1;
+                    }
+                    self.ext[d] = x;
+                }
+                _ => self.ext[d] = RenameExt::new(),
+            }
+            // V/S: set when this PC currently has an SRSMT entry (it was
+            // vectorized, either fresh this cycle or still live).
+            let vectorized = self
+                .mech
+                .as_ref()
+                .map(|m| m.srsmt.find(Program::byte_pc(e.pc)).is_some())
+                .unwrap_or(false);
+            if vectorized {
+                self.ext[d].set_vectorized(Program::byte_pc(e.pc));
+            } else {
+                self.ext[d].clear_vectorized();
+            }
+        }
+
+        // Reuse wiring: the instruction does not execute.
+        if let Some(r) = reuse {
+            e.value = r.value;
+            e.reuse = Some(r);
+            if r.pending {
+                // The replica is still executing; the validating
+                // instruction waits for the value (polled in writeback;
+                // `done_at` records when the wait started so a stuck
+                // chain can fall back to normal execution).
+                e.state = RobState::Executing;
+                e.done_at = self.cycle;
+            } else {
+                self.deliver_reuse_value(e, r.value);
+            }
+            if e.inst.is_load() {
+                if let Some(a) = e.addr {
+                    self.lsq.set_addr(e.seq, a);
+                }
+            }
+            return;
+        }
+
+        // Non-executing instructions are done at dispatch.
+        match e.inst {
+            Inst::Nop | Inst::Halt => e.state = RobState::Done,
+            Inst::Jmp { target } => {
+                e.state = RobState::Done;
+                e.actual_taken = true;
+                e.actual_target = target;
+                e.resolved = true;
+            }
+            _ => {}
+        }
+    }
+
+    /// Hand a (now available) replica value to a validating
+    /// instruction: immediately with a monolithic register file, or
+    /// through the §2.4.6 copy uop (2-cycle speculative memory, 2 read
+    /// ports per cycle) when the spec memory is configured.
+    pub(crate) fn deliver_reuse_value(&mut self, e: &mut RobEntry, value: u64) {
+        e.value = value;
+        self.notify_seed(e.seq, value);
+        if let Some(r) = &mut e.reuse {
+            r.value = value;
+            r.pending = false;
+        }
+        let specmem_lat = self
+            .mech
+            .as_ref()
+            .and_then(|m| m.specmem.as_ref())
+            .map(|s| s.latency);
+        if let Some(lat) = specmem_lat {
+            let port_penalty = if self.res.specmem_reads == 0 { 1 } else { 0 };
+            self.res.specmem_reads = self.res.specmem_reads.saturating_sub(1);
+            self.stats.specmem_copies += 1;
+            e.state = RobState::Executing;
+            e.done_at = self.cycle + lat as u64 + port_penalty;
+        } else {
+            if let Some(p) = e.new_phys {
+                self.rf.write(p, value);
+            }
+            e.state = RobState::Done;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Mode;
+    use cfir_isa::assemble;
+
+    fn run_program(src: &str, mode: Mode) -> (SimStats, [u64; NLR]) {
+        let p = assemble("t", src).unwrap();
+        let mut cfg = SimConfig::paper_baseline().with_mode(mode);
+        cfg.cosim_check = true;
+        let mut pl = Pipeline::new(&p, MemImage::new(), cfg);
+        let exit = pl.run();
+        assert_eq!(exit, RunExit::Halted);
+        (pl.stats.clone(), pl.arch_regs)
+    }
+
+    #[test]
+    fn straightline_commits_in_order() {
+        let (s, regs) = run_program("li r1, 6\nli r2, 7\nmul r3, r1, r2\nhalt", Mode::Scalar);
+        assert_eq!(regs[3], 42);
+        assert_eq!(s.committed, 4);
+        assert!(s.cycles > 0);
+    }
+
+    #[test]
+    fn dependent_chain_respects_latency() {
+        // 10 dependent multiplies: at least 2 cycles each.
+        let mut src = String::from("li r1, 1\nli r2, 3\n");
+        for _ in 0..10 {
+            src.push_str("mul r1, r1, r2\n");
+        }
+        src.push_str("halt");
+        let (s, regs) = run_program(&src, Mode::Scalar);
+        assert_eq!(regs[1], 3u64.pow(10));
+        assert!(s.cycles >= 20, "10 dependent muls need >= 20 cycles, got {}", s.cycles);
+    }
+
+    #[test]
+    fn independent_ops_go_wide() {
+        // A warm loop of independent instructions should commit far
+        // faster than 1 IPC (cold straight-line code would miss the
+        // I-cache on every 64B line instead).
+        let mut src = String::from("li r61, 0\nli r62, 40\ntop:\n");
+        for i in 1..=24u64 {
+            src.push_str(&format!("li r{i}, {i}\n"));
+        }
+        src.push_str("addi r61, r61, 1\nblt r61, r62, top\nhalt");
+        let (s, _) = run_program(&src, Mode::Scalar);
+        assert_eq!(s.committed, 2 + 40 * 26 + 1);
+        assert!(s.ipc() > 2.0, "ipc = {}", s.ipc());
+    }
+
+    #[test]
+    fn loop_with_memory_and_branches() {
+        let src = r#"
+            li r1, 1000
+            li r2, 0
+            li r3, 50
+            li r4, 0
+        top:
+            muli r5, r2, 8
+            add r5, r5, r1
+            ld r6, 0(r5)
+            add r4, r4, r6
+            addi r2, r2, 1
+            blt r2, r3, top
+            halt
+        "#;
+        let p = assemble("t", src).unwrap();
+        let mut mem = MemImage::new();
+        for i in 0..50u64 {
+            mem.write(1000 + i * 8, i);
+        }
+        let mut cfg = SimConfig::paper_baseline();
+        cfg.cosim_check = true;
+        let mut pl = Pipeline::new(&p, mem, cfg);
+        assert_eq!(pl.run(), RunExit::Halted);
+        assert_eq!(pl.arch_reg(4), (0..50).sum::<u64>());
+        assert!(pl.stats.branches >= 50);
+    }
+
+    #[test]
+    fn store_load_forwarding_roundtrip() {
+        let (_, regs) = run_program(
+            "li r1, 4096\nli r2, 99\nst r2, 0(r1)\nld r3, 0(r1)\naddi r3, r3, 1\nhalt",
+            Mode::Scalar,
+        );
+        assert_eq!(regs[3], 100);
+    }
+
+    #[test]
+    fn hammock_runs_in_every_mode() {
+        let src = r#"
+            li r1, 1000
+            li r2, 0
+            li r3, 64
+            li r4, 0
+            li r7, 0
+        top:
+            muli r5, r2, 8
+            add r5, r5, r1
+            ld r6, 0(r5)
+            beq r6, r0, else_
+            addi r4, r4, 1
+            jmp join
+        else_:
+            addi r7, r7, 1
+        join:
+            addi r2, r2, 1
+            blt r2, r3, top
+            halt
+        "#;
+        let p = assemble("t", src).unwrap();
+        let mut mem = MemImage::new();
+        for i in 0..64u64 {
+            // Pseudo-random zero/non-zero pattern.
+            let v = (i * 2654435761) % 7 % 2;
+            mem.write(1000 + i * 8, v);
+        }
+        for mode in [Mode::Scalar, Mode::WideBus, Mode::CiIw, Mode::Ci, Mode::Vect] {
+            let mut cfg = SimConfig::paper_baseline().with_mode(mode);
+            cfg.cosim_check = true;
+            let mut pl = Pipeline::new(&p, mem.clone(), cfg);
+            assert_eq!(pl.run(), RunExit::Halted, "mode {mode:?}");
+            assert_eq!(
+                pl.arch_reg(4) + pl.arch_reg(7),
+                64,
+                "counts must add up in mode {mode:?}"
+            );
+        }
+    }
+}

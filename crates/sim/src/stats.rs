@@ -1,0 +1,210 @@
+//! Statistics collected by one simulation run — everything the paper's
+//! figures need.
+
+use cfir_core::EventStats;
+use cfir_core::srsmt::SrsmtStats;
+
+/// One point of the interval time series (see
+/// `SimConfig::interval_cycles`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalSample {
+    /// Cycle at which the sample was taken.
+    pub cycle: u64,
+    /// Instructions committed so far.
+    pub committed: u64,
+    /// Reused instructions committed so far.
+    pub committed_reuse: u64,
+    /// IPC over the *last* interval only.
+    pub interval_ipc: f64,
+}
+
+/// Aggregate statistics of a run.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Committed (architecturally retired) instructions.
+    pub committed: u64,
+    /// Committed instructions that reused a precomputed value
+    /// (Figure 12's "Reuse" portion).
+    pub committed_reuse: u64,
+    /// Instructions dispatched into the window and later squashed by a
+    /// branch misprediction (Figure 12's "specBP").
+    pub squashed: u64,
+    /// Speculative replica instructions executed by the CI scheme
+    /// (Figure 12's "specCI").
+    pub replicas_executed: u64,
+    /// Replica instructions created (dispatched to the engine).
+    pub replicas_created: u64,
+    /// Conditional branches committed.
+    pub branches: u64,
+    /// Conditional-branch mispredictions (architectural).
+    pub mispredicts: u64,
+    /// Reuse validations that failed at decode (seq/stride mismatch).
+    pub validation_failures: u64,
+    /// Failure breakdown: [inst-mismatch, replica-not-ready,
+    /// stride-untrusted-or-changed, address-mismatch, seq-mismatch].
+    pub valfail_reasons: [u64; 5],
+    /// Reuse validations that passed decode but failed the commit-time
+    /// architectural check (triggering a flush).
+    pub commit_check_failures: u64,
+    /// Stores committed.
+    pub stores: u64,
+    /// Stores whose address hit a speculatively-loaded range (§2.4.3).
+    pub store_conflicts: u64,
+    /// Loads committed.
+    pub loads: u64,
+    /// Sum over cycles of physical registers in use (occupancy integral).
+    pub reg_occupancy_sum: u64,
+    /// High-water mark of physical registers in use.
+    pub reg_high_water: u64,
+    /// stridedPC propagations dropped by the slot cap (Figure 4 loss).
+    pub strided_pc_dropped: u64,
+    /// Sum of stridedPC set sizes over written rename entries (for the
+    /// "1.7 PCs per entry" average).
+    pub strided_pc_sum: u64,
+    /// Number of rename-entry writes sampled for `strided_pc_sum`
+    /// (only writes that propagate at least one PC are counted,
+    /// matching how the paper reports "PCs per entry").
+    pub strided_pc_samples: u64,
+    /// Vectorizations performed (SRSMT entries created).
+    pub vectorizations: u64,
+    /// Per-misprediction CI classification (Figure 5).
+    pub events: EventStats,
+    /// SRSMT table statistics.
+    pub srsmt: SrsmtStats,
+    /// L1 D-cache accesses (Figure 8): scalar port accesses, wide-bus
+    /// line accesses, store commits and replica loads all count once.
+    pub l1d_accesses: u64,
+    /// L1 D-cache misses.
+    pub l1d_misses: u64,
+    /// L1 I-cache accesses.
+    pub l1i_accesses: u64,
+    /// Instructions fetched (all paths).
+    pub fetched: u64,
+    /// Speculative-memory copy instructions injected (§2.4.6 mode).
+    pub specmem_copies: u64,
+    /// Squash-reuse buffer hits (ci-iw mode).
+    pub squash_reuse_hits: u64,
+    /// Periodic samples (empty unless `SimConfig::interval_cycles` set).
+    pub intervals: Vec<IntervalSample>,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Conditional-branch misprediction rate.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// Average physical registers in use per cycle (§2.4.2's 812/304).
+    pub fn avg_regs_in_use(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.reg_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of committed instructions that reused a precomputed
+    /// value (Figure 12 reports 12.3% / 14%).
+    pub fn reuse_fraction(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.committed_reuse as f64 / self.committed as f64
+        }
+    }
+
+    /// Fraction of committed stores that conflicted with a speculative
+    /// load range (§2.4.3 reports < 3%).
+    pub fn store_conflict_fraction(&self) -> f64 {
+        if self.stores == 0 {
+            0.0
+        } else {
+            self.store_conflicts as f64 / self.stores as f64
+        }
+    }
+
+    /// Average propagated stridedPCs per (propagating) rename write
+    /// (§2.3.2 reports 1.7 for SpecInt2000).
+    pub fn avg_strided_pcs(&self) -> f64 {
+        if self.strided_pc_samples == 0 {
+            0.0
+        } else {
+            self.strided_pc_sum as f64 / self.strided_pc_samples as f64
+        }
+    }
+
+    /// Wrong-path (squashed) activity as a fraction of all executed
+    /// work, the §4 comparison metric (29.62% ci vs 48.45% vect).
+    pub fn wrong_path_fraction(&self) -> f64 {
+        let wasted = self.squashed + self.replicas_executed;
+        let total = self.committed + wasted;
+        if total == 0 {
+            0.0
+        } else {
+            wasted as f64 / total as f64
+        }
+    }
+}
+
+/// Harmonic mean of a slice of positive rates (the paper averages IPC
+/// across the suite with a harmonic mean).
+pub fn harmonic_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let denom: f64 = xs.iter().map(|x| 1.0 / x.max(1e-12)).sum();
+    xs.len() as f64 / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_rates() {
+        let s = SimStats { cycles: 100, committed: 250, ..Default::default() };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        let z = SimStats::default();
+        assert_eq!(z.ipc(), 0.0);
+        assert_eq!(z.mispredict_rate(), 0.0);
+        assert_eq!(z.avg_regs_in_use(), 0.0);
+        assert_eq!(z.reuse_fraction(), 0.0);
+        assert_eq!(z.store_conflict_fraction(), 0.0);
+        assert_eq!(z.avg_strided_pcs(), 0.0);
+        assert_eq!(z.wrong_path_fraction(), 0.0);
+    }
+
+    #[test]
+    fn wrong_path_fraction() {
+        let s = SimStats {
+            committed: 70,
+            squashed: 20,
+            replicas_executed: 10,
+            ..Default::default()
+        };
+        assert!((s.wrong_path_fraction() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_basics() {
+        assert_eq!(harmonic_mean(&[]), 0.0);
+        assert!((harmonic_mean(&[2.0, 2.0]) - 2.0).abs() < 1e-12);
+        // HM of 1 and 3 is 1.5, biased toward the small value.
+        assert!((harmonic_mean(&[1.0, 3.0]) - 1.5).abs() < 1e-12);
+    }
+}

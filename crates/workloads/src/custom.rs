@@ -1,0 +1,212 @@
+//! Parametric workload generator — build your own hammock/stride mix.
+//!
+//! The named kernels in [`crate::kernels`] pin down the SpecInt-shaped
+//! corners; this module exposes the underlying axes so users (and the
+//! examples) can sweep them continuously:
+//!
+//! * **branch entropy** — probability that the hammock condition holds,
+//!   from perfectly biased (predictors win) to 50/50 (the mechanism's
+//!   home turf);
+//! * **stride mix** — how many of the loads are strided vs hash-indexed
+//!   (irregular loads defeat the vectorizer, as in `mcf`/`gcc`);
+//! * **CI tail length** — how much control-independent work follows the
+//!   re-convergent point;
+//! * **store rate** — stores into the speculatively-loaded array
+//!   exercise the §2.4.3 coherence machinery.
+
+use crate::{Workload, WorkloadSpec};
+use cfir_emu::MemImage;
+use cfir_isa::{AluOp, Cond, ProgramBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Base address of the generated data array.
+pub const CUSTOM_BASE: u64 = 0x40_0000;
+
+/// Axes of the generated loop.
+#[derive(Debug, Clone, Copy)]
+pub struct CustomParams {
+    /// Percent of iterations on which the hammock branch is taken
+    /// (50 = maximally unpredictable).
+    pub taken_percent: u32,
+    /// Number of strided loads per iteration (0..=3).
+    pub strided_loads: u32,
+    /// Number of hash-indexed (non-strided) loads per iteration (0..=2).
+    pub irregular_loads: u32,
+    /// Control-independent ALU instructions after the join (0..=8).
+    pub ci_tail: u32,
+    /// One store into the loaded array every `1 << store_shift`
+    /// iterations (`None` = no stores).
+    pub store_shift: Option<u32>,
+}
+
+impl Default for CustomParams {
+    fn default() -> Self {
+        CustomParams {
+            taken_percent: 50,
+            strided_loads: 1,
+            irregular_loads: 0,
+            ci_tail: 2,
+            store_shift: None,
+        }
+    }
+}
+
+/// Build a workload from the parameters. Register conventions follow
+/// the named kernels (`r2` iteration counter, `r4` mask, `r5` base).
+pub fn build(params: CustomParams, spec: WorkloadSpec) -> Workload {
+    assert!(params.taken_percent <= 100);
+    assert!(params.strided_loads <= 3 && params.irregular_loads <= 2);
+    assert!(params.ci_tail <= 8);
+
+    let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0xC057_0313);
+    let mut mem = MemImage::new();
+    for i in 0..spec.elems {
+        // Value < taken_percent with the requested probability: store
+        // uniform 0..100 so the branch tests `v < taken_percent`.
+        let v: u64 = rng.gen_range(0..100);
+        mem.write(CUSTOM_BASE + i * 8, v);
+    }
+
+    let mut b = ProgramBuilder::new("custom");
+    b.li(2, 0);
+    b.li(3, spec.iters as i64);
+    b.li(4, (spec.elems - 1) as i64);
+    b.li(5, CUSTOM_BASE as i64);
+    b.li(8, params.taken_percent as i64);
+    let top = b.label_here();
+    b.alu(AluOp::And, 1, 2, 4);
+    b.alui(AluOp::Mul, 10, 1, 8);
+    b.alu(AluOp::Add, 10, 10, 5);
+    // Strided loads: r11, r12, r13 from consecutive offsets.
+    for k in 0..params.strided_loads {
+        b.ld(11 + k as u8, 10, (k as i64) * 8);
+    }
+    // Irregular loads: index = hash of the first loaded value.
+    for k in 0..params.irregular_loads {
+        b.alui(AluOp::Srl, 15, 11, 7 + k as i64);
+        b.alu(AluOp::Xor, 15, 15, 11);
+        b.alu(AluOp::And, 15, 15, 4);
+        b.alui(AluOp::Mul, 15, 15, 8);
+        b.alu(AluOp::Add, 15, 15, 5);
+        b.ld(16 + k as u8, 15, 0);
+    }
+    // The hammock: taken iff a[i] < taken_percent.
+    let else_ = b.label();
+    let join = b.label();
+    if params.strided_loads == 0 {
+        // No load: branch on the iteration counter's hash (still
+        // data-ish but register-resident).
+        b.alui(AluOp::Mul, 11, 2, 0x9E37);
+        b.alui(AluOp::And, 11, 11, 63);
+    }
+    b.br(Cond::Lt, 11, 8, else_);
+    b.alui(AluOp::Add, 20, 20, 1);
+    b.jmp(join);
+    b.bind(else_);
+    b.alui(AluOp::Add, 21, 21, 1);
+    b.bind(join);
+    // Control-independent tail, chained off the strided load.
+    for k in 0..params.ci_tail {
+        match k % 3 {
+            0 => b.alu(AluOp::Add, 22, 22, 11),
+            1 => b.alu(AluOp::Xor, 23, 23, 11),
+            _ => b.alui(AluOp::Add, 24, 24, 1),
+        };
+    }
+    // Optional coherence-hazard store two elements ahead.
+    if let Some(shift) = params.store_shift {
+        b.alui(AluOp::And, 25, 2, (1i64 << shift) - 1);
+        let no_store = b.label();
+        b.br(Cond::Ne, 25, 0, no_store);
+        b.alui(AluOp::Add, 26, 2, 2);
+        b.alu(AluOp::And, 26, 26, 4);
+        b.alui(AluOp::Mul, 26, 26, 8);
+        b.alu(AluOp::Add, 26, 26, 5);
+        b.st(11, 26, 0);
+        b.bind(no_store);
+    }
+    b.alui(AluOp::Add, 2, 2, 1);
+    b.br(Cond::Lt, 2, 3, top);
+    b.halt();
+    Workload { name: "custom", prog: b.finish(), mem }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfir_emu::Emulator;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec { iters: 500, elems: 256, seed: 11 }
+    }
+
+    #[test]
+    fn default_params_halt_and_count() {
+        let w = build(CustomParams::default(), spec());
+        let mut e = Emulator::new(w.mem.clone());
+        e.run(&w.prog, 10_000_000);
+        assert!(e.halted);
+        assert_eq!(e.reg(20) + e.reg(21), 500, "one hammock outcome per iteration");
+    }
+
+    #[test]
+    fn taken_percent_controls_the_split() {
+        for pct in [5u32, 50, 95] {
+            let w = build(CustomParams { taken_percent: pct, ..Default::default() }, spec());
+            let mut e = Emulator::new(w.mem.clone());
+            e.run(&w.prog, 10_000_000);
+            // "else" side counts v < pct occurrences.
+            let frac = e.reg(21) as f64 / 500.0;
+            let expect = pct as f64 / 100.0;
+            assert!(
+                (frac - expect).abs() < 0.15,
+                "pct={pct}: observed {frac:.2}, expected ~{expect:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_load_shapes_build_and_halt() {
+        for strided in 0..=3 {
+            for irregular in 0..=2 {
+                let p = CustomParams {
+                    strided_loads: strided,
+                    irregular_loads: irregular,
+                    ..Default::default()
+                };
+                let w = build(p, spec());
+                assert!(w.prog.validate().is_ok());
+                let mut e = Emulator::new(w.mem.clone());
+                e.run(&w.prog, 10_000_000);
+                assert!(e.halted, "strided={strided} irregular={irregular}");
+            }
+        }
+    }
+
+    #[test]
+    fn stores_write_into_the_array() {
+        let w = build(
+            CustomParams { store_shift: Some(4), ..Default::default() },
+            spec(),
+        );
+        let stores = w.prog.insts.iter().filter(|i| i.is_store()).count();
+        assert_eq!(stores, 1);
+        let mut e = Emulator::new(w.mem.clone());
+        e.run(&w.prog, 10_000_000);
+        assert!(e.halted);
+    }
+
+    #[test]
+    fn ci_tail_length_scales_program() {
+        let short = build(CustomParams { ci_tail: 0, ..Default::default() }, spec());
+        let long = build(CustomParams { ci_tail: 8, ..Default::default() }, spec());
+        assert_eq!(long.prog.len(), short.prog.len() + 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_percent_rejected() {
+        let _ = build(CustomParams { taken_percent: 101, ..Default::default() }, spec());
+    }
+}

@@ -1,0 +1,687 @@
+//! The twelve kernel generators.
+//!
+//! Shared conventions: `r1` wrapped element index, `r2` iteration
+//! counter, `r3` iteration limit, `r4` index mask (`elems-1`), `r5`/`r6`
+//! array base registers, `r10`+ scratch, `r20`+ accumulators. Arrays
+//! live at [`ARRAY_A`], [`ARRAY_B`], [`ARRAY_C`] and results are stored
+//! from [`OUT`] onward.
+
+use crate::{Workload, WorkloadSpec};
+use cfir_emu::MemImage;
+use cfir_isa::{AluOp, Cond, FpOp, ProgramBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Base address of the primary data array.
+pub const ARRAY_A: u64 = 0x1_0000;
+/// Base address of the secondary data array.
+pub const ARRAY_B: u64 = 0x10_0000;
+/// Base address of the tertiary data array.
+pub const ARRAY_C: u64 = 0x20_0000;
+/// Base address of the output region.
+pub const OUT: u64 = 0x30_0000;
+
+fn rng_for(spec: &WorkloadSpec, salt: u64) -> SmallRng {
+    SmallRng::seed_from_u64(spec.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+fn fill_random(mem: &mut MemImage, base: u64, n: u64, rng: &mut SmallRng, f: impl Fn(u64) -> u64) {
+    for i in 0..n {
+        let v: u64 = rng.gen();
+        mem.write(base + i * 8, f(v));
+    }
+}
+
+/// Emit the standard loop prologue. Leaves the builder just before the
+/// loop head; returns nothing (registers are set by convention).
+fn prologue(b: &mut ProgramBuilder, spec: &WorkloadSpec) {
+    b.li(2, 0); // iteration counter
+    b.li(3, spec.iters as i64);
+    b.li(4, (spec.elems - 1) as i64);
+    b.li(5, ARRAY_A as i64);
+    b.li(6, ARRAY_B as i64);
+}
+
+/// Emit the standard loop epilogue: bump the counter and loop.
+fn epilogue(b: &mut ProgramBuilder, top: cfir_isa::Label) {
+    b.alui(AluOp::Add, 2, 2, 1);
+    b.br(Cond::Lt, 2, 3, top);
+    b.halt();
+}
+
+/// Compute `r1 = r2 & mask` and `r10 = base(r5) + r1*8`.
+fn index_a(b: &mut ProgramBuilder) {
+    b.alu(AluOp::And, 1, 2, 4);
+    b.alui(AluOp::Mul, 10, 1, 8);
+    b.alu(AluOp::Add, 10, 10, 5);
+}
+
+/// `bzip2` — the Figure 1 hammock verbatim: a 50/50 data-dependent
+/// branch over a unit-strided stream, with control-independent
+/// accumulation after the join. This is the mechanism's best case.
+pub fn bzip2(spec: WorkloadSpec) -> Workload {
+    let mut rng = rng_for(&spec, 1);
+    let mut mem = MemImage::new();
+    fill_random(&mut mem, ARRAY_A, spec.elems, &mut rng, |v| v & 1);
+
+    let mut b = ProgramBuilder::new("bzip2");
+    prologue(&mut b, &spec);
+    b.li(20, 0); // zero count (R3 of the paper)
+    b.li(21, 0); // non-zero count (R2)
+    b.li(22, 0); // sum (R4)
+    let top = b.label_here();
+    index_a(&mut b);
+    b.ld(11, 10, 0); // strided load of a[i]
+    let else_ = b.label();
+    let join = b.label();
+    b.br(Cond::Eq, 11, 0, else_); // I7: hard hammock branch
+    b.alui(AluOp::Add, 21, 21, 1); // then: non-zero count
+    b.jmp(join);
+    b.bind(else_);
+    b.alui(AluOp::Add, 20, 20, 1); // else: zero count
+    b.bind(join);
+    b.alu(AluOp::Add, 22, 22, 11); // I11: CI, depends on the strided load
+    epilogue(&mut b, top);
+    Workload { name: "bzip2", prog: b.finish(), mem }
+}
+
+/// `crafty` — bit-twiddling over strided "bitboard" words with a
+/// two-level nested hammock (four paths) and CI popcount-style tail.
+pub fn crafty(spec: WorkloadSpec) -> Workload {
+    let mut rng = rng_for(&spec, 2);
+    let mut mem = MemImage::new();
+    fill_random(&mut mem, ARRAY_A, spec.elems, &mut rng, |v| v);
+
+    let mut b = ProgramBuilder::new("crafty");
+    prologue(&mut b, &spec);
+    for r in 20..=24 {
+        b.li(r, 0);
+    }
+    let top = b.label_here();
+    index_a(&mut b);
+    b.ld(11, 10, 0);
+    let l1 = b.label();
+    let l2 = b.label();
+    let l3 = b.label();
+    let join = b.label();
+    b.alui(AluOp::And, 12, 11, 1);
+    b.br(Cond::Eq, 12, 0, l1);
+    b.alui(AluOp::And, 13, 11, 2);
+    b.br(Cond::Eq, 13, 0, l2);
+    b.alui(AluOp::Add, 20, 20, 1);
+    b.jmp(join);
+    b.bind(l2);
+    b.alui(AluOp::Add, 21, 21, 1);
+    b.jmp(join);
+    b.bind(l1);
+    b.alui(AluOp::And, 14, 11, 4);
+    b.br(Cond::Eq, 14, 0, l3);
+    b.alui(AluOp::Add, 22, 22, 1);
+    b.jmp(join);
+    b.bind(l3);
+    b.alui(AluOp::Add, 23, 23, 1);
+    b.bind(join);
+    // CI tail: mix the loaded bitboard into a running signature.
+    b.alui(AluOp::Srl, 15, 11, 17);
+    b.alu(AluOp::Xor, 15, 15, 11);
+    b.alu(AluOp::Add, 24, 24, 15);
+    epilogue(&mut b, top);
+    Workload { name: "crafty", prog: b.finish(), mem }
+}
+
+/// `eon` — FP-heavy rendering loop: strided f64 arrays, a mildly biased
+/// (≈25% taken) threshold branch, CI FP accumulation after the join.
+pub fn eon(spec: WorkloadSpec) -> Workload {
+    let mut rng = rng_for(&spec, 3);
+    let mut mem = MemImage::new();
+    for i in 0..spec.elems {
+        let f: f64 = rng.gen::<f64>();
+        mem.write(ARRAY_A + i * 8, f.to_bits());
+        mem.write(ARRAY_B + i * 8, (f * 0.5 + 0.1).to_bits());
+    }
+
+    let mut b = ProgramBuilder::new("eon");
+    prologue(&mut b, &spec);
+    b.li(20, 0); // int accum
+    b.li(21, 0.0f64.to_bits() as i64); // fp accum
+    b.li(22, 0); // taken count
+    let top = b.label_here();
+    index_a(&mut b);
+    b.ld(11, 10, 0); // f64 bits, strided
+    b.alui(AluOp::Mul, 12, 1, 8);
+    b.alu(AluOp::Add, 12, 12, 6);
+    b.ld(13, 12, 0); // second strided stream
+    b.alui(AluOp::And, 14, 11, 7); // low mantissa bits ~ uniform
+    let skip = b.label();
+    let join = b.label();
+    b.br(Cond::Lt, 14, 0, skip); // never taken guard (easy)
+    b.alui(AluOp::Slt, 15, 14, 2); // 25% chance
+    b.br(Cond::Eq, 15, 0, join);
+    b.alui(AluOp::Add, 22, 22, 1);
+    b.bind(skip);
+    b.bind(join);
+    b.fp(FpOp::Fmul, 16, 11, 13); // CI FP work on the strided values
+    b.fp(FpOp::Fadd, 21, 21, 16);
+    b.alu(AluOp::Add, 20, 20, 14);
+    epilogue(&mut b, top);
+    Workload { name: "eon", prog: b.finish(), mem }
+}
+
+/// `gap` — arithmetic groups: a long integer divide chain (12-cycle
+/// unit), a moderate hammock, and a second stream at stride 16.
+pub fn gap(spec: WorkloadSpec) -> Workload {
+    let mut rng = rng_for(&spec, 4);
+    let mut mem = MemImage::new();
+    fill_random(&mut mem, ARRAY_A, spec.elems, &mut rng, |v| (v & 0xFFFF) + 1);
+    fill_random(&mut mem, ARRAY_B, spec.elems * 2, &mut rng, |v| v & 0xFF);
+
+    let mut b = ProgramBuilder::new("gap");
+    prologue(&mut b, &spec);
+    b.li(20, 0);
+    b.li(21, 0);
+    b.li(22, 0);
+    let top = b.label_here();
+    index_a(&mut b);
+    b.ld(11, 10, 0);
+    b.alui(AluOp::Mul, 12, 1, 16); // stride-16 stream
+    b.alu(AluOp::Add, 12, 12, 6);
+    b.ld(13, 12, 0);
+    b.alui(AluOp::Div, 14, 11, 7); // long-latency divide
+    b.alui(AluOp::And, 15, 14, 1);
+    let else_ = b.label();
+    let join = b.label();
+    b.br(Cond::Eq, 15, 0, else_);
+    b.alu(AluOp::Add, 20, 20, 14);
+    b.jmp(join);
+    b.bind(else_);
+    b.alu(AluOp::Add, 21, 21, 13);
+    b.bind(join);
+    b.alu(AluOp::Add, 22, 22, 13); // CI on the stride-16 load
+    epilogue(&mut b, top);
+    Workload { name: "gap", prog: b.finish(), mem }
+}
+
+/// `gcc` — branch-dense: a 4-way ladder on random data, an irregular
+/// secondary load (hash-indexed, defeats the stride predictor), and a
+/// small CI tail. Low ILP, many mispredictions, little strided cover.
+pub fn gcc(spec: WorkloadSpec) -> Workload {
+    let mut rng = rng_for(&spec, 5);
+    let mut mem = MemImage::new();
+    fill_random(&mut mem, ARRAY_A, spec.elems, &mut rng, |v| v);
+    fill_random(&mut mem, ARRAY_B, spec.elems, &mut rng, |v| v & 0xFF);
+
+    let mut b = ProgramBuilder::new("gcc");
+    prologue(&mut b, &spec);
+    for r in 20..=25 {
+        b.li(r, 0);
+    }
+    let top = b.label_here();
+    index_a(&mut b);
+    b.ld(11, 10, 0);
+    // Irregular load: hash the value into an index.
+    b.alui(AluOp::Srl, 12, 11, 13);
+    b.alu(AluOp::Xor, 12, 12, 11);
+    b.alu(AluOp::And, 12, 12, 4);
+    b.alui(AluOp::Mul, 12, 12, 8);
+    b.alu(AluOp::Add, 12, 12, 6);
+    b.ld(13, 12, 0); // non-strided
+    // 4-way ladder on the low bits (uniform -> hard).
+    b.alui(AluOp::And, 14, 11, 3);
+    let c1 = b.label();
+    let c2 = b.label();
+    let c3 = b.label();
+    let join = b.label();
+    b.alui(AluOp::Seq, 15, 14, 0);
+    b.br(Cond::Ne, 15, 0, c1);
+    b.alui(AluOp::Seq, 15, 14, 1);
+    b.br(Cond::Ne, 15, 0, c2);
+    b.alui(AluOp::Seq, 15, 14, 2);
+    b.br(Cond::Ne, 15, 0, c3);
+    b.alu(AluOp::Add, 23, 23, 13);
+    b.jmp(join);
+    b.bind(c1);
+    b.alui(AluOp::Add, 20, 20, 1);
+    b.jmp(join);
+    b.bind(c2);
+    b.alui(AluOp::Add, 21, 21, 2);
+    b.jmp(join);
+    b.bind(c3);
+    b.alui(AluOp::Add, 22, 22, 3);
+    b.bind(join);
+    b.alu(AluOp::Add, 24, 24, 11); // CI on the strided load
+    b.alu(AluOp::Xor, 25, 25, 13);
+    epilogue(&mut b, top);
+    Workload { name: "gcc", prog: b.finish(), mem }
+}
+
+/// `gzip` — heavily biased branches (≈94% not taken) over a
+/// unit-strided stream: the MBS keeps the mechanism mostly off, so the
+/// baseline wide bus does the work.
+pub fn gzip(spec: WorkloadSpec) -> Workload {
+    let mut rng = rng_for(&spec, 6);
+    let mut mem = MemImage::new();
+    fill_random(&mut mem, ARRAY_A, spec.elems, &mut rng, |v| v);
+
+    let mut b = ProgramBuilder::new("gzip");
+    prologue(&mut b, &spec);
+    b.li(20, 0);
+    b.li(21, 0);
+    let top = b.label_here();
+    index_a(&mut b);
+    b.ld(11, 10, 0);
+    b.alui(AluOp::And, 12, 11, 15);
+    let rare = b.label();
+    let join = b.label();
+    b.br(Cond::Eq, 12, 0, rare); // taken 1/16 of the time
+    b.alui(AluOp::Add, 20, 20, 1);
+    b.jmp(join);
+    b.bind(rare);
+    b.alui(AluOp::Add, 21, 21, 1);
+    b.bind(join);
+    b.alu(AluOp::Add, 22, 22, 11);
+    b.alui(AluOp::Srl, 13, 11, 3);
+    b.alu(AluOp::Xor, 23, 23, 13);
+    epilogue(&mut b, top);
+    Workload { name: "gzip", prog: b.finish(), mem }
+}
+
+/// `mcf` — pointer chasing over a randomized singly linked list: the
+/// next-node load depends on the previous one (no stride at all), and
+/// the hammock branch tests the node payload. Control independence is
+/// *found* but vectorization fails (no strided backward slice) — the
+/// gray bucket of Figure 5.
+pub fn mcf(spec: WorkloadSpec) -> Workload {
+    let mut rng = rng_for(&spec, 7);
+    let mut mem = MemImage::new();
+    // Build one random cycle over the nodes, 16 bytes each:
+    // node[i] = { next_ptr, payload }. The list is sized to roughly fit
+    // the L2 (SPEC's mcf thrashes caches but is not a pure
+    // memory-latency benchmark; a full-memory chase would drown every
+    // other effect in the harmonic means).
+    let n = (spec.elems / 2).max(4);
+    let mut perm: Vec<u64> = (1..n).collect();
+    // Fisher-Yates over the nodes after 0, forming a single cycle
+    // (Sattolo's algorithm shape: chain 0 -> perm[0] -> ... -> 0).
+    for i in (1..perm.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    let node = |i: u64| ARRAY_A + i * 16;
+    let mut cur = 0u64;
+    for &nx in &perm {
+        mem.write(node(cur), node(nx));
+        mem.write(node(cur) + 8, rng.gen::<u64>() & 0xFFFF);
+        cur = nx;
+    }
+    mem.write(node(cur), node(0));
+    mem.write(node(cur) + 8, rng.gen::<u64>() & 0xFFFF);
+
+    let mut b = ProgramBuilder::new("mcf");
+    prologue(&mut b, &spec);
+    b.li(7, ARRAY_A as i64); // current node pointer
+    b.li(20, 0);
+    b.li(21, 0);
+    b.li(22, 0);
+    let top = b.label_here();
+    b.ld(11, 7, 8); // payload (address is pointer-dependent)
+    b.alui(AluOp::And, 12, 11, 1);
+    let else_ = b.label();
+    let join = b.label();
+    b.br(Cond::Eq, 12, 0, else_); // 50/50 on payload
+    b.alu(AluOp::Add, 20, 20, 11);
+    b.jmp(join);
+    b.bind(else_);
+    b.alui(AluOp::Add, 21, 21, 1);
+    b.bind(join);
+    b.alu(AluOp::Add, 22, 22, 11); // CI but not strided-backed
+    b.ld(7, 7, 0); // chase to the next node
+    epilogue(&mut b, top);
+    Workload { name: "mcf", prog: b.finish(), mem }
+}
+
+/// `parser` — a perfectly learnable alternating branch plus a random
+/// data branch, over a strided stream with multiplicative hash mixing.
+pub fn parser(spec: WorkloadSpec) -> Workload {
+    let mut rng = rng_for(&spec, 8);
+    let mut mem = MemImage::new();
+    fill_random(&mut mem, ARRAY_A, spec.elems, &mut rng, |v| v);
+
+    let mut b = ProgramBuilder::new("parser");
+    prologue(&mut b, &spec);
+    b.li(20, 0);
+    b.li(21, 0);
+    b.li(22, 0);
+    b.li(8, 0x9E37_79B9); // hash multiplier
+    let top = b.label_here();
+    index_a(&mut b);
+    b.ld(11, 10, 0);
+    b.alui(AluOp::And, 12, 2, 1); // alternating (easy for gshare)
+    let skip1 = b.label();
+    b.br(Cond::Eq, 12, 0, skip1);
+    b.alui(AluOp::Add, 20, 20, 1);
+    b.bind(skip1);
+    b.alu(AluOp::Mul, 13, 11, 8); // hash mix
+    b.alui(AluOp::Srl, 14, 13, 33);
+    b.alui(AluOp::And, 15, 14, 1);
+    let else_ = b.label();
+    let join = b.label();
+    b.br(Cond::Eq, 15, 0, else_); // hard 50/50
+    b.alu(AluOp::Add, 21, 21, 14);
+    b.jmp(join);
+    b.bind(else_);
+    b.alui(AluOp::Sub, 21, 21, 1);
+    b.bind(join);
+    b.alu(AluOp::Add, 22, 22, 11); // CI on the strided load
+    epilogue(&mut b, top);
+    Workload { name: "parser", prog: b.finish(), mem }
+}
+
+/// `perlbmk` — a bytecode-style dispatch loop: a strided opcode stream
+/// drives an indirect jump into a table of four fixed-size handlers.
+pub fn perlbmk(spec: WorkloadSpec) -> Workload {
+    let mut rng = rng_for(&spec, 9);
+    let mut mem = MemImage::new();
+    fill_random(&mut mem, ARRAY_A, spec.elems, &mut rng, |v| v & 3);
+    fill_random(&mut mem, ARRAY_B, spec.elems, &mut rng, |v| v & 0xFFFF);
+
+    const HANDLER_LEN: i64 = 3; // work + work + jmp back
+    let mut b = ProgramBuilder::new("perlbmk");
+    // Layout: jmp start; 4 handlers of HANDLER_LEN; start: prologue; loop.
+    let start = b.label();
+    let after = b.label();
+    b.jmp(start);
+    let handler_base = b.here() as i64;
+    for k in 0..4u8 {
+        // Each handler: distinct accumulator update, then back to join.
+        b.alui(AluOp::Add, 20 + k, 20 + k, (k as i64) + 1);
+        b.alu(AluOp::Add, 24, 24, 13);
+        b.jmp(after);
+    }
+    b.bind(start);
+    prologue(&mut b, &spec);
+    for r in 20..=25 {
+        b.li(r, 0);
+    }
+    b.li(9, handler_base);
+    let top = b.label_here();
+    index_a(&mut b);
+    b.ld(11, 10, 0); // opcode, strided
+    b.alui(AluOp::Mul, 12, 1, 8);
+    b.alu(AluOp::Add, 12, 12, 6);
+    b.ld(13, 12, 0); // operand, strided
+    b.alui(AluOp::Mul, 14, 11, HANDLER_LEN);
+    b.alu(AluOp::Add, 14, 14, 9);
+    b.jr(14); // indirect dispatch
+    b.bind(after);
+    b.alu(AluOp::Add, 25, 25, 13); // CI tail after the dispatch joins
+    // Data-dependent guard after the join (regex-match style hammock).
+    b.alui(AluOp::And, 15, 13, 1);
+    let no_match = b.label();
+    b.br(Cond::Eq, 15, 0, no_match);
+    b.alui(AluOp::Add, 26, 26, 1);
+    b.bind(no_match);
+    epilogue(&mut b, top);
+    Workload { name: "perlbmk", prog: b.finish(), mem }
+}
+
+/// `twolf` — placement swap loop: compares two strided arrays, stores
+/// into a third, and occasionally writes *back into the first array*,
+/// exercising the §2.4.3 store-coherence squash.
+pub fn twolf(spec: WorkloadSpec) -> Workload {
+    let mut rng = rng_for(&spec, 10);
+    let mut mem = MemImage::new();
+    fill_random(&mut mem, ARRAY_A, spec.elems, &mut rng, |v| v & 0xFFFF);
+    fill_random(&mut mem, ARRAY_B, spec.elems, &mut rng, |v| v & 0xFFFF);
+
+    let mut b = ProgramBuilder::new("twolf");
+    prologue(&mut b, &spec);
+    b.li(7, ARRAY_C as i64);
+    b.li(20, 0);
+    b.li(21, 0);
+    let top = b.label_here();
+    index_a(&mut b);
+    b.ld(11, 10, 0); // a[i]
+    b.alui(AluOp::Mul, 12, 1, 8);
+    b.alu(AluOp::Add, 12, 12, 6);
+    b.ld(13, 12, 0); // b[i]
+    let else_ = b.label();
+    let join = b.label();
+    b.br(Cond::Lt, 11, 13, else_); // 50/50 compare
+    b.alui(AluOp::Mul, 14, 1, 8);
+    b.alu(AluOp::Add, 14, 14, 7);
+    b.st(11, 14, 0); // c[i] = a[i]
+    b.jmp(join);
+    b.bind(else_);
+    b.alui(AluOp::Add, 20, 20, 1);
+    b.bind(join);
+    b.alu(AluOp::Add, 21, 21, 13); // CI on the b-stream
+    // Every 64th iteration, dirty a[i+2] — an element the replica
+    // engine has typically already pre-loaded (§2.4.3's hazard).
+    b.alui(AluOp::And, 15, 2, 63);
+    let no_dirty = b.label();
+    b.br(Cond::Ne, 15, 0, no_dirty);
+    b.alui(AluOp::Add, 16, 2, 2);
+    b.alu(AluOp::And, 16, 16, 4);
+    b.alui(AluOp::Mul, 16, 16, 8);
+    b.alu(AluOp::Add, 16, 16, 5);
+    b.st(13, 16, 0);
+    b.bind(no_dirty);
+    epilogue(&mut b, top);
+    Workload { name: "twolf", prog: b.finish(), mem }
+}
+
+/// `vortex` — database-record filter: 4-word records scanned at stride
+/// 32, a biased tag test (≈75/25), and strided stores of the selected
+/// payloads to an output region.
+pub fn vortex(spec: WorkloadSpec) -> Workload {
+    let mut rng = rng_for(&spec, 11);
+    let mut mem = MemImage::new();
+    for i in 0..spec.elems {
+        let base = ARRAY_A + i * 32;
+        mem.write(base, rng.gen::<u64>() & 3); // tag
+        mem.write(base + 8, rng.gen::<u64>() & 0xFFFF); // payload
+        mem.write(base + 16, rng.gen());
+        mem.write(base + 24, rng.gen());
+    }
+
+    let mut b = ProgramBuilder::new("vortex");
+    prologue(&mut b, &spec);
+    b.li(7, OUT as i64);
+    b.li(20, 0);
+    b.li(21, 0);
+    let top = b.label_here();
+    b.alu(AluOp::And, 1, 2, 4);
+    b.alui(AluOp::Mul, 10, 1, 32); // record stride
+    b.alu(AluOp::Add, 10, 10, 5);
+    b.ld(11, 10, 0); // tag
+    b.ld(12, 10, 8); // payload
+    let keep = b.label();
+    let join = b.label();
+    b.br(Cond::Eq, 11, 0, keep); // 25% taken
+    b.alui(AluOp::Add, 20, 20, 1);
+    b.jmp(join);
+    b.bind(keep);
+    b.alui(AluOp::Mul, 13, 1, 8);
+    b.alu(AluOp::Add, 13, 13, 7);
+    b.st(12, 13, 0); // out[i] = payload
+    b.bind(join);
+    b.alu(AluOp::Add, 21, 21, 12); // CI on the payload load
+    epilogue(&mut b, top);
+    Workload { name: "vortex", prog: b.finish(), mem }
+}
+
+/// `vpr` — routing-cost loop: strided FP cost arrays, a 50/50 branch on
+/// cost bits, and CI accumulation of both FP and integer signatures.
+pub fn vpr(spec: WorkloadSpec) -> Workload {
+    let mut rng = rng_for(&spec, 12);
+    let mut mem = MemImage::new();
+    for i in 0..spec.elems {
+        mem.write(ARRAY_A + i * 8, rng.gen::<f64>().to_bits());
+        mem.write(ARRAY_B + i * 8, (rng.gen::<f64>() * 3.0).to_bits());
+    }
+
+    let mut b = ProgramBuilder::new("vpr");
+    prologue(&mut b, &spec);
+    b.li(20, 0);
+    b.li(21, 0.0f64.to_bits() as i64);
+    let top = b.label_here();
+    index_a(&mut b);
+    b.ld(11, 10, 0);
+    b.alui(AluOp::Mul, 12, 1, 8);
+    b.alu(AluOp::Add, 12, 12, 6);
+    b.ld(13, 12, 0);
+    b.alui(AluOp::And, 14, 11, 1); // mantissa bit: 50/50
+    let else_ = b.label();
+    let join = b.label();
+    b.br(Cond::Eq, 14, 0, else_);
+    b.alui(AluOp::Add, 20, 20, 1);
+    b.jmp(join);
+    b.bind(else_);
+    b.alui(AluOp::Sub, 20, 20, 1);
+    b.bind(join);
+    b.fp(FpOp::Fmul, 15, 11, 13); // CI FP work on both strided loads
+    b.fp(FpOp::Fadd, 21, 21, 15);
+    epilogue(&mut b, top);
+    Workload { name: "vpr", prog: b.finish(), mem }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfir_emu::Emulator;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec { iters: 500, elems: 256, seed: 42 }
+    }
+
+    #[test]
+    fn bzip2_counts_match_data() {
+        let w = bzip2(spec());
+        let mut zeros = 0u64;
+        for i in 0..500u64 {
+            if w.mem.read(ARRAY_A + (i % 256) * 8) == 0 {
+                zeros += 1;
+            }
+        }
+        let mut e = Emulator::new(w.mem.clone());
+        e.run(&w.prog, 10_000_000);
+        assert!(e.halted);
+        assert_eq!(e.reg(20), zeros, "zero count");
+        assert_eq!(e.reg(21), 500 - zeros, "non-zero count");
+    }
+
+    #[test]
+    fn crafty_counts_cover_all_paths() {
+        let w = crafty(spec());
+        let mut e = Emulator::new(w.mem.clone());
+        e.run(&w.prog, 10_000_000);
+        assert!(e.halted);
+        let total: u64 = (20..=23).map(|r| e.reg(r)).sum();
+        assert_eq!(total, 500, "every iteration takes exactly one path");
+        assert!((20..=23).all(|r| e.reg(r) > 0), "all four paths exercised");
+    }
+
+    #[test]
+    fn gzip_branch_is_biased() {
+        let w = gzip(spec());
+        let mut e = Emulator::new(w.mem.clone());
+        e.run(&w.prog, 10_000_000);
+        let rare = e.reg(21);
+        let common = e.reg(20);
+        assert_eq!(rare + common, 500);
+        assert!(rare < 80, "rare path must be rare: {rare}");
+    }
+
+    #[test]
+    fn perlbmk_dispatch_reaches_all_handlers() {
+        let w = perlbmk(spec());
+        let mut e = Emulator::new(w.mem.clone());
+        e.run(&w.prog, 10_000_000);
+        assert!(e.halted);
+        let total: u64 =
+            (0..4u64).map(|k| e.reg(20 + k as u8) / (k + 1)).sum();
+        assert_eq!(total, 500, "each iteration runs exactly one handler");
+    }
+
+    #[test]
+    fn twolf_writes_output_array() {
+        let w = twolf(spec());
+        let mut e = Emulator::new(w.mem.clone());
+        e.run(&w.prog, 10_000_000);
+        let wrote_c = (0..256).any(|i| e.mem.read(ARRAY_C + i * 8) != 0);
+        assert!(wrote_c, "twolf must store into ARRAY_C");
+    }
+
+    #[test]
+    fn vortex_filters_records() {
+        let w = vortex(spec());
+        let mut e = Emulator::new(w.mem.clone());
+        e.run(&w.prog, 10_000_000);
+        let kept = (0..256).filter(|&i| e.mem.read(OUT + i * 8) != 0).count();
+        assert!(kept > 10, "some records must pass the filter: {kept}");
+        assert!(e.reg(20) > 100, "most records are rejected");
+    }
+
+    #[test]
+    fn vpr_accumulates_fp() {
+        let w = vpr(spec());
+        let mut e = Emulator::new(w.mem.clone());
+        e.run(&w.prog, 10_000_000);
+        let acc = f64::from_bits(e.reg(21));
+        assert!(acc.is_finite() && acc > 0.0, "fp accumulator = {acc}");
+    }
+
+    #[test]
+    fn eon_fp_work_is_finite() {
+        let w = eon(spec());
+        let mut e = Emulator::new(w.mem.clone());
+        e.run(&w.prog, 10_000_000);
+        let acc = f64::from_bits(e.reg(21));
+        assert!(acc.is_finite() && acc > 0.0);
+    }
+
+    #[test]
+    fn mcf_chase_visits_every_node() {
+        let w = mcf(spec());
+        let nodes = 256 / 2; // elems/2 nodes (see the kernel's sizing note)
+        let mut p = ARRAY_A;
+        let mut count = 0;
+        loop {
+            p = w.mem.read(p);
+            count += 1;
+            if p == ARRAY_A {
+                break;
+            }
+            assert!(count <= nodes, "cycle longer than the node count");
+        }
+        assert_eq!(count, nodes, "the list must be one full cycle");
+    }
+
+    #[test]
+    fn gap_divides_without_trapping() {
+        let w = gap(spec());
+        let mut e = Emulator::new(w.mem.clone());
+        e.run(&w.prog, 10_000_000);
+        assert!(e.halted);
+        assert!(e.reg(22) > 0);
+    }
+
+    #[test]
+    fn parser_alternating_counts_half() {
+        let w = parser(spec());
+        let mut e = Emulator::new(w.mem.clone());
+        e.run(&w.prog, 10_000_000);
+        assert_eq!(e.reg(20), 250, "alternating branch fires every other iter");
+    }
+
+    #[test]
+    fn gcc_ladder_covers_paths() {
+        let w = gcc(spec());
+        let mut e = Emulator::new(w.mem.clone());
+        e.run(&w.prog, 10_000_000);
+        assert!(e.halted);
+        // At least three of the four ladder outcomes must be hit.
+        let hit = (20..=23).filter(|&r| e.reg(r) != 0).count();
+        assert!(hit >= 3, "ladder outcomes hit: {hit}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Verify each kernel's *documented* branch and memory character by
+//! measuring it on the functional emulator — the table in the crate
+//! docs is a contract, not an aspiration.
+
+use cfir_emu::Emulator;
+use cfir_workloads::{by_name, WorkloadSpec};
+use std::collections::HashMap;
+
+struct Character {
+    /// Per static branch: (taken, total), keyed by pc.
+    branches: HashMap<u32, (u64, u64)>,
+    /// Distinct load addresses in order, keyed by pc.
+    load_strides: HashMap<u32, Vec<u64>>,
+}
+
+fn measure(name: &str) -> Character {
+    let w = by_name(name, WorkloadSpec { iters: 2000, elems: 1024, seed: 0x77 }).unwrap();
+    let mut emu = Emulator::new(w.mem.clone());
+    let mut ch = Character { branches: HashMap::new(), load_strides: HashMap::new() };
+    while let Some(r) = emu.step(&w.prog) {
+        if r.inst.is_cond_branch() {
+            let e = ch.branches.entry(r.pc).or_insert((0, 0));
+            e.0 += r.taken as u64;
+            e.1 += 1;
+        }
+        if r.inst.is_load() {
+            if let Some(a) = r.addr {
+                let v = ch.load_strides.entry(r.pc).or_default();
+                if v.len() < 64 {
+                    v.push(a);
+                }
+            }
+        }
+        if emu.halted {
+            break;
+        }
+    }
+    ch
+}
+
+/// Taken rate of the most-executed *non-loop* branch (the hammock).
+fn hammock_rate(ch: &Character) -> f64 {
+    // The loop branch has the highest taken rate and executes every
+    // iteration; hammocks execute as often but with mixed outcomes.
+    let (taken, total) = ch
+        .branches
+        .values()
+        .filter(|(t, n)| *n >= 500 && (*t as f64) < 0.98 * *n as f64)
+        .max_by_key(|(_, n)| *n)
+        .copied()
+        .expect("a data-dependent branch must exist");
+    taken as f64 / total as f64
+}
+
+fn is_strided(addrs: &[u64]) -> bool {
+    if addrs.len() < 8 {
+        return false;
+    }
+    let stride = addrs[1].wrapping_sub(addrs[0]);
+    addrs.windows(2).take(32).all(|w| w[1].wrapping_sub(w[0]) == stride)
+}
+
+#[test]
+fn bzip2_hammock_is_balanced() {
+    let ch = measure("bzip2");
+    let r = hammock_rate(&ch);
+    assert!((0.35..=0.65).contains(&r), "bzip2 hammock taken rate {r:.2}");
+}
+
+#[test]
+fn gzip_branch_is_heavily_biased() {
+    let ch = measure("gzip");
+    // Look at *all* hammock-class branches: the common path dominates.
+    let (mut best_rate, mut best_n) = (0.5, 0);
+    for &(t, n) in ch.branches.values() {
+        if n >= 500 {
+            let r = t as f64 / n as f64;
+            let bias = r.max(1.0 - r);
+            if n > best_n && bias > 0.8 {
+                best_rate = r;
+                best_n = n;
+            }
+        }
+    }
+    assert!(best_n > 0, "gzip must have a biased high-frequency branch");
+    let bias = best_rate.max(1.0 - best_rate);
+    assert!(bias > 0.85, "gzip bias {bias:.2}");
+}
+
+#[test]
+fn parser_has_a_perfect_alternator() {
+    let ch = measure("parser");
+    // One branch alternates exactly: taken rate 0.5 with zero variance
+    // is hard to test directly; check a branch sits in [0.49, 0.51].
+    let close = ch
+        .branches
+        .values()
+        .filter(|(_, n)| *n >= 1000)
+        .any(|&(t, n)| {
+            let r = t as f64 / n as f64;
+            (r - 0.5).abs() < 0.01
+        });
+    assert!(close, "parser's iteration-parity branch alternates");
+}
+
+#[test]
+fn mcf_loads_never_stride() {
+    let ch = measure("mcf");
+    for (pc, addrs) in &ch.load_strides {
+        assert!(
+            !is_strided(addrs),
+            "mcf load at pc {pc} must not be strided (pointer chase)"
+        );
+    }
+}
+
+#[test]
+fn bzip2_and_gzip_loads_stride() {
+    for name in ["bzip2", "gzip"] {
+        let ch = measure(name);
+        let any_strided = ch.load_strides.values().any(|a| is_strided(a));
+        assert!(any_strided, "{name}: the stream load must be strided");
+    }
+}
+
+#[test]
+fn vortex_records_stride_by_32() {
+    let ch = measure("vortex");
+    let strided32 = ch.load_strides.values().any(|a| {
+        a.len() >= 8 && a.windows(2).take(16).all(|w| w[1].wrapping_sub(w[0]) == 32)
+    });
+    assert!(strided32, "vortex records are 32 bytes apart");
+}
+
+#[test]
+fn crafty_ladder_visits_multiple_outcomes() {
+    let ch = measure("crafty");
+    // At least two mixed-outcome branches (the nested hammock levels).
+    let mixed = ch
+        .branches
+        .values()
+        .filter(|&&(t, n)| n >= 500 && t > n / 10 && t < n * 9 / 10)
+        .count();
+    assert!(mixed >= 2, "crafty nested hammocks: {mixed} mixed branches");
+}
+
+#[test]
+fn every_kernel_loops_mostly_taken() {
+    for name in cfir_workloads::NAMES {
+        let ch = measure(name);
+        let loopish = ch
+            .branches
+            .values()
+            .any(|&(t, n)| n >= 1000 && t as f64 > 0.95 * n as f64);
+        assert!(loopish, "{name}: a loop-closing branch must dominate");
+    }
+}

@@ -1,0 +1,54 @@
+//! Branchy reduction — run the full synthetic SpecInt-like suite in
+//! every machine mode and print a per-benchmark IPC table plus the
+//! suite harmonic means (the format of the paper's per-benchmark
+//! figures).
+//!
+//! ```sh
+//! cargo run --release --example branchy_reduction
+//! ```
+//!
+//! Environment knobs: `CFIR_EX_INSTS` (committed instructions per run,
+//! default 100_000).
+
+use cfir::prelude::*;
+
+fn main() {
+    let insts: u64 = std::env::var("CFIR_EX_INSTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let modes = [Mode::Scalar, Mode::WideBus, Mode::CiIw, Mode::Ci, Mode::Vect];
+
+    println!("{:10} {:>8} {:>8} {:>8} {:>8} {:>8}", "bench", "scal", "wb", "ci-iw", "ci", "vect");
+    println!("{}", "-".repeat(56));
+
+    let mut per_mode: Vec<Vec<f64>> = vec![Vec::new(); modes.len()];
+    for w in suite(WorkloadSpec::default()) {
+        let mut row = format!("{:10}", w.name);
+        for (mi, mode) in modes.into_iter().enumerate() {
+            let cfg = SimConfig::paper_baseline()
+                .with_mode(mode)
+                .with_regs(RegFileSize::Finite(512))
+                .with_max_insts(insts);
+            let mut pipe = Pipeline::new(&w.prog, w.mem.clone(), cfg);
+            pipe.run();
+            let ipc = pipe.stats.ipc();
+            per_mode[mi].push(ipc);
+            row.push_str(&format!(" {ipc:8.3}"));
+        }
+        println!("{row}");
+    }
+    println!("{}", "-".repeat(56));
+    let mut hm_row = format!("{:10}", "HMEAN");
+    for ipcs in &per_mode {
+        hm_row.push_str(&format!(" {:8.3}", harmonic_mean(ipcs)));
+    }
+    println!("{hm_row}");
+
+    let base = harmonic_mean(&per_mode[1]);
+    let ci = harmonic_mean(&per_mode[3]);
+    println!(
+        "\nci over wide-bus baseline: {:+.1}% (the paper reports +14 .. +17.8%)",
+        (ci / base - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,79 @@
+//! Design-space walk — explore the mechanism's main knobs on one
+//! benchmark: replicas per instruction, register-file size, and the
+//! speculative data memory, printing a compact design-space table.
+//!
+//! ```sh
+//! cargo run --release --example design_space [benchmark]
+//! ```
+
+use cfir::prelude::*;
+
+fn run(w: &Workload, cfg: SimConfig) -> SimStats {
+    let mut pipe = Pipeline::new(&w.prog, w.mem.clone(), cfg);
+    pipe.run();
+    pipe.stats.clone()
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "crafty".into());
+    let insts = 80_000u64;
+    let w = by_name(&name, WorkloadSpec::default()).expect("unknown benchmark");
+
+    println!("benchmark: {name} ({insts} committed instructions per point)\n");
+
+    // 1. Replicas per vectorized instruction (Figure 11's knob).
+    println!("replicas   IPC     reuse%   replicas-executed");
+    for r in [1u8, 2, 4, 8] {
+        let cfg = SimConfig::paper_baseline()
+            .with_mode(Mode::Ci)
+            .with_regs(RegFileSize::Finite(512))
+            .with_replicas(r)
+            .with_max_insts(insts);
+        let s = run(&w, cfg);
+        println!(
+            "{:8} {:7.3} {:8.1} {:>14}",
+            r,
+            s.ipc(),
+            s.reuse_fraction() * 100.0,
+            s.replicas_executed
+        );
+    }
+
+    // 2. Register-file size (Figures 9/11's x-axis).
+    println!("\nregisters  base IPC  ci IPC   gain");
+    for regs in [128u32, 256, 512, 768] {
+        let base = run(
+            &w,
+            SimConfig::paper_baseline()
+                .with_mode(Mode::WideBus)
+                .with_regs(RegFileSize::Finite(regs))
+                .with_max_insts(insts),
+        );
+        let ci = run(
+            &w,
+            SimConfig::paper_baseline()
+                .with_mode(Mode::Ci)
+                .with_regs(RegFileSize::Finite(regs))
+                .with_max_insts(insts),
+        );
+        println!(
+            "{:9} {:9.3} {:7.3} {:+6.1}%",
+            regs,
+            base.ipc(),
+            ci.ipc(),
+            (ci.ipc() / base.ipc() - 1.0) * 100.0
+        );
+    }
+
+    // 3. Speculative data memory instead of scalar registers (§2.4.6).
+    println!("\nspec-mem   IPC     (256-register file, ci-h-N of Figure 13)");
+    for positions in [128usize, 256, 512, 768] {
+        let mut cfg = SimConfig::paper_baseline()
+            .with_mode(Mode::Ci)
+            .with_regs(RegFileSize::Finite(256))
+            .with_max_insts(insts);
+        cfg.mech = cfir::core::MechConfig::paper_with_specmem(positions);
+        let s = run(&w, cfg);
+        println!("{:8} {:7.3}", positions, s.ipc());
+    }
+}

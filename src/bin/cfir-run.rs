@@ -1,0 +1,225 @@
+//! `cfir-run` — assemble a program and run it on the emulator or the
+//! out-of-order core, from the command line.
+//!
+//! ```sh
+//! cargo run --release --bin cfir-run -- prog.asm --mode ci --insts 100000
+//! cargo run --release --bin cfir-run -- prog.asm --emu --trace 20
+//! ```
+//!
+//! Options:
+//!
+//! * `--mode scal|wb|ci-iw|ci|vect` — machine variant (default `ci`);
+//! * `--emu` — run the functional emulator instead of the OOO core;
+//! * `--insts N` — committed-instruction budget (default: run to halt);
+//! * `--regs N|inf` — physical register file size (default 512);
+//! * `--ports N` — L1D ports (default 1);
+//! * `--replicas N` — replicas per vectorized instruction (default 4);
+//! * `--trace N` — print the last N committed instructions;
+//! * `--pipeview N` — print per-cycle pipeline occupancy for the first
+//!   N cycles;
+//! * `--data ADDR=VALUE,...` — pre-initialise data memory words;
+//! * `--dump ADDR..ADDR` — print a memory range after the run.
+
+use cfir::prelude::*;
+use std::process::exit;
+
+struct Args {
+    path: String,
+    mode: Mode,
+    emu: bool,
+    insts: u64,
+    regs: RegFileSize,
+    ports: u32,
+    replicas: u8,
+    trace: usize,
+    pipeview: u64,
+    data: Vec<(u64, u64)>,
+    dump: Option<(u64, u64)>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cfir-run <prog.asm> [--mode scal|wb|ci-iw|ci|vect] [--emu] [--insts N]\n\
+         \x20             [--regs N|inf] [--ports N] [--replicas N] [--trace N] [--pipeview N]\n\
+         \x20             [--data ADDR=VAL,...] [--dump LO..HI]"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        path: String::new(),
+        mode: Mode::Ci,
+        emu: false,
+        insts: u64::MAX >> 1,
+        regs: RegFileSize::Finite(512),
+        ports: 1,
+        replicas: 4,
+        trace: 0,
+        pipeview: 0,
+        data: Vec::new(),
+        dump: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--mode" => {
+                a.mode = it
+                    .next()
+                    .as_deref()
+                    .and_then(Mode::from_label)
+                    .unwrap_or_else(|| usage())
+            }
+            "--emu" => a.emu = true,
+            "--insts" => a.insts = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--regs" => {
+                a.regs = match it.next().as_deref() {
+                    Some("inf") => RegFileSize::Infinite,
+                    Some(n) => RegFileSize::Finite(n.parse().unwrap_or_else(|_| usage())),
+                    None => usage(),
+                }
+            }
+            "--ports" => a.ports = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--replicas" => {
+                a.replicas = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--trace" => a.trace = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--pipeview" => {
+                a.pipeview = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--data" => {
+                for kv in it.next().unwrap_or_else(|| usage()).split(',') {
+                    let (k, v) = kv.split_once('=').unwrap_or_else(|| usage());
+                    a.data.push((
+                        parse_num(k).unwrap_or_else(|| usage()),
+                        parse_num(v).unwrap_or_else(|| usage()),
+                    ));
+                }
+            }
+            "--dump" => {
+                let r = it.next().unwrap_or_else(|| usage());
+                let (lo, hi) = r.split_once("..").unwrap_or_else(|| usage());
+                a.dump = Some((
+                    parse_num(lo).unwrap_or_else(|| usage()),
+                    parse_num(hi).unwrap_or_else(|| usage()),
+                ));
+            }
+            _ if a.path.is_empty() && !arg.starts_with('-') => a.path = arg,
+            _ => usage(),
+        }
+    }
+    if a.path.is_empty() {
+        usage()
+    }
+    a
+}
+
+fn parse_num(s: &str) -> Option<u64> {
+    if let Some(h) = s.strip_prefix("0x") {
+        u64::from_str_radix(h, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn main() {
+    let a = parse_args();
+    let src = std::fs::read_to_string(&a.path).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {e}", a.path);
+        exit(1)
+    });
+    let prog = match cfir::isa::assemble(&a.path, &src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            exit(1)
+        }
+    };
+    let mut mem = MemImage::new();
+    for (addr, val) in &a.data {
+        mem.write(*addr, *val);
+    }
+
+    if a.emu {
+        let mut emu = Emulator::new(mem);
+        let stop = emu.run(&prog, a.insts);
+        println!("emulator: {stop:?} after {} instructions", emu.retired);
+        print_regs(|r| emu.reg(r));
+        if let Some((lo, hi)) = a.dump {
+            dump(&emu.mem, lo, hi);
+        }
+        return;
+    }
+
+    let cfg = SimConfig::paper_baseline()
+        .with_mode(a.mode)
+        .with_regs(a.regs)
+        .with_dports(a.ports)
+        .with_replicas(a.replicas)
+        .with_max_insts(a.insts);
+    let mut pipe = Pipeline::new(&prog, mem, cfg);
+    if a.trace > 0 {
+        pipe.enable_commit_log(a.trace);
+    }
+    if a.pipeview > 0 {
+        println!("cycle  fetch-pc  decq  rob(done)  lsq  regs  replicas  srsmt  committed");
+        for _ in 0..a.pipeview {
+            pipe.step();
+            let s = pipe.snapshot();
+            println!(
+                "{:5}  {:8}  {:4}  {:4}({:3})  {:3}  {:4}  {:8}  {:5}  {:9}",
+                s.cycle, s.fetch_pc, s.decode_q, s.rob, s.rob_done, s.lsq, s.regs_in_use,
+                s.replicas_in_flight, s.srsmt_entries, s.committed
+            );
+        }
+        println!();
+    }
+    let exit_reason = pipe.run();
+    let s = &pipe.stats;
+    println!(
+        "{}: {exit_reason:?}  committed={} cycles={} IPC={:.3} mispredict={:.1}% reuse={:.1}%",
+        a.mode.label(),
+        s.committed,
+        s.cycles,
+        s.ipc(),
+        s.mispredict_rate() * 100.0,
+        s.reuse_fraction() * 100.0,
+    );
+    print_regs(|r| pipe.arch_reg(r));
+    if a.trace > 0 {
+        println!("\nlast {} commits:", a.trace);
+        for c in pipe.commit_log() {
+            println!(
+                "  [{:>8}] seq {:>8} pc {:>5} {:28} = {:#x}{}",
+                c.cycle,
+                c.seq,
+                c.pc,
+                c.inst.to_string(),
+                c.value,
+                if c.reused { "  (reused)" } else { "" }
+            );
+        }
+    }
+    if let Some((lo, hi)) = a.dump {
+        dump(pipe.memory(), lo, hi);
+    }
+}
+
+fn print_regs(read: impl Fn(u8) -> u64) {
+    println!("non-zero registers:");
+    for r in 1..64u8 {
+        let v = read(r);
+        if v != 0 {
+            println!("  r{r:<2} = {v:#x} ({v})");
+        }
+    }
+}
+
+fn dump(mem: &MemImage, lo: u64, hi: u64) {
+    println!("memory [{lo:#x}..{hi:#x}):");
+    let mut a = lo & !7;
+    while a < hi {
+        println!("  {a:#08x}: {:#018x}", mem.read(a));
+        a += 8;
+    }
+}

@@ -1,0 +1,124 @@
+//! Co-simulation across the whole suite: every synthetic benchmark runs
+//! on the out-of-order core in every machine mode with the golden-model
+//! check enabled at every commit. Any speculation bug — wrong-path
+//! leakage, bad reuse, forwarding error — fails loudly here.
+
+use cfir::prelude::*;
+
+fn cfg(mode: Mode) -> SimConfig {
+    let mut c = SimConfig::paper_baseline()
+        .with_mode(mode)
+        .with_regs(RegFileSize::Finite(512))
+        .with_max_insts(25_000);
+    c.cosim_check = true;
+    c
+}
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec { iters: 1 << 30, elems: 1024, seed: 0xABCD }
+}
+
+#[test]
+fn every_benchmark_cosims_in_every_mode() {
+    for w in suite(spec()) {
+        for mode in [Mode::Scalar, Mode::WideBus, Mode::CiIw, Mode::Ci, Mode::Vect] {
+            let mut pipe = Pipeline::new(&w.prog, w.mem.clone(), cfg(mode));
+            let exit = pipe.run();
+            assert_eq!(
+                exit,
+                RunExit::InstBudget,
+                "{} in {mode:?} must run to the instruction budget",
+                w.name
+            );
+            assert!(
+                pipe.stats.ipc() > 0.01,
+                "{} in {mode:?}: implausible IPC {}",
+                w.name,
+                pipe.stats.ipc()
+            );
+        }
+    }
+}
+
+#[test]
+fn architectural_results_identical_across_modes() {
+    // Run each benchmark to completion (small iteration count) in every
+    // mode and compare the full architectural register file against the
+    // emulator's.
+    let spec = WorkloadSpec { iters: 400, elems: 256, seed: 0x5EED };
+    for w in suite(spec) {
+        let mut emu = Emulator::new(w.mem.clone());
+        emu.run(&w.prog, 50_000_000);
+        assert!(emu.halted, "{}: emulator must halt", w.name);
+        for mode in [Mode::Scalar, Mode::WideBus, Mode::CiIw, Mode::Ci, Mode::Vect] {
+            let mut c = cfg(mode).with_max_insts(u64::MAX >> 1);
+            c.cosim_check = true;
+            let mut pipe = Pipeline::new(&w.prog, w.mem.clone(), c);
+            assert_eq!(pipe.run(), RunExit::Halted, "{} in {mode:?}", w.name);
+            for r in 0..64u8 {
+                assert_eq!(
+                    pipe.arch_reg(r),
+                    emu.reg(r),
+                    "{} in {mode:?}: r{r} diverged",
+                    w.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn unbounded_register_file_runs() {
+    let w = by_name("crafty", spec()).unwrap();
+    let mut c = SimConfig::paper_baseline()
+        .with_mode(Mode::Ci)
+        .with_regs(RegFileSize::Infinite)
+        .with_max_insts(20_000);
+    c.cosim_check = true;
+    let mut pipe = Pipeline::new(&w.prog, w.mem.clone(), c);
+    assert_eq!(pipe.run(), RunExit::InstBudget);
+    assert!(pipe.stats.reg_high_water > 64);
+}
+
+#[test]
+fn smallest_register_file_runs_under_pressure() {
+    // 128 physical registers with a 256-entry window: rename starves,
+    // and in ci mode replicas compete for the same registers. Must stay
+    // correct (the paper's 128-register points in Figures 9/11/13).
+    for mode in [Mode::WideBus, Mode::Ci] {
+        let w = by_name("bzip2", spec()).unwrap();
+        let mut c = SimConfig::paper_baseline()
+            .with_mode(mode)
+            .with_regs(RegFileSize::Finite(128))
+            .with_max_insts(15_000);
+        c.cosim_check = true;
+        let mut pipe = Pipeline::new(&w.prog, w.mem.clone(), c);
+        assert_eq!(pipe.run(), RunExit::InstBudget, "{mode:?}");
+    }
+}
+
+#[test]
+fn speculative_data_memory_mode_cosims() {
+    for positions in [128usize, 768] {
+        let w = by_name("parser", spec()).unwrap();
+        let mut c = SimConfig::paper_baseline()
+            .with_mode(Mode::Ci)
+            .with_regs(RegFileSize::Finite(256))
+            .with_max_insts(20_000);
+        c.mech = cfir::core::MechConfig::paper_with_specmem(positions);
+        c.cosim_check = true;
+        let mut pipe = Pipeline::new(&w.prog, w.mem.clone(), c);
+        assert_eq!(pipe.run(), RunExit::InstBudget, "ci-h-{positions}");
+    }
+}
+
+#[test]
+fn replica_count_sweep_cosims() {
+    for reps in [1u8, 2, 4, 8] {
+        let w = by_name("twolf", spec()).unwrap();
+        let mut c = cfg(Mode::Ci).with_replicas(reps).with_max_insts(20_000);
+        c.cosim_check = true;
+        let mut pipe = Pipeline::new(&w.prog, w.mem.clone(), c);
+        assert_eq!(pipe.run(), RunExit::InstBudget, "{reps} replicas");
+    }
+}

@@ -1,0 +1,105 @@
+//! Co-simulation and behaviour checks for the *parametric* workload
+//! generator (`cfir_workloads::custom`) across its axes — the same
+//! guarantees the named suite gets.
+
+use cfir::prelude::*;
+use cfir_workloads::custom::{build, CustomParams};
+
+fn run(params: CustomParams, mode: Mode) -> (Pipeline<'static>, Emulator) {
+    let spec = WorkloadSpec { iters: 1200, elems: 1024, seed: 0x1234 };
+    let w = build(params, spec);
+    let prog: &'static cfir_isa::Program = Box::leak(Box::new(w.prog));
+    let mut emu = Emulator::new(w.mem.clone());
+    emu.run(prog, 50_000_000);
+    assert!(emu.halted);
+    let mut cfg = SimConfig::paper_baseline()
+        .with_mode(mode)
+        .with_regs(RegFileSize::Finite(512))
+        .with_max_insts(u64::MAX >> 1);
+    cfg.cosim_check = true;
+    let mut pipe = Pipeline::new(prog, w.mem.clone(), cfg);
+    assert_eq!(pipe.run(), RunExit::Halted);
+    (pipe, emu)
+}
+
+#[test]
+fn every_axis_combination_cosims_under_ci() {
+    for taken in [10u32, 50, 90] {
+        for strided in [0u32, 1, 2] {
+            for irregular in [0u32, 1] {
+                let p = CustomParams {
+                    taken_percent: taken,
+                    strided_loads: strided,
+                    irregular_loads: irregular,
+                    ci_tail: 3,
+                    store_shift: None,
+                };
+                let (pipe, emu) = run(p, Mode::Ci);
+                for r in 0..64u8 {
+                    assert_eq!(
+                        pipe.arch_reg(r),
+                        emu.reg(r),
+                        "taken={taken} strided={strided} irregular={irregular} r{r}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reuse_tracks_the_strided_axis() {
+    // With no strided loads, the vectorizer has nothing to chew on;
+    // with one, it engages.
+    let none = run(
+        CustomParams { strided_loads: 0, taken_percent: 50, ..Default::default() },
+        Mode::Ci,
+    )
+    .0;
+    let one = run(
+        CustomParams { strided_loads: 1, taken_percent: 50, ..Default::default() },
+        Mode::Ci,
+    )
+    .0;
+    assert!(
+        one.stats.committed_reuse > none.stats.committed_reuse,
+        "strided {} vs none {}",
+        one.stats.committed_reuse,
+        none.stats.committed_reuse
+    );
+}
+
+#[test]
+fn coherence_store_axis_cosims() {
+    let p = CustomParams { store_shift: Some(3), ..Default::default() };
+    let (pipe, emu) = run(p, Mode::Ci);
+    for r in 0..64u8 {
+        assert_eq!(pipe.arch_reg(r), emu.reg(r), "r{r}");
+    }
+    assert!(pipe.stats.stores > 0);
+}
+
+#[test]
+fn ci_tail_lengthens_the_reusable_region() {
+    let short = run(
+        CustomParams { ci_tail: 1, taken_percent: 50, ..Default::default() },
+        Mode::Ci,
+    )
+    .0;
+    let long = run(
+        CustomParams { ci_tail: 8, taken_percent: 50, ..Default::default() },
+        Mode::Ci,
+    )
+    .0;
+    // More CI work per iteration means more vectorization *attempts*.
+    // (Reuse itself need not rise: the rotating tail reuses the same
+    // destination registers, so the extra entries also contend.)
+    assert!(
+        long.stats.vectorizations >= short.stats.vectorizations,
+        "long {} vs short {}",
+        long.stats.vectorizations,
+        short.stats.vectorizations
+    );
+    assert!(short.stats.committed_reuse > 0);
+    assert!(long.stats.committed_reuse > 0);
+}

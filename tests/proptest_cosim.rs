@@ -1,0 +1,217 @@
+//! Property-based co-simulation: randomly generated (terminating)
+//! programs must produce the same architectural state on the golden
+//! emulator and on the out-of-order core in every machine mode —
+//! including with the full CI/DV mechanism speculating over them.
+
+use cfir::prelude::*;
+use cfir_isa::{AluOp, Cond};
+use proptest::prelude::*;
+
+const DATA_BASE: i64 = 0x2_0000;
+const OUT_BASE: i64 = 0x8_0000;
+const DATA_MASK: i64 = 0x3FF; // 128 words
+
+/// One step of the random loop body.
+#[derive(Debug, Clone)]
+enum BodyOp {
+    Alu(AluOp, u8, u8, u8),
+    AluImm(AluOp, u8, u8, i8),
+    LoadStrided(u8),
+    LoadIndexed(u8, u8),
+    Store(u8),
+    Hammock(Cond, u8, u8),
+    Accumulate(u8, u8),
+}
+
+fn reg() -> impl Strategy<Value = u8> {
+    // Work registers r10..r25; the harness owns r1..r9.
+    (10u8..=25).prop_map(|r| r)
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Sll),
+        Just(AluOp::Srl),
+        Just(AluOp::Slt),
+        Just(AluOp::Div),
+    ]
+}
+
+fn cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Eq),
+        Just(Cond::Ne),
+        Just(Cond::Lt),
+        Just(Cond::Ge),
+    ]
+}
+
+fn body_op() -> impl Strategy<Value = BodyOp> {
+    prop_oneof![
+        (alu_op(), reg(), reg(), reg()).prop_map(|(o, a, b, c)| BodyOp::Alu(o, a, b, c)),
+        (alu_op(), reg(), reg(), any::<i8>()).prop_map(|(o, a, b, i)| BodyOp::AluImm(o, a, b, i)),
+        reg().prop_map(BodyOp::LoadStrided),
+        (reg(), reg()).prop_map(|(d, i)| BodyOp::LoadIndexed(d, i)),
+        reg().prop_map(BodyOp::Store),
+        (cond(), reg(), reg()).prop_map(|(c, a, b)| BodyOp::Hammock(c, a, b)),
+        (reg(), reg()).prop_map(|(a, b)| BodyOp::Accumulate(a, b)),
+    ]
+}
+
+/// Build a terminating program: `iters` iterations of a random body
+/// over a masked index, then halt. Register conventions: r1 = iteration
+/// counter, r2 = limit, r3 = mask, r4 = data base, r5 = out base,
+/// r6 = byte offset of the strided cursor.
+fn build(ops: &[BodyOp], iters: u16) -> Program {
+    let mut b = ProgramBuilder::new("prop");
+    b.li(1, 0);
+    b.li(2, iters as i64);
+    b.li(3, DATA_MASK);
+    b.li(4, DATA_BASE);
+    b.li(5, OUT_BASE);
+    b.li(6, 0);
+    let top = b.label_here();
+    // Strided cursor: r7 = data_base + (r6 & mask)
+    b.alu(AluOp::And, 7, 6, 3);
+    b.alu(AluOp::Add, 7, 7, 4);
+    for op in ops {
+        match *op {
+            BodyOp::Alu(o, d, s1, s2) => {
+                b.alu(o, d, s1, s2);
+            }
+            BodyOp::AluImm(o, d, s, imm) => {
+                b.alui(o, d, s, imm as i64);
+            }
+            BodyOp::LoadStrided(d) => {
+                b.ld(d, 7, 0);
+            }
+            BodyOp::LoadIndexed(d, idx) => {
+                // r8 = base + ((idx*8) & mask): arbitrary but in-bounds.
+                b.alui(AluOp::Mul, 8, idx, 8);
+                b.alu(AluOp::And, 8, 8, 3);
+                b.alu(AluOp::Add, 8, 8, 4);
+                b.ld(d, 8, 0);
+            }
+            BodyOp::Store(s) => {
+                // Store to the OUT region, strided by iteration.
+                b.alui(AluOp::Mul, 8, 1, 8);
+                b.alui(AluOp::And, 8, 8, 0xFFF);
+                b.alu(AluOp::Add, 8, 8, 5);
+                b.st(s, 8, 0);
+            }
+            BodyOp::Hammock(c, a, x) => {
+                let else_ = b.label();
+                let join = b.label();
+                b.br(c, a, x, else_);
+                b.alui(AluOp::Add, 9, 9, 1);
+                b.jmp(join);
+                b.bind(else_);
+                b.alui(AluOp::Xor, 9, 9, 3);
+                b.bind(join);
+            }
+            BodyOp::Accumulate(d, s) => {
+                b.alu(AluOp::Add, d, d, s);
+            }
+        }
+    }
+    b.alui(AluOp::Add, 6, 6, 8);
+    b.alui(AluOp::Add, 1, 1, 1);
+    b.br(Cond::Lt, 1, 2, top);
+    b.halt();
+    b.finish()
+}
+
+fn data_mem(seed: u64) -> MemImage {
+    let mut mem = MemImage::new();
+    let mut x = seed | 1;
+    for i in 0..128u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        mem.write(DATA_BASE as u64 + i * 8, x & 0xFF);
+    }
+    mem
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_programs_cosim_in_every_mode(
+        ops in prop::collection::vec(body_op(), 1..12),
+        iters in 16u16..150,
+        seed in any::<u64>(),
+    ) {
+        let prog = build(&ops, iters);
+        let mem = data_mem(seed);
+
+        let mut emu = Emulator::new(mem.clone());
+        emu.run(&prog, 10_000_000);
+        prop_assert!(emu.halted, "generated program must halt");
+
+        for mode in [Mode::Scalar, Mode::Ci, Mode::Vect] {
+            let mut cfg = SimConfig::paper_baseline()
+                .with_mode(mode)
+                .with_regs(RegFileSize::Finite(256))
+                .with_max_insts(u64::MAX >> 1);
+            cfg.cosim_check = true; // the oracle panics on any divergence
+            let mut pipe = Pipeline::new(&prog, mem.clone(), cfg);
+            prop_assert_eq!(pipe.run(), RunExit::Halted);
+            for r in 0..64u8 {
+                prop_assert_eq!(pipe.arch_reg(r), emu.reg(r), "r{} in {:?}", r, mode);
+            }
+            // Committed memory must match too (stores).
+            for i in 0..64u64 {
+                let a = OUT_BASE as u64 + i * 8;
+                prop_assert_eq!(pipe.memory().read(a), emu.mem.read(a));
+            }
+        }
+    }
+
+    #[test]
+    fn stride_predictor_never_lies_about_trust(
+        addrs in prop::collection::vec(0u64..1_000_000, 2..100),
+    ) {
+        // After any observation sequence, a trusted prediction must be
+        // consistent with the recorded last address and stride.
+        let mut sp = cfir::predict::StridePredictor::paper();
+        for &a in &addrs {
+            sp.observe(0x40, a);
+        }
+        if let Some(e) = sp.lookup(0x40) {
+            if e.trusted() {
+                prop_assert_eq!(e.predict(0), e.last_addr);
+                prop_assert_eq!(e.predict(2), e.last_addr.wrapping_add((e.stride as u64).wrapping_mul(2)));
+            }
+            prop_assert_eq!(e.last_addr, *addrs.last().unwrap());
+        }
+    }
+
+    #[test]
+    fn write_masks_cover_every_written_register(
+        dests in prop::collection::vec(1u8..64, 1..40),
+    ) {
+        // The NRBQ/CRP mask discipline: after writes, every written
+        // register must test non-CI and untouched ones CI.
+        let mut crp = cfir::core::Crp::new();
+        crp.activate(0, 0, 0);
+        crp.on_fetch(0);
+        for &d in &dests {
+            crp.on_dest_write(d, false);
+        }
+        for &d in &dests {
+            prop_assert!(!crp.is_control_independent([Some(d), None]));
+        }
+        for r in 1u8..64 {
+            if !dests.contains(&r) {
+                prop_assert!(crp.is_control_independent([Some(r), None]));
+            }
+        }
+    }
+}
