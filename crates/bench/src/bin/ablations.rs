@@ -16,7 +16,10 @@ use cfir_bench::{runner, Table};
 use cfir_sim::{harmonic_mean, Mode, RegFileSize, SimConfig};
 
 fn hmean_ipc(cfg: &SimConfig) -> f64 {
-    let ipcs: Vec<f64> = runner::run_mode(cfg, "abl").iter().map(|r| r.stats.ipc()).collect();
+    let ipcs: Vec<f64> = runner::run_mode(cfg, "abl")
+        .iter()
+        .map(|r| r.stats.ipc())
+        .collect();
     harmonic_mean(&ipcs)
 }
 
@@ -27,10 +30,16 @@ fn main() {
     t.row(vec!["gated (paper)".into(), f3(hmean_ipc(&base))]);
     let mut un = base.clone();
     un.mech.mbs_gating = false;
-    t.row(vec!["ungated (every mispredict)".into(), f3(hmean_ipc(&un))]);
+    t.row(vec![
+        "ungated (every mispredict)".into(),
+        f3(hmean_ipc(&un)),
+    ]);
     cfir_bench::write_csv(&t, "abl_gating");
 
-    let mut t = Table::new("Ablation: re-convergence heuristics", &["variant", "HM IPC"]);
+    let mut t = Table::new(
+        "Ablation: re-convergence heuristics",
+        &["variant", "HM IPC"],
+    );
     t.row(vec!["full Fig-2 heuristics".into(), f3(hmean_ipc(&base))]);
     let mut naive = base.clone();
     naive.mech.full_rcp_heuristic = false;
@@ -44,7 +53,11 @@ fn main() {
     for thr in [1u8, 2, 4, u8::MAX] {
         let mut c = runner::config(Mode::Ci, 1, RegFileSize::Finite(256));
         c.mech.daec_threshold = thr;
-        let label = if thr == u8::MAX { "off".to_string() } else { thr.to_string() };
+        let label = if thr == u8::MAX {
+            "off".to_string()
+        } else {
+            thr.to_string()
+        };
         t.row(vec![label, f3(hmean_ipc(&c))]);
     }
     cfir_bench::write_csv(&t, "abl_daec");
@@ -92,7 +105,11 @@ fn main() {
     for thr in [4u8, 8, u8::MAX] {
         let mut c = base.clone();
         c.mech.misspec_blacklist = thr;
-        let label = if thr == u8::MAX { "off (default)".to_string() } else { thr.to_string() };
+        let label = if thr == u8::MAX {
+            "off (default)".to_string()
+        } else {
+            thr.to_string()
+        };
         t.row(vec![label, f3(hmean_ipc(&c))]);
     }
     cfir_bench::write_csv(&t, "abl_blacklist");

@@ -20,7 +20,10 @@ fn main() {
     let mut perf = Vec::new();
     for (name, spec) in runner::suite_specs() {
         let w = by_name(name, spec).unwrap();
-        let wb = runner::run_one(&w, runner::config(Mode::WideBus, 1, RegFileSize::Finite(512)));
+        let wb = runner::run_one(
+            &w,
+            runner::config(Mode::WideBus, 1, RegFileSize::Finite(512)),
+        );
         let ci = runner::run_one(&w, runner::config(Mode::Ci, 1, RegFileSize::Finite(512)));
         let mut pcfg = runner::config(Mode::WideBus, 1, RegFileSize::Finite(512));
         pcfg.perfect_branch_prediction = true;
@@ -45,7 +48,11 @@ fn main() {
         cis.push(ci.ipc());
         perf.push(p.ipc());
     }
-    let (hw, hc, hp) = (harmonic_mean(&wbs), harmonic_mean(&cis), harmonic_mean(&perf));
+    let (hw, hc, hp) = (
+        harmonic_mean(&wbs),
+        harmonic_mean(&cis),
+        harmonic_mean(&perf),
+    );
     t.row(vec![
         "HMEAN".into(),
         f3(hw),

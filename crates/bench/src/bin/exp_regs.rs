@@ -70,7 +70,11 @@ fn multi_phase(phase_len: i64) -> Workload {
     b.alui(AluOp::Add, 2, 2, 1);
     b.br(Cond::Lt, 2, 3, top);
     b.halt();
-    Workload { name: "multi-phase", prog: b.finish(), mem }
+    Workload {
+        name: "multi-phase",
+        prog: b.finish(),
+        mem,
+    }
 }
 
 fn occupancy(w: &Workload, daec: u8) -> (f64, u64) {
@@ -86,7 +90,13 @@ fn occupancy(w: &Workload, daec: u8) -> (f64, u64) {
 fn main() {
     let mut t = Table::new(
         "S2.4.2: physical registers in use (unbounded file, ci)",
-        &["workload", "avg DAEC on", "avg DAEC off", "peak on", "peak off"],
+        &[
+            "workload",
+            "avg DAEC on",
+            "avg DAEC off",
+            "peak on",
+            "peak off",
+        ],
     );
     for phase in [256i64, 1024] {
         let w = multi_phase(phase);

@@ -25,7 +25,10 @@ fn main() {
                 s.cycle.to_string(),
                 s.committed.to_string(),
                 format!("{:.3}", s.interval_ipc),
-                format!("{:.1}%", 100.0 * s.committed_reuse as f64 / s.committed.max(1) as f64),
+                format!(
+                    "{:.1}%",
+                    100.0 * s.committed_reuse as f64 / s.committed.max(1) as f64
+                ),
             ]);
         }
         cfir_bench::write_csv(&t, &format!("exp_warmup_{name}"));

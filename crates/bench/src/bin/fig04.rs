@@ -20,7 +20,10 @@ fn main() {
     for (si, slots) in [1usize, 2, 4].into_iter().enumerate() {
         let mut cfg = runner::config(Mode::Ci, 1, RegFileSize::Finite(512));
         cfg.mech.strided_pc_slots = slots;
-        for (bi, r) in runner::run_mode(&cfg, &format!("{slots}PC")).into_iter().enumerate() {
+        for (bi, r) in runner::run_mode(&cfg, &format!("{slots}PC"))
+            .into_iter()
+            .enumerate()
+        {
             per_slots[si].push(r.stats.ipc());
             rows[bi].push(f3(r.stats.ipc()));
             if slots == 4 {

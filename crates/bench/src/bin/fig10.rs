@@ -16,7 +16,10 @@ fn main() {
         .map(|(n, _)| vec![n.to_string()])
         .collect();
     let mut per_mode = vec![Vec::new(); 4];
-    for (mi, mode) in [Mode::Scalar, Mode::WideBus, Mode::CiIw, Mode::Ci].into_iter().enumerate() {
+    for (mi, mode) in [Mode::Scalar, Mode::WideBus, Mode::CiIw, Mode::Ci]
+        .into_iter()
+        .enumerate()
+    {
         let cfg = runner::config(mode, 1, RegFileSize::Finite(512));
         for (bi, r) in runner::run_mode(&cfg, mode.label()).into_iter().enumerate() {
             rows[bi].push(f3(r.stats.ipc()));

@@ -22,14 +22,18 @@ fn main() {
         let mut row = vec![r.label()];
         for mode in [Mode::Scalar, Mode::WideBus] {
             let cfg = runner::config(mode, 1, r);
-            let ipcs: Vec<f64> =
-                runner::run_mode(&cfg, mode.label()).iter().map(|x| x.stats.ipc()).collect();
+            let ipcs: Vec<f64> = runner::run_mode(&cfg, mode.label())
+                .iter()
+                .map(|x| x.stats.ipc())
+                .collect();
             row.push(f3(harmonic_mean(&ipcs)));
         }
         for reps in [1u8, 2, 4, 8] {
             let cfg = runner::config(Mode::Ci, 1, r).with_replicas(reps);
-            let ipcs: Vec<f64> =
-                runner::run_mode(&cfg, "ci").iter().map(|x| x.stats.ipc()).collect();
+            let ipcs: Vec<f64> = runner::run_mode(&cfg, "ci")
+                .iter()
+                .map(|x| x.stats.ipc())
+                .collect();
             row.push(f3(harmonic_mean(&ipcs)));
         }
         t.row(row);

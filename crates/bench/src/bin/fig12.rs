@@ -11,8 +11,8 @@ fn main() {
     let mut t = Table::new(
         "Figure 12: instruction breakdown for 2 (left) and 4 (right) replicas",
         &[
-            "bench", "noR/2", "Reuse/2", "specBP/2", "specCI/2", "noR/4", "Reuse/4",
-            "specBP/4", "specCI/4",
+            "bench", "noR/2", "Reuse/2", "specBP/2", "specCI/2", "noR/4", "Reuse/4", "specBP/4",
+            "specCI/4",
         ],
     );
     let mut rows: Vec<Vec<String>> = runner::suite_specs()

@@ -17,21 +17,27 @@ fn main() {
     ];
     let mut t = Table::new(
         "Figure 13: speculative data memory (ci-h-N)",
-        &["regs", "scal", "wb", "ci", "ci-h-128", "ci-h-256", "ci-h-512", "ci-h-768"],
+        &[
+            "regs", "scal", "wb", "ci", "ci-h-128", "ci-h-256", "ci-h-512", "ci-h-768",
+        ],
     );
     for r in regs {
         let mut row = vec![r.label()];
         for mode in [Mode::Scalar, Mode::WideBus, Mode::Ci] {
             let cfg = runner::config(mode, 1, r);
-            let ipcs: Vec<f64> =
-                runner::run_mode(&cfg, mode.label()).iter().map(|x| x.stats.ipc()).collect();
+            let ipcs: Vec<f64> = runner::run_mode(&cfg, mode.label())
+                .iter()
+                .map(|x| x.stats.ipc())
+                .collect();
             row.push(f3(harmonic_mean(&ipcs)));
         }
         for positions in [128usize, 256, 512, 768] {
             let mut cfg = runner::config(Mode::Ci, 1, r);
             cfg.mech = MechConfig::paper_with_specmem(positions);
-            let ipcs: Vec<f64> =
-                runner::run_mode(&cfg, "ci-h").iter().map(|x| x.stats.ipc()).collect();
+            let ipcs: Vec<f64> = runner::run_mode(&cfg, "ci-h")
+                .iter()
+                .map(|x| x.stats.ipc())
+                .collect();
             row.push(f3(harmonic_mean(&ipcs)));
         }
         t.row(row);

@@ -15,7 +15,10 @@ fn main() {
         RegFileSize::Finite(768),
         RegFileSize::Infinite,
     ];
-    let mut t = Table::new("Figure 14: ci vs full-blown dynamic vectorization", &["regs", "ci", "vect"]);
+    let mut t = Table::new(
+        "Figure 14: ci vs full-blown dynamic vectorization",
+        &["regs", "ci", "vect"],
+    );
     let mut activity: Vec<String> = Vec::new();
     for r in regs {
         let mut row = vec![r.label()];
@@ -25,10 +28,13 @@ fn main() {
             let ipcs: Vec<f64> = runs.iter().map(|x| x.stats.ipc()).collect();
             row.push(f3(harmonic_mean(&ipcs)));
             if matches!(r, RegFileSize::Finite(512)) {
-                let wrong: f64 = runs.iter().map(|x| x.stats.wrong_path_fraction()).sum::<f64>()
+                let wrong: f64 = runs
+                    .iter()
+                    .map(|x| x.stats.wrong_path_fraction())
+                    .sum::<f64>()
                     / runs.len() as f64;
-                let reuse: f64 = runs.iter().map(|x| x.stats.reuse_fraction()).sum::<f64>()
-                    / runs.len() as f64;
+                let reuse: f64 =
+                    runs.iter().map(|x| x.stats.reuse_fraction()).sum::<f64>() / runs.len() as f64;
                 activity.push(format!(
                     "{}: wrong-path activity {} of executed work, reuse {} of committed",
                     mode.label(),
@@ -43,5 +49,7 @@ fn main() {
     for a in activity {
         println!("{a}");
     }
-    println!("paper: ci wins below ~700 regs; vect only wins unbounded. ci wastes 29.6% vs vect 48.5%");
+    println!(
+        "paper: ci wins below ~700 regs; vect only wins unbounded. ci wastes 29.6% vs vect 48.5%"
+    );
 }

@@ -1,22 +1,45 @@
 //! Quick mechanism smoke check: one benchmark, all five machine modes.
-//! Usage: `cargo run -p cfir-bench --bin smoke [benchmark]`
+//! Usage: `cargo run -p cfir-bench --bin smoke [benchmark] [--emit-json]`
+//!
+//! With `--emit-json` the table is suppressed and a single versioned
+//! JSON document (one full statistics snapshot per mode) is printed to
+//! stdout instead.
 
-use cfir_bench::report::{f3, pct};
-use cfir_bench::{run_one, Table};
+use cfir_bench::report::{emit_json_requested, f3, pct};
+use cfir_bench::{run_one, take_snapshots, Table};
 use cfir_sim::{Mode, RegFileSize, SimConfig};
 use cfir_workloads::by_name;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "bzip2".into());
+    let name = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .unwrap_or_else(|| "bzip2".into());
+    let emit_json = emit_json_requested();
     let w = by_name(&name, cfir_bench::default_spec()).expect("unknown benchmark");
     let mut t = Table::new(
         format!("smoke: {name}"),
         &[
-            "mode", "IPC", "mispred%", "reuse%", "valfail", "commitfail", "replicas",
-            "squashed", "l1dacc", "l1dmiss", "ev(nf/sel/reuse)",
+            "mode",
+            "IPC",
+            "mispred%",
+            "reuse%",
+            "valfail",
+            "commitfail",
+            "replicas",
+            "squashed",
+            "l1dacc",
+            "l1dmiss",
+            "ev(nf/sel/reuse)",
         ],
     );
-    for mode in [Mode::Scalar, Mode::WideBus, Mode::CiIw, Mode::Ci, Mode::Vect] {
+    for mode in [
+        Mode::Scalar,
+        Mode::WideBus,
+        Mode::CiIw,
+        Mode::Ci,
+        Mode::Vect,
+    ] {
         let cfg = SimConfig::paper_baseline()
             .with_mode(mode)
             .with_dports(1)
@@ -37,5 +60,11 @@ fn main() {
             format!("{nf}/{sel}/{reu}"),
         ]);
     }
-    print!("{}", t.render());
+    if emit_json {
+        // `run_one` recorded a full snapshot per mode; print the bundle
+        // as the sole stdout output so callers can pipe it to a parser.
+        println!("{}", cfir_bench::report::report_json(&t, &take_snapshots()));
+    } else {
+        print!("{}", t.render());
+    }
 }

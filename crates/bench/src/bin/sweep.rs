@@ -14,7 +14,9 @@ use cfir_sim::{harmonic_mean, Mode, RegFileSize};
 use cfir_workloads::by_name;
 
 fn parse_list<T>(s: &str, f: impl Fn(&str) -> Option<T>) -> Vec<T> {
-    s.split(',').map(|x| f(x.trim()).unwrap_or_else(|| panic!("bad value `{x}`"))).collect()
+    s.split(',')
+        .map(|x| f(x.trim()).unwrap_or_else(|| panic!("bad value `{x}`")))
+        .collect()
 }
 
 fn main() {
@@ -25,6 +27,9 @@ fn main() {
     let mut bench: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
+        if a == "--emit-json" {
+            continue; // valueless flag, handled inside write_csv
+        }
         let v = it.next().unwrap_or_default();
         match a.as_str() {
             "--modes" => modes = parse_list(&v, Mode::from_label),
@@ -50,7 +55,9 @@ fn main() {
 
     let mut t = Table::new(
         "sweep",
-        &["mode", "regs", "ports", "replicas", "IPC", "reuse%", "mispred%"],
+        &[
+            "mode", "regs", "ports", "replicas", "IPC", "reuse%", "mispred%",
+        ],
     );
     for &mode in &modes {
         for &r in &regs {

@@ -12,9 +12,14 @@
 //!   (default 300_000);
 //! * `CFIR_ELEMS` — data-array elements (default 16384);
 //! * `CFIR_SEED` — workload data seed (default 0xC0FFEE).
+//!
+//! Every binary also understands `--emit-json`: the figure binaries
+//! additionally write `results/<name>.json` (versioned table + one
+//! full statistics snapshot per run), and `smoke` prints the JSON
+//! document to stdout instead of the table.
 
 pub mod report;
 pub mod runner;
 
-pub use report::{write_csv, Table};
-pub use runner::{default_spec, max_insts, run_mode, run_one, suite_specs, RunRow};
+pub use report::{emit_json_requested, report_json, write_csv, Table};
+pub use runner::{default_spec, max_insts, run_mode, run_one, suite_specs, take_snapshots, RunRow};

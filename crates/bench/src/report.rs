@@ -66,7 +66,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.header
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for r in &self.rows {
             let _ = writeln!(out, "| {} |", r.join(" | "));
@@ -84,15 +88,30 @@ impl Table {
                 c.to_string()
             }
         };
-        let _ = writeln!(out, "{}", self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
         for r in &self.rows {
-            let _ = writeln!(out, "{}", r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                out,
+                "{}",
+                r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
         }
         out
     }
 }
 
-/// Print the table and also write it as `results/<name>.csv`.
+/// Print the table and also write it as `results/<name>.csv`. When the
+/// binary was invoked with `--emit-json`, additionally drain the
+/// per-run snapshots recorded by `run_one` and write them (plus the
+/// table itself) as `results/<name>.json`.
 pub fn write_csv(table: &Table, name: &str) {
     print!("{}", table.render());
     let dir = Path::new("results");
@@ -103,7 +122,63 @@ pub fn write_csv(table: &Table, name: &str) {
         } else {
             println!("[csv written to {}]\n", path.display());
         }
+        if emit_json_requested() {
+            let doc = report_json(table, &crate::runner::take_snapshots());
+            let jpath = dir.join(format!("{name}.json"));
+            if let Err(e) = fs::write(&jpath, doc) {
+                eprintln!("(could not write {}: {e})", jpath.display());
+            } else {
+                println!("[json written to {}]\n", jpath.display());
+            }
+        }
     }
+}
+
+/// True when the process was invoked with an `--emit-json` argument.
+pub fn emit_json_requested() -> bool {
+    std::env::args().any(|a| a == "--emit-json")
+}
+
+/// A versioned JSON document bundling the rendered table (header +
+/// rows, as strings) with the full per-run statistics snapshots.
+pub fn report_json(table: &Table, runs: &[String]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"schema_version\":{},\"title\":",
+        cfir_sim::SCHEMA_VERSION
+    );
+    cfir_obs::json::write_escaped(&mut out, &table.title);
+    out.push_str(",\"table\":{\"header\":[");
+    for (i, h) in table.header.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        cfir_obs::json::write_escaped(&mut out, h);
+    }
+    out.push_str("],\"rows\":[");
+    for (i, r) in table.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, c) in r.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            cfir_obs::json::write_escaped(&mut out, c);
+        }
+        out.push(']');
+    }
+    out.push_str("]},\"runs\":[");
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(r);
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Format a float with 3 decimals.
@@ -149,6 +224,34 @@ mod tests {
         assert!(md.contains("| a | b |"));
         assert!(md.contains("|---|---|"));
         assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn report_json_parses_and_embeds_runs() {
+        let mut t = Table::new("T \"quoted\"", &["mode", "IPC"]);
+        t.row(vec!["scal".into(), "1.5".into()]);
+        let doc = report_json(
+            &t,
+            &["{\"ipc\":1.5}".to_string(), "{\"ipc\":2.0}".to_string()],
+        );
+        let v = cfir_obs::json::parse(&doc).expect("valid JSON");
+        assert_eq!(
+            v.get("schema_version").and_then(|x| x.as_u64()),
+            Some(cfir_sim::SCHEMA_VERSION as u64)
+        );
+        assert_eq!(
+            v.get("title").and_then(|x| x.as_str()),
+            Some("T \"quoted\"")
+        );
+        let rows = v
+            .get("table")
+            .and_then(|t| t.get("rows"))
+            .and_then(|r| r.as_arr())
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        let runs = v.get("runs").and_then(|r| r.as_arr()).unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[1].get("ipc").and_then(|x| x.as_f64()), Some(2.0));
     }
 
     #[test]

@@ -2,6 +2,18 @@
 
 use cfir_sim::{Mode, Pipeline, RegFileSize, SimConfig, SimStats};
 use cfir_workloads::{by_name, Workload, WorkloadSpec, NAMES};
+use std::sync::Mutex;
+
+/// Per-run JSON snapshots accumulated while `--emit-json` is in effect
+/// (one [`cfir_sim::run_json`] document per `run_one` call). Drained by
+/// [`crate::report::write_csv`] into `results/<name>.json`, or directly
+/// via [`take_snapshots`].
+static SNAPSHOTS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Drain every snapshot recorded since the last call.
+pub fn take_snapshots() -> Vec<String> {
+    std::mem::take(&mut *SNAPSHOTS.lock().unwrap())
+}
 
 /// Committed-instruction budget per (benchmark, configuration) run.
 /// Override with `CFIR_INSTS`.
@@ -15,7 +27,10 @@ pub fn max_insts() -> u64 {
 /// Workload generation parameters (env-overridable).
 pub fn default_spec() -> WorkloadSpec {
     let mut s = WorkloadSpec::default();
-    if let Some(e) = std::env::var("CFIR_ELEMS").ok().and_then(|v| v.parse().ok()) {
+    if let Some(e) = std::env::var("CFIR_ELEMS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
         s.elems = e;
     }
     if let Some(x) = std::env::var("CFIR_SEED").ok().and_then(|v| v.parse().ok()) {
@@ -44,8 +59,15 @@ pub struct RunRow {
 pub fn run_one(w: &Workload, mut cfg: SimConfig) -> SimStats {
     cfg.max_insts = max_insts();
     cfg.cosim_check = false; // benchmarking: the oracle is exercised in tests
+    let label = cfg.mode.label();
     let mut p = Pipeline::new(&w.prog, w.mem.clone(), cfg);
     p.run();
+    if crate::report::emit_json_requested() {
+        SNAPSHOTS
+            .lock()
+            .unwrap()
+            .push(cfir_sim::run_json(w.name, label, &p.stats));
+    }
     p.stats.clone()
 }
 
@@ -55,7 +77,11 @@ pub fn run_mode(cfg: &SimConfig, label: &str) -> Vec<RunRow> {
         .into_iter()
         .map(|(name, spec)| {
             let w = by_name(name, spec).expect("known benchmark");
-            RunRow { name, label: label.to_string(), stats: run_one(&w, cfg.clone()) }
+            RunRow {
+                name,
+                label: label.to_string(),
+                stats: run_one(&w, cfg.clone()),
+            }
         })
         .collect()
 }
@@ -75,7 +101,15 @@ mod tests {
     #[test]
     fn run_one_commits_the_budget() {
         std::env::remove_var("CFIR_INSTS");
-        let w = by_name("bzip2", WorkloadSpec { iters: 1 << 30, elems: 1024, seed: 1 }).unwrap();
+        let w = by_name(
+            "bzip2",
+            WorkloadSpec {
+                iters: 1 << 30,
+                elems: 1024,
+                seed: 1,
+            },
+        )
+        .unwrap();
         let mut cfg = config(Mode::Scalar, 1, RegFileSize::Finite(256));
         cfg.max_insts = 20_000;
         let mut p = cfir_sim::Pipeline::new(&w.prog, w.mem.clone(), cfg);

@@ -89,7 +89,10 @@ impl MechConfig {
     /// Paper configuration with the §2.4.6 speculative data memory of
     /// `positions` entries (Figure 13's `ci-h-N`).
     pub fn paper_with_specmem(positions: usize) -> Self {
-        MechConfig { specmem_positions: Some(positions), ..Self::default() }
+        MechConfig {
+            specmem_positions: Some(positions),
+            ..Self::default()
+        }
     }
 }
 

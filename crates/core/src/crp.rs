@@ -36,7 +36,13 @@ impl Crp {
     /// Activate for a new misprediction: `rcp` from the heuristic,
     /// `initial_mask` from ORing the NRBQ, `event` for attribution.
     pub fn activate(&mut self, rcp: u32, initial_mask: u64, event: u64) {
-        *self = Crp { active: true, rcp, reached: false, mask: initial_mask, event };
+        *self = Crp {
+            active: true,
+            rcp,
+            reached: false,
+            mask: initial_mask,
+            event,
+        };
     }
 
     /// Deactivate (e.g. replaced by a newer misprediction).
@@ -62,7 +68,10 @@ impl Crp {
         if !(self.active && self.reached) {
             return false;
         }
-        sources.iter().flatten().all(|&r| self.mask & (1u64 << r) == 0)
+        sources
+            .iter()
+            .flatten()
+            .all(|&r| self.mask & (1u64 << r) == 0)
     }
 
     /// Record the destination write of a decoded instruction.
@@ -116,7 +125,10 @@ mod tests {
         assert!(c.is_control_independent([Some(1), Some(2)]));
         assert!(!c.is_control_independent([Some(3), None]));
         assert!(!c.is_control_independent([Some(1), Some(5)]));
-        assert!(c.is_control_independent([Some(0), None]), "r0 never tainted");
+        assert!(
+            c.is_control_independent([Some(0), None]),
+            "r0 never tainted"
+        );
     }
 
     #[test]

@@ -39,7 +39,13 @@ impl Mbs {
         assert!(sets.is_power_of_two() && sets > 0 && assoc > 0);
         Mbs {
             ways: vec![
-                Entry { pc: 0, counter: COUNTER_MID, last_taken: false, valid: false, stamp: 0 };
+                Entry {
+                    pc: 0,
+                    counter: COUNTER_MID,
+                    last_taken: false,
+                    valid: false,
+                    stamp: 0
+                };
                 sets * assoc
             ],
             sets,

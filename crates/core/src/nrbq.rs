@@ -38,7 +38,11 @@ impl Nrbq {
     /// Create a queue with `cap` entries (16 in the paper).
     pub fn new(cap: usize) -> Self {
         assert!(cap > 0);
-        Nrbq { q: VecDeque::with_capacity(cap), cap, overflows: 0 }
+        Nrbq {
+            q: VecDeque::with_capacity(cap),
+            cap,
+            overflows: 0,
+        }
     }
 
     /// Track a newly decoded conditional branch. The new entry's mask
@@ -49,8 +53,16 @@ impl Nrbq {
             self.overflows += 1;
             return false;
         }
-        debug_assert!(self.q.back().map(|e| e.seq < seq).unwrap_or(true), "seqs must increase");
-        self.q.push_back(NrbqEntry { seq, pc, rcp, mask: 0 });
+        debug_assert!(
+            self.q.back().map(|e| e.seq < seq).unwrap_or(true),
+            "seqs must increase"
+        );
+        self.q.push_back(NrbqEntry {
+            seq,
+            pc,
+            rcp,
+            mask: 0,
+        });
         true
     }
 

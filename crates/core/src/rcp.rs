@@ -48,11 +48,7 @@ mod tests {
 
     #[test]
     fn backward_branch_reconverges_at_fallthrough() {
-        let p = assemble(
-            "t",
-            "top:\n addi r1, r1, 1\n blt r1, r2, top\n halt",
-        )
-        .unwrap();
+        let p = assemble("t", "top:\n addi r1, r1, 1\n blt r1, r2, top\n halt").unwrap();
         // branch at pc 1, backward -> RCP = 2 (the halt)
         assert_eq!(estimate(&p, 1), Some(2));
     }
@@ -89,7 +85,11 @@ mod tests {
             "#,
         )
         .unwrap();
-        assert_eq!(estimate(&p, 0), Some(4), "RCP is the join, not the else head");
+        assert_eq!(
+            estimate(&p, 0),
+            Some(4),
+            "RCP is the join, not the else head"
+        );
     }
 
     #[test]
@@ -115,8 +115,16 @@ mod tests {
             "#,
         )
         .unwrap();
-        assert_eq!(estimate(&p, 2), Some(6), "I11 is the re-convergent point of I7");
-        assert_eq!(estimate(&p, 8), Some(9), "loop-closing branch re-converges after itself");
+        assert_eq!(
+            estimate(&p, 2),
+            Some(6),
+            "I11 is the re-convergent point of I7"
+        );
+        assert_eq!(
+            estimate(&p, 8),
+            Some(9),
+            "loop-closing branch re-converges after itself"
+        );
     }
 
     #[test]

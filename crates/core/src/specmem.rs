@@ -68,7 +68,10 @@ impl SpecMem {
 
     /// Free a position; bumps its generation so stale readers notice.
     pub fn release(&mut self, pos: SpecPos) {
-        debug_assert!(!self.free.contains(&pos), "double free of spec-mem position");
+        debug_assert!(
+            !self.free.contains(&pos),
+            "double free of spec-mem position"
+        );
         self.gens[pos as usize] = self.gens[pos as usize].wrapping_add(1);
         self.free.push(pos);
     }

@@ -309,7 +309,10 @@ impl SrsmtEntry {
     /// (no validations in flight). The skipped slots are marked dead;
     /// their storage is returned for release.
     pub fn skip_to(&mut self, k: u32) -> Vec<(StorageId, u32)> {
-        debug_assert!(self.decode == self.commit, "cannot skip with validations in flight");
+        debug_assert!(
+            self.decode == self.commit,
+            "cannot skip with validations in flight"
+        );
         debug_assert!(k > self.decode && k <= self.head);
         let mut freed = Vec::new();
         for i in self.decode..k.min(self.head) {
@@ -473,7 +476,10 @@ impl Srsmt {
             self.ways[i] = Some(entry);
             self.stamps[i] = self.clock;
             self.stats.allocs += 1;
-            return AllocOutcome::Placed { idx: i, evicted: None };
+            return AllocOutcome::Placed {
+                idx: i,
+                evicted: None,
+            };
         }
         let victim = range
             .filter(|&i| self.ways[i].as_ref().unwrap().deallocatable())
@@ -485,7 +491,10 @@ impl Srsmt {
                 self.stamps[i] = self.clock;
                 self.stats.allocs += 1;
                 self.stats.lru_evictions += 1;
-                AllocOutcome::Placed { idx: i, evicted: old }
+                AllocOutcome::Placed {
+                    idx: i,
+                    evicted: old,
+                }
             }
             None => {
                 self.stats.alloc_failures += 1;
@@ -508,7 +517,9 @@ impl Srsmt {
         let mut released = Vec::new();
         for i in 0..self.ways.len() {
             let tear_down = {
-                let Some(e) = self.ways[i].as_mut() else { continue };
+                let Some(e) = self.ways[i].as_mut() else {
+                    continue;
+                };
                 if e.used {
                     e.daec = 0;
                 } else {
@@ -568,8 +579,15 @@ mod tests {
     fn load_entry(pc: u64, nregs: u8) -> SrsmtEntry {
         SrsmtEntry::new(
             pc,
-            Inst::Ld { rd: 1, base: 2, offset: 0 },
-            VecKind::Load { stride: 8, base: 1000 },
+            Inst::Ld {
+                rd: 1,
+                base: 2,
+                offset: 0,
+            },
+            VecKind::Load {
+                stride: 8,
+                base: 1000,
+            },
             nregs,
             SeqId::None,
             SeqId::None,
@@ -665,7 +683,9 @@ mod tests {
     #[test]
     fn recovery_copies_commit_into_decode_and_ticks_daec() {
         let mut t = Srsmt::paper();
-        let AllocOutcome::Placed { idx, .. } = t.alloc(grown(0x40, 4, 4)) else { panic!() };
+        let AllocOutcome::Placed { idx, .. } = t.alloc(grown(0x40, 4, 4)) else {
+            panic!()
+        };
         {
             let e = t.get_mut(idx).unwrap();
             e.advance_decode();
@@ -683,7 +703,9 @@ mod tests {
     #[test]
     fn daec_releases_unused_entries_after_two_recoveries() {
         let mut t = Srsmt::paper();
-        let AllocOutcome::Placed { .. } = t.alloc(grown(0x40, 4, 4)) else { panic!() };
+        let AllocOutcome::Placed { .. } = t.alloc(grown(0x40, 4, 4)) else {
+            panic!()
+        };
         assert!(t.recovery().is_empty(), "first recovery: daec=1");
         let released = t.recovery();
         assert_eq!(released.len(), 1, "second recovery: daec=2 -> release");
@@ -694,7 +716,9 @@ mod tests {
     #[test]
     fn daec_spares_active_entries() {
         let mut t = Srsmt::paper();
-        let AllocOutcome::Placed { idx, .. } = t.alloc(grown(0x40, 4, 4)) else { panic!() };
+        let AllocOutcome::Placed { idx, .. } = t.alloc(grown(0x40, 4, 4)) else {
+            panic!()
+        };
         t.recovery();
         // A validation between recoveries keeps the entry alive.
         t.get_mut(idx).unwrap().advance_decode();
@@ -707,7 +731,9 @@ mod tests {
     #[test]
     fn daec_spares_entries_with_inflight_issue() {
         let mut t = Srsmt::paper();
-        let AllocOutcome::Placed { idx, .. } = t.alloc(grown(0x40, 4, 4)) else { panic!() };
+        let AllocOutcome::Placed { idx, .. } = t.alloc(grown(0x40, 4, 4)) else {
+            panic!()
+        };
         t.get_mut(idx).unwrap().issue = 1;
         t.recovery();
         assert!(t.recovery().is_empty(), "issue>0 protects the entry");
@@ -755,8 +781,12 @@ mod tests {
     #[test]
     fn store_check_hits_live_ranges() {
         let mut t = Srsmt::paper();
-        let AllocOutcome::Placed { idx: a, .. } = t.alloc(grown(0x40, 2, 2)) else { panic!() };
-        let AllocOutcome::Placed { idx: b, .. } = t.alloc(grown(0x44, 2, 2)) else { panic!() };
+        let AllocOutcome::Placed { idx: a, .. } = t.alloc(grown(0x40, 2, 2)) else {
+            panic!()
+        };
+        let AllocOutcome::Placed { idx: b, .. } = t.alloc(grown(0x44, 2, 2)) else {
+            panic!()
+        };
         t.get_mut(a).unwrap().complete_replica(0, 0, Some(1000));
         t.get_mut(a).unwrap().complete_replica(1, 0, Some(1008));
         t.get_mut(b).unwrap().complete_replica(0, 0, Some(5000));

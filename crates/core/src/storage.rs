@@ -43,8 +43,7 @@ impl StorageReport {
 /// * NRBQ entry: 8 bytes. CRP: 8 (PC) + 8 (mask).
 /// * Rename extension (Figure 7): 16 bytes × 64 logical registers.
 pub fn report(cfg: &MechConfig) -> StorageReport {
-    let srsmt_entry_bits =
-        cfg.replicas_per_inst as usize * 8 + 4 * 2 + 2 * 64 + 2 + 2 * 64 + 64;
+    let srsmt_entry_bits = cfg.replicas_per_inst as usize * 8 + 4 * 2 + 2 * 64 + 2 + 2 * 64 + 64;
     // 362 bits for 4 replicas; the paper counts this as 45 bytes
     // (truncating division), which we follow to reproduce its totals.
     let srsmt_entry_bytes = srsmt_entry_bits / 8;

@@ -86,7 +86,13 @@ pub struct Emulator {
 impl Emulator {
     /// Fresh machine with zeroed registers and the given memory image.
     pub fn new(mem: MemImage) -> Self {
-        Emulator { regs: [0; NUM_LOGICAL_REGS], pc: 0, mem, halted: false, retired: 0 }
+        Emulator {
+            regs: [0; NUM_LOGICAL_REGS],
+            pc: 0,
+            mem,
+            halted: false,
+            retired: 0,
+        }
     }
 
     /// Read a register (r0 always reads 0).
@@ -158,7 +164,12 @@ impl Emulator {
                 let v = self.reg(src);
                 self.mem.write(a, v);
             }
-            Inst::Br { cond, rs1, rs2, target } => {
+            Inst::Br {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 taken = cond.eval(self.reg(rs1), self.reg(rs2));
                 if taken {
                     next_pc = target;
@@ -180,14 +191,25 @@ impl Emulator {
         }
         self.pc = next_pc;
         self.retired += 1;
-        Some(Retired { pc, inst, next_pc, taken, wrote, addr })
+        Some(Retired {
+            pc,
+            inst,
+            next_pc,
+            taken,
+            wrote,
+            addr,
+        })
     }
 
     /// Run until halt, budget exhaustion, or falling off the program.
     pub fn run(&mut self, prog: &Program, max_insts: u64) -> StopReason {
         for _ in 0..max_insts {
             if self.step(prog).is_none() {
-                return if self.halted { StopReason::Halted } else { StopReason::FellOff };
+                return if self.halted {
+                    StopReason::Halted
+                } else {
+                    StopReason::FellOff
+                };
             }
             if self.halted {
                 return StopReason::Halted;

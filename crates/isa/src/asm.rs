@@ -43,7 +43,10 @@ impl std::fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 fn err(line: usize, msg: impl Into<String>) -> AsmError {
-    AsmError { line, msg: msg.into() }
+    AsmError {
+        line,
+        msg: msg.into(),
+    }
 }
 
 fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
@@ -70,7 +73,8 @@ fn parse_imm(tok: &str, line: usize) -> Result<i64, AsmError> {
     let v: i64 = if let Some(hex) = body.strip_prefix("0x") {
         i64::from_str_radix(hex, 16).map_err(|_| err(line, format!("bad immediate `{t}`")))?
     } else {
-        body.parse().map_err(|_| err(line, format!("bad immediate `{t}`")))?
+        body.parse()
+            .map_err(|_| err(line, format!("bad immediate `{t}`")))?
     };
     Ok(if neg { -v } else { v })
 }
@@ -86,7 +90,11 @@ fn parse_mem(tok: &str, line: usize) -> Result<(i64, Reg), AsmError> {
     }
     let off_s = &t[..open];
     let reg_s = &t[open + 1..t.len() - 1];
-    let off = if off_s.is_empty() { 0 } else { parse_imm(off_s, line)? };
+    let off = if off_s.is_empty() {
+        0
+    } else {
+        parse_imm(off_s, line)?
+    };
     Ok((off, parse_reg(reg_s, line)?))
 }
 
@@ -153,8 +161,15 @@ fn br_cond(m: &str) -> Option<Cond> {
 
 enum Pending {
     Done(Inst),
-    Br { cond: Cond, rs1: Reg, rs2: Reg, target: Target },
-    Jmp { target: Target },
+    Br {
+        cond: Cond,
+        rs1: Reg,
+        rs2: Reg,
+        target: Target,
+    },
+    Jmp {
+        target: Target,
+    },
 }
 
 /// Assemble `src` into a [`Program`] named `name`.
@@ -203,7 +218,10 @@ pub fn assemble(name: &str, src: &str) -> Result<Program, AsmError> {
         };
         let nops = |want: usize| -> Result<(), AsmError> {
             if ops.len() != want {
-                Err(err(line, format!("`{mnemonic}` expects {want} operands, got {}", ops.len())))
+                Err(err(
+                    line,
+                    format!("`{mnemonic}` expects {want} operands, got {}", ops.len()),
+                ))
             } else {
                 Ok(())
             }
@@ -264,17 +282,32 @@ pub fn assemble(name: &str, src: &str) -> Result<Program, AsmError> {
                 "inc" => {
                     nops(1)?;
                     let r = parse_reg(ops[0], line)?;
-                    Pending::Done(Inst::AluImm { op: AluOp::Add, rd: r, rs1: r, imm: 1 })
+                    Pending::Done(Inst::AluImm {
+                        op: AluOp::Add,
+                        rd: r,
+                        rs1: r,
+                        imm: 1,
+                    })
                 }
                 "dec" => {
                     nops(1)?;
                     let r = parse_reg(ops[0], line)?;
-                    Pending::Done(Inst::AluImm { op: AluOp::Sub, rd: r, rs1: r, imm: 1 })
+                    Pending::Done(Inst::AluImm {
+                        op: AluOp::Sub,
+                        rd: r,
+                        rs1: r,
+                        imm: 1,
+                    })
                 }
                 "clr" => {
                     nops(1)?;
                     let r = parse_reg(ops[0], line)?;
-                    Pending::Done(Inst::Alu { op: AluOp::Xor, rd: r, rs1: r, rs2: r })
+                    Pending::Done(Inst::Alu {
+                        op: AluOp::Xor,
+                        rd: r,
+                        rs1: r,
+                        rs2: r,
+                    })
                 }
                 "neg" => {
                     nops(2)?;
@@ -316,20 +349,32 @@ pub fn assemble(name: &str, src: &str) -> Result<Program, AsmError> {
                 "ld" => {
                     nops(2)?;
                     let (offset, base) = parse_mem(ops[1], line)?;
-                    Pending::Done(Inst::Ld { rd: parse_reg(ops[0], line)?, base, offset })
+                    Pending::Done(Inst::Ld {
+                        rd: parse_reg(ops[0], line)?,
+                        base,
+                        offset,
+                    })
                 }
                 "st" => {
                     nops(2)?;
                     let (offset, base) = parse_mem(ops[1], line)?;
-                    Pending::Done(Inst::St { src: parse_reg(ops[0], line)?, base, offset })
+                    Pending::Done(Inst::St {
+                        src: parse_reg(ops[0], line)?,
+                        base,
+                        offset,
+                    })
                 }
                 "jmp" => {
                     nops(1)?;
-                    Pending::Jmp { target: parse_target(ops[0], line)? }
+                    Pending::Jmp {
+                        target: parse_target(ops[0], line)?,
+                    }
                 }
                 "jr" => {
                     nops(1)?;
-                    Pending::Done(Inst::Jr { rs1: parse_reg(ops[0], line)? })
+                    Pending::Done(Inst::Jr {
+                        rs1: parse_reg(ops[0], line)?,
+                    })
                 }
                 "halt" => {
                     nops(0)?;
@@ -359,19 +404,29 @@ pub fn assemble(name: &str, src: &str) -> Result<Program, AsmError> {
     for (line, p) in &pendings {
         insts.push(match p {
             Pending::Done(i) => *i,
-            Pending::Br { cond, rs1, rs2, target } => Inst::Br {
+            Pending::Br {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => Inst::Br {
                 cond: *cond,
                 rs1: *rs1,
                 rs2: *rs2,
                 target: resolve(target, *line)?,
             },
-            Pending::Jmp { target } => Inst::Jmp { target: resolve(target, *line)? },
+            Pending::Jmp { target } => Inst::Jmp {
+                target: resolve(target, *line)?,
+            },
         });
     }
 
     let prog = Program::from_insts(name, insts);
     if let Err(pc) = prog.validate() {
-        return Err(err(0, format!("instruction {pc} targets outside the program")));
+        return Err(err(
+            0,
+            format!("instruction {pc} targets outside the program"),
+        ));
     }
     Ok(prog)
 }
@@ -414,18 +469,27 @@ mod tests {
         let jmp = p
             .insts
             .iter()
-            .find_map(|i| if let Inst::Jmp { target } = i { Some(*target) } else { None })
+            .find_map(|i| {
+                if let Inst::Jmp { target } = i {
+                    Some(*target)
+                } else {
+                    None
+                }
+            })
             .unwrap();
-        assert!(matches!(p.insts[jmp as usize], Inst::Alu { op: AluOp::Add, rd: 4, .. }));
+        assert!(matches!(
+            p.insts[jmp as usize],
+            Inst::Alu {
+                op: AluOp::Add,
+                rd: 4,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn labels_on_own_line_and_inline() {
-        let p = assemble(
-            "t",
-            "a:\n b: nop\n jmp a\n jmp b\n halt",
-        )
-        .unwrap();
+        let p = assemble("t", "a:\n b: nop\n jmp a\n jmp b\n halt").unwrap();
         assert_eq!(p.insts[1], Inst::Jmp { target: 0 });
         assert_eq!(p.insts[2], Inst::Jmp { target: 0 });
     }
@@ -440,20 +504,50 @@ mod tests {
     fn hex_and_negative_immediates() {
         let p = assemble("t", "li r1, 0x10\naddi r2, r1, -3\nhalt").unwrap();
         assert_eq!(p.insts[0], Inst::Li { rd: 1, imm: 16 });
-        assert_eq!(p.insts[1], Inst::AluImm { op: AluOp::Add, rd: 2, rs1: 1, imm: -3 });
+        assert_eq!(
+            p.insts[1],
+            Inst::AluImm {
+                op: AluOp::Add,
+                rd: 2,
+                rs1: 1,
+                imm: -3
+            }
+        );
     }
 
     #[test]
     fn mem_operands() {
         let p = assemble("t", "ld r1, -8(r2)\nst r3, (r4)\nhalt").unwrap();
-        assert_eq!(p.insts[0], Inst::Ld { rd: 1, base: 2, offset: -8 });
-        assert_eq!(p.insts[1], Inst::St { src: 3, base: 4, offset: 0 });
+        assert_eq!(
+            p.insts[0],
+            Inst::Ld {
+                rd: 1,
+                base: 2,
+                offset: -8
+            }
+        );
+        assert_eq!(
+            p.insts[1],
+            Inst::St {
+                src: 3,
+                base: 4,
+                offset: 0
+            }
+        );
     }
 
     #[test]
     fn mov_is_add_with_r0() {
         let p = assemble("t", "mov r5, r6\nhalt").unwrap();
-        assert_eq!(p.insts[0], Inst::Alu { op: AluOp::Add, rd: 5, rs1: 6, rs2: 0 });
+        assert_eq!(
+            p.insts[0],
+            Inst::Alu {
+                op: AluOp::Add,
+                rd: 5,
+                rs1: 6,
+                rs2: 0
+            }
+        );
     }
 
     #[test]
@@ -461,8 +555,14 @@ mod tests {
         assert_eq!(assemble("t", "nop\nbogus r1").unwrap_err().line, 2);
         assert_eq!(assemble("t", "li r64, 0").unwrap_err().line, 1);
         assert_eq!(assemble("t", "jmp nowhere").unwrap_err().line, 1);
-        assert!(assemble("t", "add r1, r2").unwrap_err().msg.contains("expects 3"));
-        assert!(assemble("t", "a: nop\na: nop").unwrap_err().msg.contains("duplicate"));
+        assert!(assemble("t", "add r1, r2")
+            .unwrap_err()
+            .msg
+            .contains("expects 3"));
+        assert!(assemble("t", "a: nop\na: nop")
+            .unwrap_err()
+            .msg
+            .contains("duplicate"));
     }
 
     #[test]
@@ -494,13 +594,69 @@ mod tests {
             "inc r3\ndec r4\nclr r5\nneg r6, r7\nnot r8, r9\nbeqz r1, 0\nbnez r2, 0\nhalt",
         )
         .unwrap();
-        assert_eq!(p.insts[0], Inst::AluImm { op: AluOp::Add, rd: 3, rs1: 3, imm: 1 });
-        assert_eq!(p.insts[1], Inst::AluImm { op: AluOp::Sub, rd: 4, rs1: 4, imm: 1 });
-        assert_eq!(p.insts[2], Inst::Alu { op: AluOp::Xor, rd: 5, rs1: 5, rs2: 5 });
-        assert_eq!(p.insts[3], Inst::Alu { op: AluOp::Sub, rd: 6, rs1: 0, rs2: 7 });
-        assert_eq!(p.insts[4], Inst::AluImm { op: AluOp::Xor, rd: 8, rs1: 9, imm: -1 });
-        assert_eq!(p.insts[5], Inst::Br { cond: Cond::Eq, rs1: 1, rs2: 0, target: 0 });
-        assert_eq!(p.insts[6], Inst::Br { cond: Cond::Ne, rs1: 2, rs2: 0, target: 0 });
+        assert_eq!(
+            p.insts[0],
+            Inst::AluImm {
+                op: AluOp::Add,
+                rd: 3,
+                rs1: 3,
+                imm: 1
+            }
+        );
+        assert_eq!(
+            p.insts[1],
+            Inst::AluImm {
+                op: AluOp::Sub,
+                rd: 4,
+                rs1: 4,
+                imm: 1
+            }
+        );
+        assert_eq!(
+            p.insts[2],
+            Inst::Alu {
+                op: AluOp::Xor,
+                rd: 5,
+                rs1: 5,
+                rs2: 5
+            }
+        );
+        assert_eq!(
+            p.insts[3],
+            Inst::Alu {
+                op: AluOp::Sub,
+                rd: 6,
+                rs1: 0,
+                rs2: 7
+            }
+        );
+        assert_eq!(
+            p.insts[4],
+            Inst::AluImm {
+                op: AluOp::Xor,
+                rd: 8,
+                rs1: 9,
+                imm: -1
+            }
+        );
+        assert_eq!(
+            p.insts[5],
+            Inst::Br {
+                cond: Cond::Eq,
+                rs1: 1,
+                rs2: 0,
+                target: 0
+            }
+        );
+        assert_eq!(
+            p.insts[6],
+            Inst::Br {
+                cond: Cond::Ne,
+                rs1: 2,
+                rs2: 0,
+                target: 0
+            }
+        );
     }
 
     #[test]

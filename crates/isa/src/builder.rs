@@ -31,7 +31,10 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Start a new program named `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        ProgramBuilder { name: name.into(), ..Default::default() }
+        ProgramBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Current instruction index (the PC of the next emitted instruction).
@@ -103,7 +106,12 @@ impl ProgramBuilder {
     /// Conditional branch to `target` label.
     pub fn br(&mut self, cond: Cond, rs1: Reg, rs2: Reg, target: Label) -> &mut Self {
         self.patches.push((target, Patch::Br(self.insts.len())));
-        self.emit(Inst::Br { cond, rs1, rs2, target: u32::MAX })
+        self.emit(Inst::Br {
+            cond,
+            rs1,
+            rs2,
+            target: u32::MAX,
+        })
     }
 
     /// Unconditional jump to `target` label.
@@ -174,7 +182,15 @@ mod tests {
         b.bind(exit);
         b.halt();
         let p = b.finish();
-        assert_eq!(p.insts[2], Inst::Br { cond: Cond::Ge, rs1: 1, rs2: 2, target: 5 });
+        assert_eq!(
+            p.insts[2],
+            Inst::Br {
+                cond: Cond::Ge,
+                rs1: 1,
+                rs2: 2,
+                target: 5
+            }
+        );
         assert_eq!(p.insts[4], Inst::Jmp { target: 2 });
         assert!(p.validate().is_ok());
     }
@@ -210,6 +226,14 @@ mod tests {
         let mut b = ProgramBuilder::new("t");
         b.mov(3, 4).halt();
         let p = b.finish();
-        assert_eq!(p.insts[0], Inst::Alu { op: AluOp::Add, rd: 3, rs1: 4, rs2: 0 });
+        assert_eq!(
+            p.insts[0],
+            Inst::Alu {
+                op: AluOp::Add,
+                rd: 3,
+                rs1: 4,
+                rs2: 0
+            }
+        );
     }
 }

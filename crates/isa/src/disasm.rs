@@ -60,7 +60,12 @@ pub fn disasm(inst: &Inst) -> String {
         Inst::Li { rd, imm } => format!("li r{rd}, {imm}"),
         Inst::Ld { rd, base, offset } => format!("ld r{rd}, {offset}(r{base})"),
         Inst::St { src, base, offset } => format!("st r{src}, {offset}(r{base})"),
-        Inst::Br { cond, rs1, rs2, target } => {
+        Inst::Br {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => {
             format!("{} r{rs1}, r{rs2}, {target}", br_mnemonic(cond))
         }
         Inst::Jmp { target } => format!("jmp {target}"),
@@ -77,23 +82,60 @@ mod tests {
     #[test]
     fn formats() {
         assert_eq!(
-            disasm(&Inst::Alu { op: AluOp::Add, rd: 1, rs1: 2, rs2: 3 }),
+            disasm(&Inst::Alu {
+                op: AluOp::Add,
+                rd: 1,
+                rs1: 2,
+                rs2: 3
+            }),
             "add r1, r2, r3"
         );
         assert_eq!(
-            disasm(&Inst::AluImm { op: AluOp::Add, rd: 1, rs1: 2, imm: -4 }),
+            disasm(&Inst::AluImm {
+                op: AluOp::Add,
+                rd: 1,
+                rs1: 2,
+                imm: -4
+            }),
             "addi r1, r2, -4"
         );
-        assert_eq!(disasm(&Inst::Ld { rd: 9, base: 8, offset: 16 }), "ld r9, 16(r8)");
-        assert_eq!(disasm(&Inst::St { src: 9, base: 8, offset: -8 }), "st r9, -8(r8)");
         assert_eq!(
-            disasm(&Inst::Br { cond: Cond::Le, rs1: 1, rs2: 2, target: 7 }),
+            disasm(&Inst::Ld {
+                rd: 9,
+                base: 8,
+                offset: 16
+            }),
+            "ld r9, 16(r8)"
+        );
+        assert_eq!(
+            disasm(&Inst::St {
+                src: 9,
+                base: 8,
+                offset: -8
+            }),
+            "st r9, -8(r8)"
+        );
+        assert_eq!(
+            disasm(&Inst::Br {
+                cond: Cond::Le,
+                rs1: 1,
+                rs2: 2,
+                target: 7
+            }),
             "ble r1, r2, 7"
         );
         assert_eq!(disasm(&Inst::Jmp { target: 0 }), "jmp 0");
         assert_eq!(disasm(&Inst::Jr { rs1: 3 }), "jr r3");
         assert_eq!(disasm(&Inst::Li { rd: 2, imm: 100 }), "li r2, 100");
-        assert_eq!(disasm(&Inst::Fp { op: FpOp::Fmul, rd: 1, rs1: 1, rs2: 1 }), "fmul r1, r1, r1");
+        assert_eq!(
+            disasm(&Inst::Fp {
+                op: FpOp::Fmul,
+                rd: 1,
+                rs1: 1,
+                rs2: 1
+            }),
+            "fmul r1, r1, r1"
+        );
         assert_eq!(disasm(&Inst::Halt), "halt");
         assert_eq!(disasm(&Inst::Nop), "nop");
     }

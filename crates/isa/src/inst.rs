@@ -183,11 +183,26 @@ impl FuClass {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Inst {
     /// `rd = rs1 <op> rs2`
-    Alu { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Alu {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// `rd = rs1 <op> imm`
-    AluImm { op: AluOp, rd: Reg, rs1: Reg, imm: i64 },
+    AluImm {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i64,
+    },
     /// `rd = rs1 <op> rs2` over f64 bits
-    Fp { op: FpOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Fp {
+        op: FpOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// `rd = imm` (64-bit immediate load)
     Li { rd: Reg, imm: i64 },
     /// `rd = mem[rs(base) + offset]` (8-byte word)
@@ -195,7 +210,12 @@ pub enum Inst {
     /// `mem[rs(base) + offset] = src`
     St { src: Reg, base: Reg, offset: i64 },
     /// Conditional branch to `target` when `cond(rs1, rs2)`.
-    Br { cond: Cond, rs1: Reg, rs2: Reg, target: u32 },
+    Br {
+        cond: Cond,
+        rs1: Reg,
+        rs2: Reg,
+        target: u32,
+    },
     /// Unconditional direct jump.
     Jmp { target: u32 },
     /// Unconditional indirect jump to the instruction index in `rs1`.
@@ -231,9 +251,7 @@ impl Inst {
     #[inline]
     pub fn sources(&self) -> [Option<Reg>; 2] {
         match *self {
-            Inst::Alu { rs1, rs2, .. } | Inst::Fp { rs1, rs2, .. } => {
-                [Some(rs1), Some(rs2)]
-            }
+            Inst::Alu { rs1, rs2, .. } | Inst::Fp { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
             Inst::AluImm { rs1, .. } => [Some(rs1), None],
             Inst::Li { .. } => [None, None],
             Inst::Ld { base, .. } => [Some(base), None],
@@ -397,7 +415,12 @@ mod tests {
 
     #[test]
     fn dest_r0_is_discarded() {
-        let i = Inst::Alu { op: AluOp::Add, rd: 0, rs1: 1, rs2: 2 };
+        let i = Inst::Alu {
+            op: AluOp::Add,
+            rd: 0,
+            rs1: 1,
+            rs2: 2,
+        };
         assert_eq!(i.dest(), None);
         let i = Inst::Li { rd: 5, imm: 7 };
         assert_eq!(i.dest(), Some(5));
@@ -405,37 +428,79 @@ mod tests {
 
     #[test]
     fn sources_per_format() {
-        let st = Inst::St { src: 3, base: 4, offset: 8 };
+        let st = Inst::St {
+            src: 3,
+            base: 4,
+            offset: 8,
+        };
         assert_eq!(st.sources(), [Some(4), Some(3)]);
         assert_eq!(st.dest(), None);
-        let ld = Inst::Ld { rd: 2, base: 9, offset: 0 };
+        let ld = Inst::Ld {
+            rd: 2,
+            base: 9,
+            offset: 0,
+        };
         assert_eq!(ld.sources(), [Some(9), None]);
-        let br = Inst::Br { cond: Cond::Eq, rs1: 1, rs2: 0, target: 3 };
+        let br = Inst::Br {
+            cond: Cond::Eq,
+            rs1: 1,
+            rs2: 0,
+            target: 3,
+        };
         assert_eq!(br.sources(), [Some(1), Some(0)]);
         assert_eq!(Inst::Halt.sources(), [None, None]);
     }
 
     #[test]
     fn classes_and_latencies() {
-        let mul = Inst::Alu { op: AluOp::Mul, rd: 1, rs1: 2, rs2: 3 };
+        let mul = Inst::Alu {
+            op: AluOp::Mul,
+            rd: 1,
+            rs1: 2,
+            rs2: 3,
+        };
         assert_eq!(mul.class(), FuClass::IntMul);
         assert_eq!(mul.class().latency(), Some(2));
-        let div = Inst::AluImm { op: AluOp::Div, rd: 1, rs1: 2, imm: 3 };
+        let div = Inst::AluImm {
+            op: AluOp::Div,
+            rd: 1,
+            rs1: 2,
+            imm: 3,
+        };
         assert_eq!(div.class(), FuClass::IntDiv);
         assert_eq!(div.class().latency(), Some(12));
-        let fdiv = Inst::Fp { op: FpOp::Fdiv, rd: 1, rs1: 2, rs2: 3 };
+        let fdiv = Inst::Fp {
+            op: FpOp::Fdiv,
+            rd: 1,
+            rs1: 2,
+            rs2: 3,
+        };
         assert_eq!(fdiv.class(), FuClass::FpDiv);
         assert_eq!(fdiv.class().latency(), Some(14));
-        let fmul = Inst::Fp { op: FpOp::Fmul, rd: 1, rs1: 2, rs2: 3 };
+        let fmul = Inst::Fp {
+            op: FpOp::Fmul,
+            rd: 1,
+            rs1: 2,
+            rs2: 3,
+        };
         assert_eq!(fmul.class().latency(), Some(4));
-        let ld = Inst::Ld { rd: 1, base: 2, offset: 0 };
+        let ld = Inst::Ld {
+            rd: 1,
+            base: 2,
+            offset: 0,
+        };
         assert_eq!(ld.class(), FuClass::Load);
         assert_eq!(ld.class().latency(), None);
     }
 
     #[test]
     fn branch_direction_helpers() {
-        let fwd = Inst::Br { cond: Cond::Eq, rs1: 1, rs2: 2, target: 10 };
+        let fwd = Inst::Br {
+            cond: Cond::Eq,
+            rs1: 1,
+            rs2: 2,
+            target: 10,
+        };
         assert!(fwd.is_forward_from(5));
         assert!(!fwd.is_forward_from(10));
         assert!(!fwd.is_forward_from(15));

@@ -15,12 +15,18 @@ pub struct Program {
 impl Program {
     /// Create an empty named program.
     pub fn new(name: impl Into<String>) -> Self {
-        Program { name: name.into(), insts: Vec::new() }
+        Program {
+            name: name.into(),
+            insts: Vec::new(),
+        }
     }
 
     /// Create from a raw instruction vector.
     pub fn from_insts(name: impl Into<String>, insts: Vec<Inst>) -> Self {
-        Program { name: name.into(), insts }
+        Program {
+            name: name.into(),
+            insts,
+        }
     }
 
     /// Number of instructions.
@@ -100,7 +106,12 @@ mod tests {
     #[test]
     fn validate_rejects_out_of_range_targets() {
         let p = prog(vec![
-            Inst::Br { cond: Cond::Eq, rs1: 0, rs2: 0, target: 5 },
+            Inst::Br {
+                cond: Cond::Eq,
+                rs1: 0,
+                rs2: 0,
+                target: 5,
+            },
             Inst::Halt,
         ]);
         assert_eq!(p.validate(), Err(0));
@@ -112,7 +123,12 @@ mod tests {
     fn listing_contains_every_pc() {
         let p = prog(vec![
             Inst::Li { rd: 1, imm: 3 },
-            Inst::Alu { op: AluOp::Add, rd: 2, rs1: 1, rs2: 1 },
+            Inst::Alu {
+                op: AluOp::Add,
+                rd: 2,
+                rs1: 1,
+                rs2: 1,
+            },
             Inst::Halt,
         ]);
         let l = p.listing();

@@ -1,0 +1,145 @@
+//! Randomized tests: assembler/disassembler round-trips for arbitrary
+//! instructions, and operand-helper consistency. Seeded `Rng64` keeps
+//! the suite deterministic with no external dependencies.
+
+use cfir_isa::{assemble, disasm::disasm, AluOp, Cond, FpOp, Inst, Program};
+use cfir_obs::Rng64;
+
+const ALU_OPS: [AluOp; 16] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::Div,
+    AluOp::Rem,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Sll,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Slt,
+    AluOp::Sltu,
+    AluOp::Seq,
+    AluOp::Sne,
+    AluOp::Sge,
+];
+const FP_OPS: [FpOp; 4] = [FpOp::Fadd, FpOp::Fsub, FpOp::Fmul, FpOp::Fdiv];
+const CONDS: [Cond; 6] = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Le, Cond::Gt];
+
+fn reg(rng: &mut Rng64) -> u8 {
+    rng.gen_range(0, 64) as u8
+}
+
+/// Any instruction whose direct targets stay inside a `len`-long
+/// program.
+fn any_inst(rng: &mut Rng64, len: u32) -> Inst {
+    match rng.gen_range(0, 11) {
+        0 => Inst::Alu {
+            op: ALU_OPS[rng.gen_range(0, 16) as usize],
+            rd: reg(rng),
+            rs1: reg(rng),
+            rs2: reg(rng),
+        },
+        1 => Inst::AluImm {
+            op: ALU_OPS[rng.gen_range(0, 16) as usize],
+            rd: reg(rng),
+            rs1: reg(rng),
+            imm: rng.next_u64() as i32 as i64,
+        },
+        2 => Inst::Fp {
+            op: FP_OPS[rng.gen_range(0, 4) as usize],
+            rd: reg(rng),
+            rs1: reg(rng),
+            rs2: reg(rng),
+        },
+        3 => Inst::Li {
+            rd: reg(rng),
+            imm: rng.next_u64() as i32 as i64,
+        },
+        4 => Inst::Ld {
+            rd: reg(rng),
+            base: reg(rng),
+            offset: rng.gen_range(0, 2048) as i64 - 1024,
+        },
+        5 => Inst::St {
+            src: reg(rng),
+            base: reg(rng),
+            offset: rng.gen_range(0, 2048) as i64 - 1024,
+        },
+        6 => Inst::Br {
+            cond: CONDS[rng.gen_range(0, 6) as usize],
+            rs1: reg(rng),
+            rs2: reg(rng),
+            target: rng.gen_range(0, len as u64) as u32,
+        },
+        7 => Inst::Jmp {
+            target: rng.gen_range(0, len as u64) as u32,
+        },
+        8 => Inst::Jr { rs1: reg(rng) },
+        9 => Inst::Nop,
+        _ => Inst::Halt,
+    }
+}
+
+#[test]
+fn disasm_assemble_roundtrip() {
+    let mut rng = Rng64::seed_from_u64(0x150);
+    for _ in 0..100 {
+        let n = rng.gen_range(1, 64) as usize;
+        let mut insts: Vec<Inst> = (0..n).map(|_| any_inst(&mut rng, 64)).collect();
+        // Pad to 64 so all branch targets are valid.
+        while insts.len() < 64 {
+            insts.push(Inst::Nop);
+        }
+        let text: String = insts.iter().map(|i| disasm(i) + "\n").collect();
+        let p = assemble("rt", &text).unwrap();
+        assert_eq!(p.insts, insts);
+    }
+}
+
+#[test]
+fn operand_helpers_are_consistent() {
+    let mut rng = Rng64::seed_from_u64(0x0b5);
+    for _ in 0..500 {
+        let inst = any_inst(&mut rng, 16);
+        // dest() only reports writable architectural state.
+        if let Some(d) = inst.dest() {
+            assert_ne!(d, 0, "r0 is never a reported destination: {inst}");
+        }
+        // Control classification is mutually consistent.
+        if inst.is_cond_branch() {
+            assert!(inst.is_control());
+            assert!(inst.static_target().is_some());
+        }
+        if inst.is_uncond_direct() {
+            assert!(inst.is_control());
+        }
+        // Latency exists for everything but loads.
+        if inst.is_load() {
+            assert!(inst.class().latency().is_none());
+        } else {
+            assert!(inst.class().latency().is_some(), "{inst}");
+        }
+    }
+}
+
+#[test]
+fn listing_parses_back() {
+    let mut rng = Rng64::seed_from_u64(0x715);
+    for _ in 0..100 {
+        let n = rng.gen_range(1, 32) as usize;
+        let mut insts: Vec<Inst> = (0..n).map(|_| any_inst(&mut rng, 32)).collect();
+        while insts.len() < 32 {
+            insts.push(Inst::Nop);
+        }
+        let p = Program::from_insts("t", insts);
+        // The listing prefixes PCs; strip them and re-assemble.
+        let stripped: String = p
+            .listing()
+            .lines()
+            .map(|l| l.split_once(": ").unwrap().1.to_string() + "\n")
+            .collect();
+        let p2 = assemble("t", &stripped).unwrap();
+        assert_eq!(p.insts, p2.insts);
+    }
+}

@@ -61,9 +61,15 @@ impl Cache {
     /// Panics if the line size is not a power of two or the geometry
     /// does not divide evenly.
     pub fn new(cfg: CacheConfig) -> Self {
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let sets = cfg.sets();
-        assert!(sets.is_power_of_two() && sets > 0, "set count must be a power of two");
+        assert!(
+            sets.is_power_of_two() && sets > 0,
+            "set count must be a power of two"
+        );
         assert_eq!(
             sets * cfg.line_bytes * cfg.assoc as u64,
             cfg.size_bytes,
@@ -111,7 +117,10 @@ impl Cache {
         if let Some(w) = ways.iter_mut().find(|w| w.valid && w.tag == line) {
             w.stamp = self.clock;
             w.dirty |= write;
-            return LookupResult { hit: true, writeback: None };
+            return LookupResult {
+                hit: true,
+                writeback: None,
+            };
         }
 
         self.misses += 1;
@@ -130,8 +139,16 @@ impl Cache {
         } else {
             None
         };
-        ways[victim] = Way { tag: line, valid: true, dirty: write, stamp: self.clock };
-        LookupResult { hit: false, writeback }
+        ways[victim] = Way {
+            tag: line,
+            valid: true,
+            dirty: write,
+            stamp: self.clock,
+        };
+        LookupResult {
+            hit: false,
+            writeback,
+        }
     }
 
     /// Probe without allocating or touching LRU state (diagnostics).
@@ -167,7 +184,12 @@ mod tests {
 
     fn tiny() -> Cache {
         // 2 sets x 2 ways x 32B lines = 128 B
-        Cache::new(CacheConfig { name: "T", size_bytes: 128, assoc: 2, line_bytes: 32 })
+        Cache::new(CacheConfig {
+            name: "T",
+            size_bytes: 128,
+            assoc: 2,
+            line_bytes: 32,
+        })
     }
 
     #[test]
@@ -246,7 +268,12 @@ mod tests {
 
     #[test]
     fn paper_l1d_geometry_is_valid() {
-        let c = Cache::new(CacheConfig { name: "L1D", size_bytes: 64 * 1024, assoc: 2, line_bytes: 32 });
+        let c = Cache::new(CacheConfig {
+            name: "L1D",
+            size_bytes: 64 * 1024,
+            assoc: 2,
+            line_bytes: 32,
+        });
         assert_eq!(c.config().sets(), 1024);
     }
 

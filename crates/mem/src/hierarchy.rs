@@ -39,10 +39,30 @@ impl HierarchyConfig {
     /// The exact configuration of Table 1 in the paper.
     pub fn paper() -> Self {
         HierarchyConfig {
-            l1i: CacheConfig { name: "L1I", size_bytes: 64 * 1024, assoc: 2, line_bytes: 64 },
-            l1d: CacheConfig { name: "L1D", size_bytes: 64 * 1024, assoc: 2, line_bytes: 32 },
-            l2: CacheConfig { name: "L2", size_bytes: 256 * 1024, assoc: 4, line_bytes: 32 },
-            l3: CacheConfig { name: "L3", size_bytes: 2 * 1024 * 1024, assoc: 4, line_bytes: 64 },
+            l1i: CacheConfig {
+                name: "L1I",
+                size_bytes: 64 * 1024,
+                assoc: 2,
+                line_bytes: 64,
+            },
+            l1d: CacheConfig {
+                name: "L1D",
+                size_bytes: 64 * 1024,
+                assoc: 2,
+                line_bytes: 32,
+            },
+            l2: CacheConfig {
+                name: "L2",
+                size_bytes: 256 * 1024,
+                assoc: 4,
+                line_bytes: 32,
+            },
+            l3: CacheConfig {
+                name: "L3",
+                size_bytes: 2 * 1024 * 1024,
+                assoc: 4,
+                line_bytes: 64,
+            },
             l1_hit: 1,
             l2_hit: 6,
             l3_hit: 18,
@@ -171,8 +191,16 @@ mod tests {
         assert_eq!(h.access_data(0, false), 100, "cold: memory");
         assert_eq!(h.access_data(0, false), 1, "now L1 hit");
         assert_eq!(h.access_data(8, false), 1, "same 32B line");
-        assert_eq!(h.access_data(32, false), 18, "next 32B line misses L1/L2 but hits the 64B L3 line");
-        assert_eq!(h.access_data(64, false), 100, "next 64B line is cold everywhere");
+        assert_eq!(
+            h.access_data(32, false),
+            18,
+            "next 32B line misses L1/L2 but hits the 64B L3 line"
+        );
+        assert_eq!(
+            h.access_data(64, false),
+            100,
+            "next 64B line is cold everywhere"
+        );
     }
 
     #[test]
@@ -235,7 +263,7 @@ mod tests {
         h.access_data(0, true); // dirty in L1
         h.access_data(32 * 1024, false);
         h.access_data(2 * 32 * 1024, false); // evicts dirty line 0 -> L2 write
-        // L2 should now have the line dirty; verify no panic and stats move.
+                                             // L2 should now have the line dirty; verify no panic and stats move.
         assert!(h.l1d.writebacks >= 1);
     }
 }

@@ -1,8 +1,9 @@
-//! Property tests: the set-associative cache against a naive reference
-//! model (a per-set LRU list), over random access streams.
+//! Randomized tests: the set-associative cache against a naive
+//! reference model (a per-set LRU list), over seeded random access
+//! streams.
 
 use cfir_mem::{Cache, CacheConfig};
-use proptest::prelude::*;
+use cfir_obs::Rng64;
 
 /// Naive reference: per set, a most-recent-first vector of
 /// (line, dirty) pairs bounded by the associativity.
@@ -44,11 +45,14 @@ impl RefCache {
     }
 }
 
-proptest! {
-    #[test]
-    fn cache_matches_reference_lru(
-        accesses in prop::collection::vec((0u64..4096, any::<bool>()), 1..400),
-    ) {
+#[test]
+fn cache_matches_reference_lru() {
+    let mut rng = Rng64::seed_from_u64(0xCAC4E);
+    for _ in 0..40 {
+        let n = rng.gen_range(1, 400) as usize;
+        let accesses: Vec<(u64, bool)> = (0..n)
+            .map(|_| (rng.gen_range(0, 4096), rng.gen_bool(0.5)))
+            .collect();
         // 2 sets x 2 ways x 32B: tiny enough that evictions are common.
         let mut dut = Cache::new(CacheConfig {
             name: "T",
@@ -60,17 +64,21 @@ proptest! {
         for &(addr, write) in &accesses {
             let r = dut.access(addr, write);
             let (hit, wb) = reference.access(addr, write);
-            prop_assert_eq!(r.hit, hit, "hit mismatch at {:#x}", addr);
-            prop_assert_eq!(r.writeback, wb, "writeback mismatch at {:#x}", addr);
+            assert_eq!(r.hit, hit, "hit mismatch at {addr:#x}");
+            assert_eq!(r.writeback, wb, "writeback mismatch at {addr:#x}");
         }
-        prop_assert_eq!(dut.accesses, accesses.len() as u64);
+        assert_eq!(dut.accesses, accesses.len() as u64);
     }
+}
 
-    #[test]
-    fn probe_agrees_with_contents(
-        accesses in prop::collection::vec(0u64..2048, 1..200),
-        probes in prop::collection::vec(0u64..2048, 1..50),
-    ) {
+#[test]
+fn probe_agrees_with_contents() {
+    let mut rng = Rng64::seed_from_u64(0x9204E);
+    for _ in 0..40 {
+        let n = rng.gen_range(1, 200) as usize;
+        let accesses: Vec<u64> = (0..n).map(|_| rng.gen_range(0, 2048)).collect();
+        let np = rng.gen_range(1, 50) as usize;
+        let probes: Vec<u64> = (0..np).map(|_| rng.gen_range(0, 2048)).collect();
         let mut dut = Cache::new(CacheConfig {
             name: "T",
             size_bytes: 256,
@@ -87,16 +95,19 @@ proptest! {
             let present = reference.sets[(line & 3) as usize]
                 .iter()
                 .any(|&(l, _)| l == line);
-            prop_assert_eq!(dut.probe(p), present, "probe {:#x}", p);
+            assert_eq!(dut.probe(p), present, "probe {p:#x}");
         }
     }
+}
 
-    #[test]
-    fn miss_count_bounded_by_distinct_lines_when_no_conflicts(
-        lines in prop::collection::vec(0u64..8, 1..100),
-    ) {
-        // 8 lines fit entirely in a 8-way fully-associative-equivalent
-        // cache (1 set x 8 ways): every line misses exactly once.
+#[test]
+fn miss_count_bounded_by_distinct_lines_when_no_conflicts() {
+    let mut rng = Rng64::seed_from_u64(0x315);
+    for _ in 0..40 {
+        let n = rng.gen_range(1, 100) as usize;
+        let lines: Vec<u64> = (0..n).map(|_| rng.gen_range(0, 8)).collect();
+        // 8 lines fit entirely in a 1-set x 8-way cache: every line
+        // misses exactly once.
         let mut dut = Cache::new(CacheConfig {
             name: "T",
             size_bytes: 256,
@@ -107,6 +118,6 @@ proptest! {
             dut.access(l * 32, false);
         }
         let distinct = lines.iter().collect::<std::collections::HashSet<_>>().len();
-        prop_assert_eq!(dut.misses as usize, distinct);
+        assert_eq!(dut.misses as usize, distinct);
     }
 }

@@ -1,0 +1,256 @@
+//! The `CFIR_TRACE` filter — parsed **once** at startup.
+//!
+//! Two syntaxes are accepted:
+//!
+//! * **Legacy** (kept for compatibility with the original ad-hoc
+//!   tracing): `PC[,CYCLE_LO[,CYCLE_HI]]` — three bare integers, e.g.
+//!   `CFIR_TRACE=10,0,3000`.
+//! * **Keyed**: space-separated `key=value` pairs, any subset of
+//!   - `pc=N` — only events for this program counter (decimal or `0x` hex)
+//!   - `cycle=LO..HI` — only events in this half-open cycle range
+//!   - `sub=a+b+c` — only these subsystems (`vec`, `commit`, `exec`, …)
+//!   - `sink=text` | `sink=jsonl:PATH` | `sink=chrome:PATH` — output format
+//!   - `cap=N` — ring-buffer capacity for buffered sinks
+//!
+//!   e.g. `CFIR_TRACE='sub=vec+flush cycle=0..50000 sink=chrome:trace.json'`.
+//!
+//! `CFIR_TRACE=1` (or any empty/boolean-ish value) traces everything
+//! to the text sink.
+
+use crate::event::Subsystem;
+
+/// Where trace output goes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum SinkSpec {
+    /// Human-readable lines on stderr.
+    #[default]
+    Text,
+    /// One JSON object per line, appended to a file.
+    Jsonl(String),
+    /// Chrome `trace_event` JSON (open in Perfetto / chrome://tracing).
+    Chrome(String),
+}
+
+/// Parsed trace filter. Matching is a couple of integer compares — no
+/// allocation, no environment access.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceFilter {
+    /// Only this PC (None = all PCs).
+    pub pc: Option<u64>,
+    /// Cycle range `[lo, hi)`.
+    pub cycle_lo: u64,
+    /// End of the cycle range (exclusive).
+    pub cycle_hi: u64,
+    /// Bitmask of enabled subsystems ([`Subsystem::bit`]).
+    pub subs: u16,
+    /// Output sink.
+    pub sink: SinkSpec,
+    /// Ring-buffer capacity for buffered sinks.
+    pub cap: usize,
+}
+
+impl Default for TraceFilter {
+    fn default() -> Self {
+        TraceFilter {
+            pc: None,
+            cycle_lo: 0,
+            cycle_hi: u64::MAX,
+            subs: u16::MAX,
+            sink: SinkSpec::Text,
+            cap: 1 << 16,
+        }
+    }
+}
+
+fn parse_int(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+impl TraceFilter {
+    /// Match-everything filter (used by `CFIR_DEBUG=1`).
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Parse a `CFIR_TRACE` value. Returns `Err` with a description on
+    /// malformed input so startup can fail loudly instead of silently
+    /// tracing nothing.
+    pub fn parse(spec: &str) -> Result<TraceFilter, String> {
+        let spec = spec.trim();
+        let mut f = TraceFilter::default();
+        if spec.is_empty() || spec == "1" || spec.eq_ignore_ascii_case("true") {
+            return Ok(f);
+        }
+
+        // Legacy form: bare integers `PC[,LO[,HI]]`.
+        if !spec.contains('=') {
+            let parts: Vec<&str> = spec.split(',').collect();
+            if parts.len() > 3 {
+                return Err(format!(
+                    "legacy CFIR_TRACE takes at most PC,LO,HI: `{spec}`"
+                ));
+            }
+            f.pc = Some(
+                parse_int(parts[0])
+                    .ok_or_else(|| format!("bad PC `{}` in CFIR_TRACE", parts[0]))?,
+            );
+            if let Some(lo) = parts.get(1) {
+                f.cycle_lo =
+                    parse_int(lo).ok_or_else(|| format!("bad cycle lo `{lo}` in CFIR_TRACE"))?;
+            }
+            if let Some(hi) = parts.get(2) {
+                f.cycle_hi =
+                    parse_int(hi).ok_or_else(|| format!("bad cycle hi `{hi}` in CFIR_TRACE"))?;
+            }
+            return Ok(f);
+        }
+
+        // Keyed form.
+        for tok in spec.split_whitespace() {
+            let (key, val) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got `{tok}` in CFIR_TRACE"))?;
+            match key {
+                "pc" => {
+                    f.pc = Some(
+                        parse_int(val).ok_or_else(|| format!("bad pc `{val}` in CFIR_TRACE"))?,
+                    )
+                }
+                "cycle" => {
+                    let (lo, hi) = val
+                        .split_once("..")
+                        .ok_or_else(|| format!("cycle wants LO..HI, got `{val}`"))?;
+                    f.cycle_lo = if lo.is_empty() {
+                        0
+                    } else {
+                        parse_int(lo).ok_or_else(|| format!("bad cycle lo `{lo}`"))?
+                    };
+                    f.cycle_hi = if hi.is_empty() {
+                        u64::MAX
+                    } else {
+                        parse_int(hi).ok_or_else(|| format!("bad cycle hi `{hi}`"))?
+                    };
+                }
+                "sub" => {
+                    let mut mask = 0u16;
+                    for name in val.split(['+', ',']) {
+                        let sub = Subsystem::parse(name)
+                            .ok_or_else(|| format!("unknown subsystem `{name}` in CFIR_TRACE"))?;
+                        mask |= sub.bit();
+                    }
+                    f.subs = mask;
+                }
+                "sink" => {
+                    f.sink = match val.split_once(':') {
+                        None if val == "text" => SinkSpec::Text,
+                        Some(("jsonl", path)) => SinkSpec::Jsonl(path.to_string()),
+                        Some(("chrome", path)) => SinkSpec::Chrome(path.to_string()),
+                        _ => {
+                            return Err(format!(
+                                "sink wants text | jsonl:PATH | chrome:PATH, got `{val}`"
+                            ))
+                        }
+                    };
+                }
+                "cap" => {
+                    f.cap = parse_int(val).ok_or_else(|| format!("bad cap `{val}`"))? as usize;
+                }
+                _ => return Err(format!("unknown CFIR_TRACE key `{key}`")),
+            }
+        }
+        Ok(f)
+    }
+
+    /// Does an event at (`sub`, `pc`, `cycle`) pass the filter?
+    #[inline]
+    pub fn matches(&self, sub: Subsystem, pc: u64, cycle: u64) -> bool {
+        (self.subs & sub.bit()) != 0
+            && cycle >= self.cycle_lo
+            && cycle < self.cycle_hi
+            && self.pc.is_none_or(|want| want == pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boolean_values_match_everything() {
+        for spec in ["1", "true", "", "  "] {
+            let f = TraceFilter::parse(spec).unwrap();
+            assert!(f.matches(Subsystem::Vec, 0, 0));
+            assert!(f.matches(Subsystem::Commit, 999, u64::MAX - 1));
+        }
+    }
+
+    #[test]
+    fn legacy_triple() {
+        let f = TraceFilter::parse("10,0,3000").unwrap();
+        assert_eq!(f.pc, Some(10));
+        assert_eq!((f.cycle_lo, f.cycle_hi), (0, 3000));
+        assert!(f.matches(Subsystem::Vec, 10, 2999));
+        assert!(!f.matches(Subsystem::Vec, 10, 3000));
+        assert!(!f.matches(Subsystem::Vec, 11, 100));
+
+        let f = TraceFilter::parse("0x20").unwrap();
+        assert_eq!(f.pc, Some(0x20));
+        assert_eq!(f.cycle_hi, u64::MAX);
+
+        assert!(TraceFilter::parse("10,20,30,40").is_err());
+        assert!(TraceFilter::parse("ten").is_err());
+    }
+
+    #[test]
+    fn keyed_form() {
+        let f = TraceFilter::parse("pc=0x10 cycle=100..200 sub=vec+flush").unwrap();
+        assert_eq!(f.pc, Some(0x10));
+        assert_eq!((f.cycle_lo, f.cycle_hi), (100, 200));
+        assert!(f.matches(Subsystem::Vec, 0x10, 150));
+        assert!(f.matches(Subsystem::Flush, 0x10, 150));
+        assert!(!f.matches(Subsystem::Commit, 0x10, 150));
+        assert!(!f.matches(Subsystem::Vec, 0x10, 99));
+        assert!(!f.matches(Subsystem::Vec, 0x11, 150));
+    }
+
+    #[test]
+    fn open_ended_cycle_ranges() {
+        let f = TraceFilter::parse("cycle=500..").unwrap();
+        assert_eq!((f.cycle_lo, f.cycle_hi), (500, u64::MAX));
+        let f = TraceFilter::parse("cycle=..500").unwrap();
+        assert_eq!((f.cycle_lo, f.cycle_hi), (0, 500));
+    }
+
+    #[test]
+    fn sinks_and_cap() {
+        assert_eq!(
+            TraceFilter::parse("sink=text").unwrap().sink,
+            SinkSpec::Text
+        );
+        assert_eq!(
+            TraceFilter::parse("sink=jsonl:/tmp/t.jsonl").unwrap().sink,
+            SinkSpec::Jsonl("/tmp/t.jsonl".into())
+        );
+        assert_eq!(
+            TraceFilter::parse("sink=chrome:trace.json sub=vec")
+                .unwrap()
+                .sink,
+            SinkSpec::Chrome("trace.json".into())
+        );
+        assert_eq!(TraceFilter::parse("cap=128").unwrap().cap, 128);
+        assert!(TraceFilter::parse("sink=xml:out").is_err());
+    }
+
+    #[test]
+    fn errors_are_loud() {
+        assert!(TraceFilter::parse("sub=bogus").is_err());
+        assert!(TraceFilter::parse("cycle=10").is_err());
+        assert!(TraceFilter::parse("frequency=11").is_err());
+        assert!(TraceFilter::parse("pc=zebra").is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! Power-of-two-bucket latency histograms.
+//!
+//! Bucket `i` counts samples whose value `v` satisfies
+//! `2^(i-1) <= v < 2^i` (bucket 0 counts `v == 0`). Recording is a
+//! `leading_zeros` and an add — cheap enough for per-instruction
+//! hot-path use. 65 buckets cover the full `u64` range.
+
+/// Number of buckets: value 0, then one per power of two up to 2^63.
+pub const BUCKETS: usize = 65;
+
+/// A latency histogram with power-of-two buckets.
+#[derive(Debug, Clone)]
+pub struct Hist {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Hist {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a value: 0 for 0, else `64 - leading_zeros`.
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Lower bound (inclusive) of bucket `i`.
+    pub fn bucket_lo(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Number of samples recorded.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample seen (0 if empty).
+    #[inline]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Iterator over non-empty buckets as `(bucket_lo, count)`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (Self::bucket_lo(i), c))
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Hist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// One-line human rendering: `count/mean/max` plus sparse buckets.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = format!("n={} mean={:.1} max={}", self.count, self.mean(), self.max);
+        for (lo, c) in self.nonzero_buckets() {
+            let _ = write!(s, " [{lo}+]={c}");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Hist::bucket_of(0), 0);
+        assert_eq!(Hist::bucket_of(1), 1);
+        assert_eq!(Hist::bucket_of(2), 2);
+        assert_eq!(Hist::bucket_of(3), 2);
+        assert_eq!(Hist::bucket_of(4), 3);
+        assert_eq!(Hist::bucket_of(7), 3);
+        assert_eq!(Hist::bucket_of(8), 4);
+        assert_eq!(Hist::bucket_of(u64::MAX), 64);
+        // Every bucket's lower bound maps back into that bucket.
+        for i in 0..BUCKETS {
+            assert_eq!(Hist::bucket_of(Hist::bucket_lo(i)), i, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn record_and_stats() {
+        let mut h = Hist::new();
+        for v in [0, 1, 1, 3, 8, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 113);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 113.0 / 6.0).abs() < 1e-12);
+        let buckets: Vec<(u64, u64)> = h.nonzero_buckets().collect();
+        // 0 → [0], 1,1 → [1], 3 → [2,4), 8 → [8,16), 100 → [64,128)
+        assert_eq!(buckets, vec![(0, 1), (1, 2), (2, 1), (8, 1), (64, 1)]);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        for v in 0..50 {
+            a.record(v);
+            b.record(v * 3);
+        }
+        let (ca, cb, sa, sb) = (a.count(), b.count(), a.sum(), b.sum());
+        a.merge(&b);
+        assert_eq!(a.count(), ca + cb);
+        assert_eq!(a.sum(), sa + sb);
+        assert_eq!(a.max(), 49 * 3);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Hist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.nonzero_buckets().count(), 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! # cfir-obs — observability layer for the CFIR simulator
+//!
+//! A self-contained (zero external dependencies) telemetry toolkit used
+//! by every other crate in the workspace:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`hist`] | power-of-two-bucket latency histograms |
+//! | [`stall`] | per-cycle stall-attribution causes and breakdown |
+//! | [`event`] | typed trace events (vectorize/validate/flush/…) |
+//! | [`filter`] | `CFIR_TRACE` filter, parsed **once** at startup |
+//! | [`sink`] | pluggable sinks: human text, JSONL, Chrome `trace_event` |
+//! | [`trace`] | the [`Tracer`](trace::Tracer) tying filter + sinks together |
+//! | [`json`] | hand-rolled JSON writer + minimal parser (no serde) |
+//! | [`rng`] | splitmix64 / xoshiro256** PRNG (replaces the `rand` crate) |
+//!
+//! ## Zero overhead when disabled
+//!
+//! The simulator holds an `Option<Tracer>`; when `CFIR_TRACE` /
+//! `CFIR_DEBUG` / `CFIR_CSTREAM` are unset the option is `None` and
+//! every trace site costs exactly one branch — no `format!`, no
+//! `env::var`, no allocation. Event payloads are built lazily, only
+//! after the parse-once filter has matched.
+
+pub mod event;
+pub mod filter;
+pub mod hist;
+pub mod json;
+pub mod rng;
+pub mod sink;
+pub mod stall;
+pub mod trace;
+
+pub use event::{EventKind, Subsystem, TraceEvent};
+pub use filter::TraceFilter;
+pub use hist::Hist;
+pub use json::{JsonValue, JsonWriter};
+pub use rng::Rng64;
+pub use stall::{StallBreakdown, StallCause};
+pub use trace::Tracer;
+
+/// Lazily emit a trace event through an `Option<Tracer>`.
+///
+/// The first three expressions (tracer option, subsystem, pc, cycle)
+/// are evaluated unconditionally — they must be cheap. The final
+/// expression builds the [`EventKind`] payload and is evaluated **only
+/// if** the parse-once filter matches, so disabled tracing costs a
+/// single branch on the `Option`.
+///
+/// ```
+/// use cfir_obs::{trace_event, Subsystem, EventKind, Tracer};
+/// let tracer: Option<Tracer> = None; // disabled: body never evaluated
+/// trace_event!(tracer, Subsystem::Vec, 0x10, 42, EventKind::Note {
+///     msg: format!("this format! never runs"),
+/// });
+/// ```
+#[macro_export]
+macro_rules! trace_event {
+    ($tracer:expr, $sub:expr, $pc:expr, $cycle:expr, $kind:expr) => {
+        if let Some(t) = ($tracer).as_ref() {
+            if t.enabled($sub, $pc, $cycle) {
+                t.emit($sub, $pc, $cycle, $kind);
+            }
+        }
+    };
+}

@@ -1,0 +1,188 @@
+//! Per-cycle stall attribution.
+//!
+//! Every cycle the pipeline has `commit_width` commit slots. Slots
+//! that retire an instruction are charged to [`StallCause::Useful`];
+//! every remaining slot is charged to exactly one cause, chosen by the
+//! pipeline's priority rules (see `cfir-sim::stall_attr`). The
+//! invariant — checked by [`StallBreakdown::check_sum`] and an
+//! integration test — is that all buckets sum to `cycles × width`.
+
+/// Why a commit slot did no useful work this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum StallCause {
+    /// Slot retired an instruction.
+    Useful = 0,
+    /// ROB empty and no decoded instructions waiting (front-end dry:
+    /// I-cache miss, redirect bubble, or program drained).
+    FetchStarved,
+    /// Dispatch blocked: no free physical register.
+    RenameRegs,
+    /// Dispatch blocked: decode queue backed up behind a not-yet-ready
+    /// instruction (in-order dispatch window full).
+    IqFull,
+    /// Dispatch blocked: load/store queue full.
+    LsqFull,
+    /// Dispatch blocked: reorder buffer full.
+    RobFull,
+    /// Oldest instruction issued but still executing on a functional
+    /// unit (or waiting for issue bandwidth).
+    FuContention,
+    /// Oldest instruction is a load missing in the data cache.
+    DCacheMiss,
+    /// Oldest instruction waits on source operands (data dependency).
+    DataDependency,
+    /// Pipeline flushed this cycle (branch repair / mechanism
+    /// validation failure recovery).
+    RepairFlush,
+    /// Oldest instruction waits on a replica value that has not been
+    /// arbitrated onto the reuse bus yet.
+    ReplicaArbitration,
+    /// Oldest instruction is done but commit bandwidth (store ports /
+    /// D-cache write ports) ran out.
+    CommitBandwidth,
+}
+
+/// Number of stall causes (including `Useful`).
+pub const NUM_CAUSES: usize = 12;
+
+/// All causes, in bucket order.
+pub const ALL_CAUSES: [StallCause; NUM_CAUSES] = [
+    StallCause::Useful,
+    StallCause::FetchStarved,
+    StallCause::RenameRegs,
+    StallCause::IqFull,
+    StallCause::LsqFull,
+    StallCause::RobFull,
+    StallCause::FuContention,
+    StallCause::DCacheMiss,
+    StallCause::DataDependency,
+    StallCause::RepairFlush,
+    StallCause::ReplicaArbitration,
+    StallCause::CommitBandwidth,
+];
+
+impl StallCause {
+    /// Stable snake_case key (used in JSON snapshots).
+    pub fn key(self) -> &'static str {
+        match self {
+            StallCause::Useful => "useful",
+            StallCause::FetchStarved => "fetch_starved",
+            StallCause::RenameRegs => "rename_blocked_on_regs",
+            StallCause::IqFull => "iq_full",
+            StallCause::LsqFull => "lsq_full",
+            StallCause::RobFull => "rob_full",
+            StallCause::FuContention => "fu_contention",
+            StallCause::DCacheMiss => "dcache_miss",
+            StallCause::DataDependency => "data_dependency",
+            StallCause::RepairFlush => "repair_flush",
+            StallCause::ReplicaArbitration => "replica_arbitration",
+            StallCause::CommitBandwidth => "commit_bandwidth",
+        }
+    }
+}
+
+/// Slot counts per cause. `buckets[cause as usize]` is the number of
+/// commit slots charged to that cause over the whole run.
+#[derive(Debug, Clone, Default)]
+pub struct StallBreakdown {
+    buckets: [u64; NUM_CAUSES],
+}
+
+impl StallBreakdown {
+    /// Empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge `slots` commit slots to `cause`.
+    #[inline]
+    pub fn charge(&mut self, cause: StallCause, slots: u64) {
+        self.buckets[cause as usize] += slots;
+    }
+
+    /// Slots charged to one cause.
+    #[inline]
+    pub fn get(&self, cause: StallCause) -> u64 {
+        self.buckets[cause as usize]
+    }
+
+    /// Total slots across all buckets.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Verify the accounting invariant: buckets sum to `cycles × width`.
+    pub fn check_sum(&self, cycles: u64, width: u64) -> Result<(), String> {
+        let want = cycles * width;
+        let got = self.total();
+        if got == want {
+            Ok(())
+        } else {
+            Err(format!(
+                "stall buckets sum to {got}, expected cycles*width = {want}"
+            ))
+        }
+    }
+
+    /// `(key, slots)` for every cause, in bucket order.
+    pub fn iter(&self) -> impl Iterator<Item = (StallCause, u64)> + '_ {
+        ALL_CAUSES
+            .iter()
+            .map(move |&c| (c, self.buckets[c as usize]))
+    }
+
+    /// Human table: one `cause: slots (pct%)` line per non-empty bucket.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let total = self.total().max(1) as f64;
+        let mut s = String::new();
+        for (c, n) in self.iter() {
+            if n != 0 {
+                let _ = writeln!(
+                    s,
+                    "  {:<24} {:>12} ({:5.1}%)",
+                    c.key(),
+                    n,
+                    n as f64 / total * 100.0
+                );
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_sum() {
+        let mut b = StallBreakdown::new();
+        b.charge(StallCause::Useful, 10);
+        b.charge(StallCause::DCacheMiss, 5);
+        b.charge(StallCause::Useful, 1);
+        assert_eq!(b.get(StallCause::Useful), 11);
+        assert_eq!(b.get(StallCause::DCacheMiss), 5);
+        assert_eq!(b.total(), 16);
+        assert_eq!(b.check_sum(2, 8), Ok(()));
+        assert!(b.check_sum(3, 8).is_err());
+    }
+
+    #[test]
+    fn keys_are_unique_and_stable() {
+        let mut seen = std::collections::HashSet::new();
+        for c in ALL_CAUSES {
+            assert!(seen.insert(c.key()), "duplicate key {}", c.key());
+        }
+        assert_eq!(seen.len(), NUM_CAUSES);
+        assert_eq!(StallCause::Useful as usize, 0);
+    }
+
+    #[test]
+    fn discriminants_are_dense() {
+        for (i, c) in ALL_CAUSES.iter().enumerate() {
+            assert_eq!(*c as usize, i);
+        }
+    }
+}

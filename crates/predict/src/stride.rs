@@ -34,7 +34,8 @@ impl StrideEntry {
     /// (`last_addr + stride * n`, §2.3.3).
     #[inline]
     pub fn predict(&self, n: u64) -> u64 {
-        self.last_addr.wrapping_add((self.stride as u64).wrapping_mul(n))
+        self.last_addr
+            .wrapping_add((self.stride as u64).wrapping_mul(n))
     }
 }
 
@@ -64,7 +65,13 @@ impl StridePredictor {
         assert!(sets.is_power_of_two() && sets > 0);
         assert!(assoc > 0);
         let empty = Way {
-            entry: StrideEntry { pc: 0, last_addr: 0, stride: 0, confidence: 0, selected: false },
+            entry: StrideEntry {
+                pc: 0,
+                last_addr: 0,
+                stride: 0,
+                confidence: 0,
+                selected: false,
+            },
             valid: false,
             stamp: 0,
         };
@@ -138,7 +145,13 @@ impl StridePredictor {
             self.replacements += 1;
         }
         self.ways[slot] = Way {
-            entry: StrideEntry { pc, last_addr: addr, stride: 0, confidence: 0, selected: false },
+            entry: StrideEntry {
+                pc,
+                last_addr: addr,
+                stride: 0,
+                confidence: 0,
+                selected: false,
+            },
             valid: true,
             stamp: self.clock,
         };
@@ -219,7 +232,10 @@ mod tests {
         sp.observe(0x100, 55555); // blip
         let e = sp.lookup(0x100).unwrap();
         assert_eq!(e.stride, 8, "stride kept while confidence drains");
-        assert!(e.trusted(), "one blip only drops a saturated counter to 2, still trusted");
+        assert!(
+            e.trusted(),
+            "one blip only drops a saturated counter to 2, still trusted"
+        );
         // Two more irregular accesses drain confidence below the threshold.
         sp.observe(0x100, 999);
         sp.observe(0x100, 123456);
@@ -237,7 +253,9 @@ mod tests {
         let mut sp = StridePredictor::paper();
         let mut x = 0x12345u64;
         for _ in 0..100 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             sp.observe(0x200, x);
         }
         assert!(!sp.is_strided(0x200));

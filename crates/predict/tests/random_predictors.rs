@@ -1,27 +1,29 @@
-//! Property tests for the predictors.
+//! Randomized tests for the predictors, over a seeded in-tree PRNG.
 
+use cfir_obs::Rng64;
 use cfir_predict::{Gshare, StridePredictor};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn gshare_history_restore_is_exact(
-        pushes in prop::collection::vec(any::<bool>(), 1..64),
-    ) {
+#[test]
+fn gshare_history_restore_is_exact() {
+    let mut rng = Rng64::seed_from_u64(0x6541);
+    for _ in 0..50 {
+        let n = rng.gen_range(1, 64) as usize;
         let mut g = Gshare::new(1024);
         let h0 = g.history();
-        for &t in &pushes {
-            g.push(t);
+        for _ in 0..n {
+            g.push(rng.gen_bool(0.5));
         }
         g.restore_history(h0);
-        prop_assert_eq!(g.history(), h0);
+        assert_eq!(g.history(), h0);
     }
+}
 
-    #[test]
-    fn gshare_converges_on_constant_direction(
-        pc in (0u64..4096).prop_map(|x| x * 4),
-        taken in any::<bool>(),
-    ) {
+#[test]
+fn gshare_converges_on_constant_direction() {
+    let mut rng = Rng64::seed_from_u64(0x6542);
+    for _ in 0..100 {
+        let pc = rng.gen_range(0, 4096) * 4;
+        let taken = rng.gen_bool(0.5);
         let mut g = Gshare::new(4096);
         for _ in 0..32 {
             let h = g.history();
@@ -36,15 +38,17 @@ proptest! {
         let h = g.history();
         let p = g.predict_and_update(pc);
         g.restore_history(h);
-        prop_assert_eq!(p, taken);
+        assert_eq!(p, taken, "pc {pc:#x} taken {taken}");
     }
+}
 
-    #[test]
-    fn stride_trust_requires_three_consistent_deltas(
-        base in 0u64..1_000_000,
-        stride in 1i64..512,
-        n in 1usize..10,
-    ) {
+#[test]
+fn stride_trust_requires_three_consistent_deltas() {
+    let mut rng = Rng64::seed_from_u64(0x57211);
+    for _ in 0..200 {
+        let base = rng.gen_range(0, 1_000_000);
+        let stride = rng.gen_range(1, 512) as i64;
+        let n = rng.gen_range(1, 10) as usize;
         let mut sp = StridePredictor::paper();
         for i in 0..n {
             sp.observe(0x80, base.wrapping_add((stride as u64) * i as u64));
@@ -52,21 +56,27 @@ proptest! {
         let trusted = sp.is_strided(0x80);
         // Entry allocated at obs 1 (conf 0, stride 0); stride locks at
         // obs 2; confidence reaches 2 at obs 4.
-        prop_assert_eq!(trusted, n >= 4, "n = {}", n);
+        assert_eq!(trusted, n >= 4, "n = {n}");
         if trusted {
             let e = sp.lookup(0x80).unwrap();
-            prop_assert_eq!(e.stride, stride);
+            assert_eq!(e.stride, stride);
         }
     }
+}
 
-    #[test]
-    fn stride_sets_are_isolated(
-        pcs in prop::collection::hash_set(0u64..256u64, 2..8),
-    ) {
+#[test]
+fn stride_sets_are_isolated() {
+    let mut rng = Rng64::seed_from_u64(0x57212);
+    for _ in 0..50 {
         // Each PC gets its own arithmetic sequence; none may corrupt
         // another's stride.
+        let mut set = std::collections::HashSet::new();
+        let want = rng.gen_range(2, 8) as usize;
+        while set.len() < want {
+            set.insert(rng.gen_range(0, 256));
+        }
+        let pcs: Vec<u64> = set.into_iter().map(|p: u64| p * 4).collect();
         let mut sp = StridePredictor::paper();
-        let pcs: Vec<u64> = pcs.into_iter().map(|p| p * 4).collect();
         for round in 0..6u64 {
             for (k, &pc) in pcs.iter().enumerate() {
                 let stride = 8 * (k as u64 + 1);
@@ -75,8 +85,8 @@ proptest! {
         }
         for (k, &pc) in pcs.iter().enumerate() {
             let e = sp.lookup(pc).unwrap();
-            prop_assert_eq!(e.stride, 8 * (k as i64 + 1), "pc {:#x}", pc);
-            prop_assert!(e.trusted());
+            assert_eq!(e.stride, 8 * (k as i64 + 1), "pc {pc:#x}");
+            assert!(e.trusted());
         }
     }
 }

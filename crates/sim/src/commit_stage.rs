@@ -7,6 +7,7 @@ use crate::rob::{RobEntry, RobState};
 use cfir_core::RenameExt;
 use cfir_emu::MemImage;
 use cfir_isa::{Inst, Program, NUM_LOGICAL_REGS};
+use cfir_obs::{trace_event, EventKind, Subsystem};
 
 impl Pipeline<'_> {
     /// Architecturally-correct result of `e`, computed from committed
@@ -16,9 +17,7 @@ impl Pipeline<'_> {
             Inst::Alu { op, rs1, rs2, .. } => {
                 op.eval(self.arch_regs[rs1 as usize], self.arch_regs[rs2 as usize])
             }
-            Inst::AluImm { op, rs1, imm, .. } => {
-                op.eval(self.arch_regs[rs1 as usize], imm as u64)
-            }
+            Inst::AluImm { op, rs1, imm, .. } => op.eval(self.arch_regs[rs1 as usize], imm as u64),
             Inst::Fp { op, rs1, rs2, .. } => {
                 op.eval(self.arch_regs[rs1 as usize], self.arch_regs[rs2 as usize])
             }
@@ -53,16 +52,6 @@ impl Pipeline<'_> {
             let mut flush_after = false;
 
             // --- Reuse finalisation (architectural verify) ---
-            if self.dbg && std::env::var_os("CFIR_TRACE").is_some() && e.pc == 10 && self.cycle < 3000 {
-                let addr = MemImage::align(
-                    self.arch_regs[if let Inst::Ld { base, .. } = e.inst { base as usize } else { 0 }]
-                        .wrapping_add(if let Inst::Ld { offset, .. } = e.inst { offset as u64 } else { 0 }),
-                );
-                eprintln!(
-                    "[{}] pc=10 commit reuse={} e.addr={:?} true_addr={:#x}",
-                    self.cycle, e.reuse.is_some(), e.addr, addr
-                );
-            }
             if let Some(r) = e.reuse {
                 let correct = self.arch_value_of(&e);
                 if correct == r.value {
@@ -82,8 +71,7 @@ impl Pipeline<'_> {
                     // repair architecturally and flush the poisoned
                     // pipeline (counts as mis-speculation recovery).
                     self.stats.commit_check_failures += 1;
-                    if self.dbg && self.stats.commit_check_failures <= 20
-                    {
+                    trace_event!(self.tracer, Subsystem::Commit, e.pc as u64, self.cycle, {
                         let entdbg = r
                             .srsmt_idx
                             .and_then(|i| self.mech.as_ref().unwrap().srsmt.get(i))
@@ -102,24 +90,24 @@ impl Pipeline<'_> {
                         } else {
                             None
                         };
-                        eprintln!(
-                            "commitfail cycle={} seq={} pc={} inst={} got={:#x} want={:#x} true_addr={:x?} e.addr={:x?} replica={} gen={} pending_was={} | {}",
-                            self.cycle, e.seq, e.pc, e.inst, r.value, correct, true_addr, e.addr, r.replica, r.gen, r.pending, entdbg
-                        );
-                    }
+                        EventKind::Note {
+                            msg: format!(
+                                "commitfail seq={} inst={} got={:#x} want={:#x} true_addr={:x?} e.addr={:x?} replica={} gen={} pending_was={} | {}",
+                                e.seq, e.inst, r.value, correct, true_addr, e.addr, r.replica,
+                                r.gen, r.pending, entdbg
+                            ),
+                        }
+                    });
                     e.value = correct;
                     if let Some(p) = e.new_phys {
                         self.rf.force_ready(p, correct);
                     }
                     if let Some(idx) = r.srsmt_idx {
                         let mut m = self.mech.take().unwrap();
-                        self.teardown_srsmt(&mut m, idx);
+                        self.teardown_srsmt(&mut m, idx, "commit_repair");
                         // Confidence: repeated commit-time repairs
                         // blacklist the PC from re-vectorization.
-                        let c = m
-                            .misspec_count
-                            .entry(Program::byte_pc(e.pc))
-                            .or_insert(0);
+                        let c = m.misspec_count.entry(Program::byte_pc(e.pc)).or_insert(0);
                         *c = c.saturating_add(1);
                         self.mech = Some(m);
                     }
@@ -138,9 +126,8 @@ impl Pipeline<'_> {
             // --- Per-kind architectural action ---
             match e.inst {
                 Inst::St { src, base, offset } => {
-                    let addr = MemImage::align(
-                        self.arch_regs[base as usize].wrapping_add(offset as u64),
-                    );
+                    let addr =
+                        MemImage::align(self.arch_regs[base as usize].wrapping_add(offset as u64));
                     let value = self.arch_regs[src as usize];
                     debug_assert_eq!(Some(addr), e.addr, "store address diverged");
                     debug_assert_eq!(value, e.value, "store data diverged");
@@ -160,7 +147,7 @@ impl Pipeline<'_> {
                         if !hits.is_empty() {
                             self.stats.store_conflicts += hits.len() as u64;
                             for idx in hits {
-                                self.teardown_srsmt(&mut m, idx);
+                                self.teardown_srsmt(&mut m, idx, "store_conflict");
                             }
                             flush_after = true;
                         }
@@ -169,8 +156,8 @@ impl Pipeline<'_> {
                 }
                 Inst::Br { .. } => {
                     self.stats.branches += 1;
-                    self.arch_ghist = ((self.arch_ghist << 1) | e.actual_taken as u64)
-                        & ((1u64 << 16) - 1);
+                    self.arch_ghist =
+                        ((self.arch_ghist << 1) | e.actual_taken as u64) & ((1u64 << 16) - 1);
                     self.gshare
                         .train(Program::byte_pc(e.pc), e.ghist, e.actual_taken);
                     if let Some(m) = &mut self.mech {
@@ -219,16 +206,16 @@ impl Pipeline<'_> {
                 }
             }
 
-            if self.dbg
-                && std::env::var_os("CFIR_CSTREAM").is_some()
-                && (280..=300).contains(&self.cycle)
-            {
-                eprintln!(
-                    "C[{}] seq={} pc={} {} val={:#x} r2={} reuse={} probe={}",
-                    self.cycle, e.seq, e.pc, e.inst, e.value,
-                    self.arch_regs[2], e.reuse.is_some(), e.probe.is_some()
-                );
-            }
+            trace_event!(
+                self.tracer,
+                Subsystem::Commit,
+                e.pc as u64,
+                self.cycle,
+                EventKind::Commit {
+                    seq: e.seq,
+                    value: e.value
+                }
+            );
 
             if let Some((cap, q)) = &mut self.commit_log {
                 if q.len() == *cap {
@@ -248,12 +235,17 @@ impl Pipeline<'_> {
             self.cosim_check(&e);
 
             self.last_committed_seq = e.seq;
+            if let Some(fc) = self.last_flush_cycle.take() {
+                self.stats.h_flush_recovery.record(self.cycle - fc);
+            }
             self.stats.committed += 1;
             // The mis-speculation blacklist ages: bootstrap-phase
             // failures should not bar a PC forever, only chronic ones.
             if self.stats.committed.is_multiple_of(32_768) {
                 if let Some(m) = &mut self.mech {
-                    m.misspec_count.values_mut().for_each(|c| *c = c.saturating_sub(1));
+                    m.misspec_count
+                        .values_mut()
+                        .for_each(|c| *c = c.saturating_sub(1));
                     m.misspec_count.retain(|_, c| *c > 0);
                 }
             }
@@ -272,7 +264,9 @@ impl Pipeline<'_> {
 
     /// Probe variant of [`Pipeline::finish_reuse_commit`].
     fn finish_reuse_commit_probe(&mut self, pr: crate::rob::ProbeInfo) {
-        let Some(mut m) = self.mech.take() else { return };
+        let Some(mut m) = self.mech.take() else {
+            return;
+        };
         let matches_entry = m
             .srsmt
             .get(pr.srsmt_idx)
@@ -293,7 +287,9 @@ impl Pipeline<'_> {
     /// Advance the SRSMT `commit` pointer for a verified reuse and free
     /// the consumed replica's storage.
     fn finish_reuse_commit(&mut self, e: &RobEntry, idx: usize, gen: u32) {
-        let Some(mut m) = self.mech.take() else { return };
+        let Some(mut m) = self.mech.take() else {
+            return;
+        };
         let matches_entry = m
             .srsmt
             .get(idx)
@@ -330,6 +326,18 @@ impl Pipeline<'_> {
         self.decode_q.clear();
         self.lsq.clear();
         self.stats.squashed += squashed;
+        self.flushed_this_cycle = true;
+        self.last_flush_cycle = Some(self.cycle);
+        trace_event!(
+            self.tracer,
+            Subsystem::Flush,
+            resume_pc as u64,
+            self.cycle,
+            EventKind::RepairFlush {
+                resume_pc: resume_pc as u64,
+                squashed
+            }
+        );
         self.rmap = self.arch_map;
         self.ext = [RenameExt::new(); NUM_LOGICAL_REGS];
         // Resume with the committed branch history so the predictor's
@@ -356,7 +364,8 @@ impl Pipeline<'_> {
                         self.rf.free(id);
                     }
                 }
-                self.replicas.retain(|r| !(r.pc == ent.pc && r.gen == ent.gen));
+                self.replicas
+                    .retain(|r| !(r.pc == ent.pc && r.gen == ent.gen));
             }
             self.mech = Some(m);
         }
@@ -376,7 +385,9 @@ impl Pipeline<'_> {
 
     /// Lock-step golden-model comparison at commit.
     fn cosim_check(&mut self, e: &RobEntry) {
-        let Some(mut emu) = self.emu.take() else { return };
+        let Some(mut emu) = self.emu.take() else {
+            return;
+        };
         let r = emu
             .step(self.prog)
             .unwrap_or_else(|| panic!("golden model stopped before pc {}", e.pc));
@@ -388,7 +399,8 @@ impl Pipeline<'_> {
         if let Some((d, v)) = r.wrote {
             let got = self.arch_regs[d as usize];
             assert_eq!(
-                got, v,
+                got,
+                v,
                 "cosim: pc {} wrote r{d}={got:#x}, golden model says {v:#x} (cycle {}, reuse={})",
                 e.pc,
                 self.cycle,
@@ -396,7 +408,11 @@ impl Pipeline<'_> {
             );
         }
         if e.inst.is_store() {
-            assert_eq!(r.addr, e.addr, "cosim: store address mismatch at pc {}", e.pc);
+            assert_eq!(
+                r.addr, e.addr,
+                "cosim: store address mismatch at pc {}",
+                e.pc
+            );
         }
         if e.inst.is_control() {
             assert_eq!(

@@ -253,7 +253,13 @@ mod tests {
         assert!(Mode::CiIw.selects_ci());
         assert!(!Mode::Vect.selects_ci());
         assert_eq!(Mode::Ci.label(), "ci");
-        for m in [Mode::Scalar, Mode::WideBus, Mode::CiIw, Mode::Ci, Mode::Vect] {
+        for m in [
+            Mode::Scalar,
+            Mode::WideBus,
+            Mode::CiIw,
+            Mode::Ci,
+            Mode::Vect,
+        ] {
             assert_eq!(Mode::from_label(m.label()), Some(m), "label round-trip");
         }
         assert_eq!(Mode::from_label("nope"), None);

@@ -3,6 +3,7 @@
 use crate::pipeline::Pipeline;
 use crate::rob::RobState;
 use cfir_isa::{FuClass, Inst, Program};
+use cfir_obs::{trace_event, EventKind, Subsystem};
 
 impl Pipeline<'_> {
     /// Whether a functional unit of `class` is free this cycle, and
@@ -55,15 +56,22 @@ impl Pipeline<'_> {
             }
             return Some(lat);
         }
-        if self.outstanding_misses.len() >= self.cfg.mshrs as usize && !self.hier.l1d.probe(addr)
-        {
+        if self.outstanding_misses.len() >= self.cfg.mshrs as usize && !self.hier.l1d.probe(addr) {
             return None; // would miss and MSHRs are full
         }
         let lat = self.hier.access_data(addr, false);
         self.res.dports -= 1;
         self.stats.l1d_accesses += 1;
         if lat > self.cfg.hierarchy.l1_hit {
-            self.outstanding_misses.push((line, self.cycle + lat as u64));
+            self.outstanding_misses
+                .push((line, self.cycle + lat as u64));
+            trace_event!(
+                self.tracer,
+                Subsystem::Mem,
+                0,
+                self.cycle,
+                EventKind::CacheMiss { addr, latency: lat }
+            );
         }
         if wide {
             self.res
@@ -87,10 +95,7 @@ impl Pipeline<'_> {
             }
             // Operand readiness.
             let srcs = self.rob[i].src_phys;
-            let ready = srcs
-                .iter()
-                .flatten()
-                .all(|&p| self.rf.is_ready(p));
+            let ready = srcs.iter().flatten().all(|&p| self.rf.is_ready(p));
             if !ready {
                 continue;
             }
@@ -106,6 +111,7 @@ impl Pipeline<'_> {
                     match self.lsq.search_for_load(seq, addr) {
                         crate::lsq::LoadSearch::Stall => continue,
                         crate::lsq::LoadSearch::Forwarded(v) => {
+                            self.stats.h_load_to_use.record(1);
                             let e = &mut self.rob[i];
                             e.addr = Some(addr);
                             e.value = v;
@@ -113,13 +119,18 @@ impl Pipeline<'_> {
                             e.done_at = self.cycle + 1;
                         }
                         crate::lsq::LoadSearch::CacheAccess => {
-                            let Some(lat) = self.arbitrate_load(addr) else { continue };
+                            let Some(lat) = self.arbitrate_load(addr) else {
+                                continue;
+                            };
                             let v = self.mem.read(addr);
+                            self.stats.h_load_to_use.record(lat as u64);
+                            let miss = lat > self.cfg.hierarchy.l1_hit;
                             let e = &mut self.rob[i];
                             e.addr = Some(addr);
                             e.value = v;
                             e.state = RobState::Executing;
                             e.done_at = self.cycle + lat as u64;
+                            e.dcache_miss = miss;
                         }
                     }
                     self.res.issue -= 1;
@@ -253,6 +264,8 @@ impl Pipeline<'_> {
             let inst = self.rob[i].inst;
             if matches!(inst, Inst::Br { .. } | Inst::Jr { .. }) {
                 self.rob[i].resolved = true;
+                let wait = self.cycle.saturating_sub(self.rob[i].dispatched_at);
+                self.stats.h_branch_resolve.record(wait);
                 if let Inst::Jr { .. } = inst {
                     let (pc, tgt) = (self.rob[i].pc, self.rob[i].actual_target);
                     self.jr_btb.insert(pc, tgt);
@@ -347,9 +360,18 @@ impl Pipeline<'_> {
 
         // Fix SRSMT decode counters for validations that survived.
         self.recount_srsmt_decode();
-        if self.dbg {
-            self.trace(bpc, &format!("recovery bseq={bseq} bpc={bpc}"));
-        }
+        self.flushed_this_cycle = true;
+        self.last_flush_cycle = Some(self.cycle);
+        trace_event!(
+            self.tracer,
+            Subsystem::Flush,
+            bpc as u64,
+            self.cycle,
+            EventKind::Squash {
+                resume_pc: actual_target as u64,
+                squashed
+            }
+        );
     }
 }
 
@@ -458,6 +480,15 @@ impl Pipeline<'_> {
                     }
                 }
                 Poll::Deliver(value, addr) => {
+                    let waited = self.cycle.saturating_sub(self.rob[i].done_at);
+                    self.stats.h_reuse_wait.record(waited);
+                    trace_event!(
+                        self.tracer,
+                        Subsystem::Vec,
+                        self.rob[i].pc as u64,
+                        self.cycle,
+                        EventKind::Reuse { value, waited }
+                    );
                     let mut e = self.rob[i].clone();
                     self.deliver_reuse_value(&mut e, value);
                     if let Some(a) = addr {
@@ -472,7 +503,7 @@ impl Pipeline<'_> {
             let mut m = self.mech.take().unwrap();
             stuck.dedup();
             for idx in stuck {
-                self.teardown_srsmt(&mut m, idx);
+                self.teardown_srsmt(&mut m, idx, "stuck_replica");
             }
             self.mech = Some(m);
         }
@@ -491,7 +522,9 @@ impl Pipeline<'_> {
         addr: Option<u64>,
         is_load: bool,
     ) {
-        let Some(mut m) = self.mech.take() else { return };
+        let Some(mut m) = self.mech.take() else {
+            return;
+        };
         let verdict = {
             match m.srsmt.get(pr.srsmt_idx) {
                 Some(ent) if ent.gen == pr.gen && pr.replica < ent.head => {
@@ -529,7 +562,17 @@ impl Pipeline<'_> {
             Some(false) => {
                 self.stats.validation_failures += 1;
                 self.stats.valfail_reasons[3] += 1;
-                self.teardown_srsmt(&mut m, pr.srsmt_idx);
+                trace_event!(
+                    self.tracer,
+                    Subsystem::Vec,
+                    0,
+                    self.cycle,
+                    EventKind::Validate {
+                        ok: false,
+                        reason: "address_mismatch"
+                    }
+                );
+                self.teardown_srsmt(&mut m, pr.srsmt_idx, "probe_mismatch");
             }
             None => {}
         }

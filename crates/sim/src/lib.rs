@@ -41,9 +41,12 @@ pub mod mech;
 pub mod pipeline;
 pub mod regfile;
 pub mod rob;
+pub mod snapshot;
+pub mod stall_attr;
 pub mod stats;
 pub mod vec_engine;
 
 pub use config::{Mode, RegFileSize, SimConfig};
 pub use pipeline::{CommitRecord, Pipeline, PipelineSnapshot, RunExit};
+pub use snapshot::{run_json, SCHEMA_VERSION};
 pub use stats::{harmonic_mean, SimStats};

@@ -41,7 +41,10 @@ pub struct Lsq {
 impl Lsq {
     /// Create a queue with `cap` entries.
     pub fn new(cap: usize) -> Self {
-        Lsq { q: VecDeque::with_capacity(cap), cap }
+        Lsq {
+            q: VecDeque::with_capacity(cap),
+            cap,
+        }
     }
 
     /// Whether a new memory instruction can be accepted.
@@ -69,7 +72,12 @@ impl Lsq {
     pub fn push(&mut self, seq: u64, store: bool) {
         assert!(self.has_room(), "LSQ overflow");
         debug_assert!(self.q.back().map(|e| e.seq < seq).unwrap_or(true));
-        self.q.push_back(LsqEntry { seq, store, addr: None, data: None });
+        self.q.push_back(LsqEntry {
+            seq,
+            store,
+            addr: None,
+            data: None,
+        });
     }
 
     fn find_mut(&mut self, seq: u64) -> Option<&mut LsqEntry> {

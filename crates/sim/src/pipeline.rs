@@ -22,11 +22,13 @@ use crate::lsq::Lsq;
 use crate::mech::{Mech, Replica};
 use crate::regfile::{PhysId, PhysRegFile};
 use crate::rob::{Checkpoint, ReuseInfo, RobEntry, RobState};
+use crate::stall_attr::DispatchBlock;
 use crate::stats::SimStats;
 use cfir_core::RenameExt;
 use cfir_emu::{Emulator, MemImage};
 use cfir_isa::{Inst, Program, NUM_LOGICAL_REGS};
 use cfir_mem::Hierarchy;
+use cfir_obs::Tracer;
 use cfir_predict::Gshare;
 use std::collections::{HashMap, VecDeque};
 
@@ -172,8 +174,17 @@ pub struct Pipeline<'a> {
     // Per-cycle resources.
     pub(crate) res: CycleRes,
 
-    /// Debug tracing enabled (CFIR_DEBUG/CFIR_TRACE read once).
-    pub(crate) dbg: bool,
+    /// Structured tracing (`CFIR_TRACE`/`CFIR_DEBUG`/`CFIR_CSTREAM`,
+    /// parsed once). `None` = disabled: every trace site is one branch.
+    pub(crate) tracer: Option<Tracer>,
+
+    // Per-cycle stall-attribution state.
+    /// A flush (branch recovery or repair) happened this cycle.
+    pub(crate) flushed_this_cycle: bool,
+    /// Why dispatch stopped early this cycle, if it did.
+    pub(crate) dispatch_block: Option<DispatchBlock>,
+    /// Cycle of the most recent flush with no commit since.
+    pub(crate) last_flush_cycle: Option<u64>,
 
     /// Ring buffer of recent commits (enabled by
     /// [`Pipeline::enable_commit_log`]).
@@ -245,8 +256,10 @@ impl<'a> Pipeline<'a> {
             emu,
             oracle,
             res: CycleRes::default(),
-            dbg: std::env::var_os("CFIR_DEBUG").is_some()
-                || std::env::var_os("CFIR_TRACE").is_some(),
+            tracer: Tracer::from_env(),
+            flushed_this_cycle: false,
+            dispatch_block: None,
+            last_flush_cycle: None,
             commit_log: None,
             cfg,
         }
@@ -352,6 +365,9 @@ impl<'a> Pipeline<'a> {
             stores_committed: 0,
         };
         self.outstanding_misses.retain(|&(_, d)| d > self.cycle);
+        self.flushed_this_cycle = false;
+        self.dispatch_block = None;
+        let committed_before = self.stats.committed;
 
         self.commit();
         if !self.halted {
@@ -368,6 +384,7 @@ impl<'a> Pipeline<'a> {
             self.fetch();
         }
 
+        self.attribute_stalls(committed_before);
         self.stats.reg_occupancy_sum += self.rf.in_use() as u64;
         self.stats.reg_high_water = self.stats.reg_high_water.max(self.rf.high_water as u64);
         self.stats.cycles += 1;
@@ -388,9 +405,28 @@ impl<'a> Pipeline<'a> {
 
     fn finalize_stats(&mut self) {
         self.stats.l1d_misses = self.hier.l1d.misses;
+        self.stats.l1d_writebacks = self.hier.l1d.writebacks;
         self.stats.l1i_accesses = self.hier.l1i.accesses;
+        self.stats.l1i_misses = self.hier.l1i.misses;
+        self.stats.l2_accesses = self.hier.l2.accesses;
+        self.stats.l2_misses = self.hier.l2.misses;
+        self.stats.l3_accesses = self.hier.l3.accesses;
+        self.stats.l3_misses = self.hier.l3.misses;
+        self.stats.mem_accesses = self.hier.mem_accesses;
         if let Some(m) = &self.mech {
             self.stats.srsmt = m.srsmt.stats;
+        }
+        // Accounting invariant: every commit slot of every cycle was
+        // charged to exactly one cause.
+        if let Err(e) = self
+            .stats
+            .stall
+            .check_sum(self.stats.cycles, self.cfg.commit_width as u64)
+        {
+            panic!("stall attribution broken: {e}");
+        }
+        if let Some(t) = &self.tracer {
+            t.flush();
         }
     }
 
@@ -476,19 +512,26 @@ impl<'a> Pipeline<'a> {
 
     fn dispatch(&mut self) {
         for _ in 0..self.cfg.issue_width {
-            let Some(f) = self.decode_q.front().copied() else { break };
+            let Some(f) = self.decode_q.front().copied() else {
+                break;
+            };
             if f.ready_at > self.cycle {
+                self.dispatch_block = Some(DispatchBlock::DecodeWait);
                 break;
             }
             if self.rob.len() >= self.cfg.window as usize {
+                self.dispatch_block = Some(DispatchBlock::RobFull);
                 break;
             }
             let is_mem = f.inst.is_load() || f.inst.is_store();
             if is_mem && !self.lsq.has_room() {
+                self.dispatch_block = Some(DispatchBlock::LsqFull);
                 break;
             }
             if f.inst.dest().is_some() && self.rf.available() < 1 {
-                break; // no physical register for the destination
+                // No physical register for the destination.
+                self.dispatch_block = Some(DispatchBlock::NoRegs);
+                break;
             }
             self.decode_q.pop_front();
 
@@ -498,6 +541,7 @@ impl<'a> Pipeline<'a> {
             e.pred_taken = f.pred_taken;
             e.pred_target = f.pred_target;
             e.ghist = f.ghist;
+            e.dispatched_at = self.cycle;
 
             // Mechanism decode hooks (validation may deliver a reuse).
             let reuse = self.mech_decode(&mut e);
@@ -603,6 +647,7 @@ impl<'a> Pipeline<'a> {
                 e.state = RobState::Executing;
                 e.done_at = self.cycle;
             } else {
+                self.stats.h_reuse_wait.record(0);
                 self.deliver_reuse_value(e, r.value);
             }
             if e.inst.is_load() {
@@ -691,7 +736,11 @@ mod tests {
         src.push_str("halt");
         let (s, regs) = run_program(&src, Mode::Scalar);
         assert_eq!(regs[1], 3u64.pow(10));
-        assert!(s.cycles >= 20, "10 dependent muls need >= 20 cycles, got {}", s.cycles);
+        assert!(
+            s.cycles >= 20,
+            "10 dependent muls need >= 20 cycles, got {}",
+            s.cycles
+        );
     }
 
     #[test]
@@ -776,7 +825,13 @@ mod tests {
             let v = (i * 2654435761) % 7 % 2;
             mem.write(1000 + i * 8, v);
         }
-        for mode in [Mode::Scalar, Mode::WideBus, Mode::CiIw, Mode::Ci, Mode::Vect] {
+        for mode in [
+            Mode::Scalar,
+            Mode::WideBus,
+            Mode::CiIw,
+            Mode::Ci,
+            Mode::Vect,
+        ] {
             let mut cfg = SimConfig::paper_baseline().with_mode(mode);
             cfg.cosim_check = true;
             let mut pl = Pipeline::new(&p, mem.clone(), cfg);

@@ -110,6 +110,10 @@ pub struct RobEntry {
     pub probe: Option<ProbeInfo>,
     /// Whether this entry occupies an LSQ slot.
     pub in_lsq: bool,
+    /// Cycle the entry entered the window (latency histograms).
+    pub dispatched_at: u64,
+    /// Whether this load missed in the L1D (stall attribution).
+    pub dcache_miss: bool,
 }
 
 impl RobEntry {
@@ -137,6 +141,8 @@ impl RobEntry {
             reuse: None,
             probe: None,
             in_lsq: false,
+            dispatched_at: 0,
+            dcache_miss: false,
         }
     }
 
@@ -164,7 +170,16 @@ mod tests {
     #[test]
     fn branch_entry_flag() {
         use cfir_isa::Cond;
-        let e = RobEntry::new(0, 0, Inst::Br { cond: Cond::Eq, rs1: 1, rs2: 2, target: 5 });
+        let e = RobEntry::new(
+            0,
+            0,
+            Inst::Br {
+                cond: Cond::Eq,
+                rs1: 1,
+                rs2: 2,
+                target: 5,
+            },
+        );
         assert!(e.is_cond_branch());
     }
 }

@@ -1,0 +1,178 @@
+//! Machine-readable per-run telemetry snapshot (`--emit-json`).
+//!
+//! One run → one versioned JSON document containing every headline
+//! metric plus the stall breakdown, latency histograms and interval
+//! time series. The schema is documented in `DESIGN.md`; bump
+//! [`SCHEMA_VERSION`] on any breaking change so downstream tooling can
+//! reject snapshots it does not understand.
+
+use crate::stats::SimStats;
+use cfir_obs::stall::ALL_CAUSES;
+use cfir_obs::{Hist, JsonWriter};
+
+/// Version stamped into every snapshot (`"schema_version"` field).
+pub const SCHEMA_VERSION: u32 = 1;
+
+fn write_hist(w: &mut JsonWriter, key: &str, h: &Hist) {
+    w.key(key).begin_obj();
+    w.field_u64("count", h.count())
+        .field_u64("sum", h.sum())
+        .field_u64("max", h.max())
+        .field_f64("mean", h.mean());
+    // Sparse buckets: `[bucket_lower_bound, count]` pairs.
+    w.key("buckets").begin_arr();
+    for (lo, n) in h.nonzero_buckets() {
+        w.begin_arr().u64_val(lo).u64_val(n).end_arr();
+    }
+    w.end_arr();
+    w.end_obj();
+}
+
+/// Render the run's statistics as a self-contained JSON document.
+///
+/// `name` is the workload, `label` the machine variant (mode). The
+/// stall-breakdown invariant (buckets sum to `cycles × commit_width`)
+/// has already been checked by `finalize_stats` when this is called
+/// on a finished run.
+pub fn run_json(name: &str, label: &str, stats: &SimStats) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.field_u64("schema_version", SCHEMA_VERSION as u64)
+        .field_str("name", name)
+        .field_str("mode", label)
+        .field_u64("cycles", stats.cycles)
+        .field_u64("committed", stats.committed)
+        .field_f64("ipc", stats.ipc())
+        .field_u64("committed_reuse", stats.committed_reuse)
+        .field_f64("reuse_fraction", stats.reuse_fraction())
+        .field_u64("branches", stats.branches)
+        .field_u64("mispredicts", stats.mispredicts)
+        .field_f64("mispredict_rate", stats.mispredict_rate())
+        .field_u64("squashed", stats.squashed)
+        .field_u64("fetched", stats.fetched)
+        .field_u64("loads", stats.loads)
+        .field_u64("stores", stats.stores)
+        .field_u64("store_conflicts", stats.store_conflicts)
+        .field_u64("vectorizations", stats.vectorizations)
+        .field_u64("replicas_created", stats.replicas_created)
+        .field_u64("replicas_executed", stats.replicas_executed)
+        .field_u64("validation_failures", stats.validation_failures)
+        .field_u64("commit_check_failures", stats.commit_check_failures)
+        .field_u64("squash_reuse_hits", stats.squash_reuse_hits)
+        .field_u64("specmem_copies", stats.specmem_copies)
+        .field_f64("wrong_path_fraction", stats.wrong_path_fraction())
+        .field_f64("avg_regs_in_use", stats.avg_regs_in_use())
+        .field_u64("reg_high_water", stats.reg_high_water);
+
+    w.key("valfail_reasons").begin_obj();
+    for (k, label) in crate::vec_engine::VALFAIL_REASONS.iter().enumerate() {
+        w.field_u64(label, stats.valfail_reasons[k]);
+    }
+    w.end_obj();
+
+    w.key("memory").begin_obj();
+    w.field_u64("l1d_accesses", stats.l1d_accesses)
+        .field_u64("l1d_misses", stats.l1d_misses)
+        .field_u64("l1d_writebacks", stats.l1d_writebacks)
+        .field_u64("l1i_accesses", stats.l1i_accesses)
+        .field_u64("l1i_misses", stats.l1i_misses)
+        .field_u64("l2_accesses", stats.l2_accesses)
+        .field_u64("l2_misses", stats.l2_misses)
+        .field_u64("l3_accesses", stats.l3_accesses)
+        .field_u64("l3_misses", stats.l3_misses)
+        .field_u64("mem_accesses", stats.mem_accesses);
+    w.end_obj();
+
+    // The CPI stack. Every cause is present (zero or not) so
+    // downstream consumers can rely on the key set.
+    w.key("stall").begin_obj();
+    for cause in ALL_CAUSES {
+        w.field_u64(cause.key(), stats.stall.get(cause));
+    }
+    w.end_obj();
+
+    w.key("histograms").begin_obj();
+    write_hist(&mut w, "load_to_use", &stats.h_load_to_use);
+    write_hist(&mut w, "branch_resolve", &stats.h_branch_resolve);
+    write_hist(&mut w, "reuse_wait", &stats.h_reuse_wait);
+    write_hist(&mut w, "flush_recovery", &stats.h_flush_recovery);
+    w.end_obj();
+
+    w.key("intervals").begin_arr();
+    for s in &stats.intervals {
+        w.begin_obj()
+            .field_u64("cycle", s.cycle)
+            .field_u64("committed", s.committed)
+            .field_u64("committed_reuse", s.committed_reuse)
+            .field_f64("interval_ipc", s.interval_ipc)
+            .end_obj();
+    }
+    w.end_arr();
+
+    w.end_obj();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfir_obs::json;
+
+    #[test]
+    fn snapshot_round_trips_through_the_parser() {
+        let mut stats = SimStats {
+            cycles: 1000,
+            committed: 2500,
+            committed_reuse: 300,
+            branches: 200,
+            mispredicts: 20,
+            loads: 700,
+            ..Default::default()
+        };
+        stats.h_load_to_use.record(1);
+        stats.h_load_to_use.record(14);
+        stats.valfail_reasons = [1, 2, 3, 4, 5];
+        stats.stall.charge(cfir_obs::StallCause::Useful, 2500);
+        stats.stall.charge(cfir_obs::StallCause::FetchStarved, 5500);
+        stats.intervals.push(crate::stats::IntervalSample {
+            cycle: 500,
+            committed: 1200,
+            committed_reuse: 100,
+            interval_ipc: 2.4,
+        });
+
+        let text = run_json("bzip2 \"quoted\"", "ci", &stats);
+        let v = json::parse(&text).expect("snapshot parses");
+        assert_eq!(v.get("schema_version").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("name").unwrap().as_str(), Some("bzip2 \"quoted\""));
+        assert_eq!(v.get("mode").unwrap().as_str(), Some("ci"));
+        assert_eq!(v.get("cycles").unwrap().as_u64(), Some(1000));
+        assert!((v.get("ipc").unwrap().as_f64().unwrap() - 2.5).abs() < 1e-12);
+        assert!((v.get("reuse_fraction").unwrap().as_f64().unwrap() - 0.12).abs() < 1e-12);
+        let vf = v.get("valfail_reasons").unwrap();
+        assert_eq!(vf.get("inst_mismatch").unwrap().as_u64(), Some(1));
+        assert_eq!(vf.get("seq_mismatch").unwrap().as_u64(), Some(5));
+        let stall = v.get("stall").unwrap();
+        assert_eq!(stall.get("useful").unwrap().as_u64(), Some(2500));
+        assert_eq!(stall.get("fetch_starved").unwrap().as_u64(), Some(5500));
+        let h = v.get("histograms").unwrap().get("load_to_use").unwrap();
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(2));
+        assert_eq!(h.get("buckets").unwrap().as_arr().unwrap().len(), 2);
+        let iv = v.get("intervals").unwrap().as_arr().unwrap();
+        assert_eq!(iv[0].get("cycle").unwrap().as_u64(), Some(500));
+    }
+
+    #[test]
+    fn all_stall_causes_are_present_even_when_zero() {
+        let text = run_json("x", "scal", &SimStats::default());
+        let v = json::parse(&text).unwrap();
+        let stall = v.get("stall").unwrap();
+        for cause in cfir_obs::stall::ALL_CAUSES {
+            assert!(
+                stall.get(cause.key()).is_some(),
+                "missing stall key {}",
+                cause.key()
+            );
+        }
+    }
+}

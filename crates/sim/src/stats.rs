@@ -1,8 +1,9 @@
 //! Statistics collected by one simulation run — everything the paper's
 //! figures need.
 
-use cfir_core::EventStats;
 use cfir_core::srsmt::SrsmtStats;
+use cfir_core::EventStats;
+use cfir_obs::{Hist, StallBreakdown};
 
 /// One point of the interval time series (see
 /// `SimConfig::interval_cycles`).
@@ -78,8 +79,22 @@ pub struct SimStats {
     pub l1d_accesses: u64,
     /// L1 D-cache misses.
     pub l1d_misses: u64,
+    /// L1 D-cache writebacks.
+    pub l1d_writebacks: u64,
     /// L1 I-cache accesses.
     pub l1i_accesses: u64,
+    /// L1 I-cache misses.
+    pub l1i_misses: u64,
+    /// L2 accesses / misses (both instruction and data refills).
+    pub l2_accesses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// L3 accesses.
+    pub l3_accesses: u64,
+    /// L3 misses.
+    pub l3_misses: u64,
+    /// Main-memory accesses.
+    pub mem_accesses: u64,
     /// Instructions fetched (all paths).
     pub fetched: u64,
     /// Speculative-memory copy instructions injected (§2.4.6 mode).
@@ -88,6 +103,19 @@ pub struct SimStats {
     pub squash_reuse_hits: u64,
     /// Periodic samples (empty unless `SimConfig::interval_cycles` set).
     pub intervals: Vec<IntervalSample>,
+    /// Load issue→value latency (forwarded loads count as 1 cycle).
+    pub h_load_to_use: Hist,
+    /// Branch dispatch→resolution latency.
+    pub h_branch_resolve: Hist,
+    /// Cycles a validating instruction waited for its replica's value
+    /// (0 = the replica had already completed at decode).
+    pub h_reuse_wait: Hist,
+    /// Cycles from a pipeline flush (branch recovery or repair) to the
+    /// next committed instruction.
+    pub h_flush_recovery: Hist,
+    /// Per-cycle commit-slot attribution; buckets sum to
+    /// `cycles × commit_width` (checked in `finalize_stats`).
+    pub stall: StallBreakdown,
 }
 
 impl SimStats {
@@ -177,7 +205,11 @@ mod tests {
 
     #[test]
     fn ipc_and_rates() {
-        let s = SimStats { cycles: 100, committed: 250, ..Default::default() };
+        let s = SimStats {
+            cycles: 100,
+            committed: 250,
+            ..Default::default()
+        };
         assert!((s.ipc() - 2.5).abs() < 1e-12);
         let z = SimStats::default();
         assert_eq!(z.ipc(), 0.0);

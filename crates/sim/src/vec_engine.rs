@@ -8,24 +8,20 @@ use crate::pipeline::Pipeline;
 use crate::rob::{ReuseInfo, RobEntry, RobState};
 use cfir_core::srsmt::{AllocOutcome, SeqId, SrsmtEntry, StorageId, VecKind};
 use cfir_isa::{Inst, Program};
+use cfir_obs::{trace_event, EventKind, Subsystem};
 use std::collections::HashMap;
 
-impl Pipeline<'_> {
-    pub(crate) fn trace(&self, pc: u32, msg: &str) {
-        if !self.dbg {
-            return;
-        }
-        if let Ok(t) = std::env::var("CFIR_TRACE") {
-            let mut it = t.split(',');
-            let tpc: u32 = it.next().and_then(|v| v.parse().ok()).unwrap_or(0);
-            let lo: u64 = it.next().and_then(|v| v.parse().ok()).unwrap_or(0);
-            let hi: u64 = it.next().and_then(|v| v.parse().ok()).unwrap_or(u64::MAX);
-            if pc == tpc && self.cycle >= lo && self.cycle <= hi {
-                eprintln!("[{}] pc={} {}", self.cycle, pc, msg);
-            }
-        }
-    }
+/// Human-readable labels for the `valfail_reasons` buckets (§2.3.4
+/// validation failure taxonomy). Index k labels `valfail_reasons[k]`.
+pub const VALFAIL_REASONS: [&str; 5] = [
+    "inst_mismatch",
+    "replica_not_ready",
+    "stride_untrusted",
+    "address_mismatch",
+    "seq_mismatch",
+];
 
+impl Pipeline<'_> {
     /// Number of in-flight (dispatched, not committed) dynamic
     /// instances of the static instruction at `pc`.
     pub(crate) fn inflight_same_pc(&self, pc: u32) -> u64 {
@@ -60,9 +56,7 @@ impl Pipeline<'_> {
                 continue;
             }
             if let Some(a) = e.addr {
-                return Some(
-                    a.wrapping_add((stride as u64).wrapping_mul(younger + 1)),
-                );
+                return Some(a.wrapping_add((stride as u64).wrapping_mul(younger + 1)));
             }
             younger += 1;
         }
@@ -181,7 +175,11 @@ impl Pipeline<'_> {
             // (the window ran ahead of the replica engine). Execute
             // normally; the entry stays for later instances but its
             // instance numbering is no longer in step.
-            if m.srsmt.get(idx).map(|ent| ent.decode >= ent.head).unwrap_or(false) {
+            if m.srsmt
+                .get(idx)
+                .map(|ent| ent.decode >= ent.head)
+                .unwrap_or(false)
+            {
                 let is_load_kind = m
                     .srsmt
                     .get(idx)
@@ -199,10 +197,7 @@ impl Pipeline<'_> {
                 } else {
                     // Dependent entries have no address evidence to
                     // re-align with: tear down and re-vectorize.
-                    if self.dbg {
-                        self.trace(pc, &format!("softmiss-teardown inst={inst}"));
-                    }
-                    self.teardown_srsmt(m, idx);
+                    self.teardown_srsmt(m, idx, "soft_miss");
                 }
                 return None;
             }
@@ -239,7 +234,15 @@ impl Pipeline<'_> {
                                 .map(|k| ent.addr_of(k) == exp)
                                 .unwrap_or(false);
                             if cur_ev {
-                                self.trace(pc, &format!("sync-accept exp={exp:#x}"));
+                                trace_event!(
+                                    self.tracer,
+                                    Subsystem::Vec,
+                                    pc as u64,
+                                    self.cycle,
+                                    EventKind::Note {
+                                        msg: format!("sync-accept exp={exp:#x}")
+                                    }
+                                );
                                 let ent = m.srsmt.get_mut(idx).unwrap();
                                 ent.synced = true;
                                 if exact_addr == Some(exp) {
@@ -281,7 +284,17 @@ impl Pipeline<'_> {
                                         // live instance: stale addresses.
                                         self.stats.validation_failures += 1;
                                         self.stats.valfail_reasons[3] += 1;
-                                        self.teardown_srsmt(m, idx);
+                                        trace_event!(
+                                            self.tracer,
+                                            Subsystem::Vec,
+                                            pc as u64,
+                                            self.cycle,
+                                            EventKind::Validate {
+                                                ok: false,
+                                                reason: "address_mismatch",
+                                            }
+                                        );
+                                        self.teardown_srsmt(m, idx, "stale_addresses");
                                         return None;
                                     }
                                 }
@@ -298,15 +311,18 @@ impl Pipeline<'_> {
                 }
             }
             let r = self.try_validate(m, idx, inst, exact_addr);
-            if self.dbg {
-                if let Some(ent) = m.srsmt.get(idx) {
-                    self.trace(pc, &format!(
+            trace_event!(self.tracer, Subsystem::Vec, pc as u64, self.cycle, {
+                let msg =
+                    match m.srsmt.get(idx) {
+                        Some(ent) => format!(
                         "validate -> {:?} dec={} com={} head={} synced={} exact={:?} slotaddr={:?}",
                         r, ent.decode, ent.commit, ent.head, ent.synced,
                         exact_addr, ent.next_slot().map(|k| ent.addr_of(k))
-                    ));
-                }
-            }
+                    ),
+                        None => format!("validate -> {r:?} (entry gone)"),
+                    };
+                EventKind::Note { msg }
+            });
             match r {
                 Ok(replica) => {
                     let ent = m.srsmt.get_mut(idx).unwrap();
@@ -323,7 +339,15 @@ impl Pipeline<'_> {
                             replica,
                             verified: false,
                         });
-                        self.trace(pc, &format!("probe k={replica} seq={}", e.seq));
+                        trace_event!(
+                            self.tracer,
+                            Subsystem::Vec,
+                            pc as u64,
+                            self.cycle,
+                            EventKind::Note {
+                                msg: format!("probe k={replica} seq={}", e.seq)
+                            }
+                        );
                         return None;
                     }
                     let pending = !ent.is_complete(replica);
@@ -331,10 +355,16 @@ impl Pipeline<'_> {
                     if inst.is_load() && !pending {
                         e.addr = Some(ent.addr_of(replica));
                     }
-                    self.trace(pc, &format!(
-                        "reuse k={replica} val={value:#x} pend={pending} addr={:#x} seq={}",
-                        ent.addr_of(replica), e.seq
-                    ));
+                    trace_event!(
+                        self.tracer,
+                        Subsystem::Vec,
+                        pc as u64,
+                        self.cycle,
+                        EventKind::Validate {
+                            ok: true,
+                            reason: "ok"
+                        }
+                    );
                     return Some(ReuseInfo {
                         value,
                         pending,
@@ -350,7 +380,17 @@ impl Pipeline<'_> {
                     // to the vectorization triggers below).
                     self.stats.validation_failures += 1;
                     self.stats.valfail_reasons[reason] += 1;
-                    self.teardown_srsmt(m, idx);
+                    trace_event!(
+                        self.tracer,
+                        Subsystem::Vec,
+                        pc as u64,
+                        self.cycle,
+                        EventKind::Validate {
+                            ok: false,
+                            reason: VALFAIL_REASONS[reason]
+                        }
+                    );
+                    self.teardown_srsmt(m, idx, "validation_failure");
                 }
             }
         }
@@ -366,7 +406,9 @@ impl Pipeline<'_> {
         if !self.cfg.mode.vectorizes() {
             return;
         }
-        let Some(mut m) = self.mech.take() else { return };
+        let Some(mut m) = self.mech.take() else {
+            return;
+        };
         let mode = self.cfg.mode;
         let pc = e.pc;
         let bpc = Program::byte_pc(pc);
@@ -389,7 +431,10 @@ impl Pipeline<'_> {
                     self.vectorize_load(&mut m, bpc, pc, e.seq, inst, se.last_addr, se.stride);
                 }
             }
-        } else if matches!(inst, Inst::Alu { .. } | Inst::AluImm { .. } | Inst::Fp { .. }) {
+        } else if matches!(
+            inst,
+            Inst::Alu { .. } | Inst::AluImm { .. } | Inst::Fp { .. }
+        ) {
             let any_vec = inst
                 .sources()
                 .iter()
@@ -416,7 +461,7 @@ impl Pipeline<'_> {
             .map(|(i, _)| i)
             .collect();
         for v in victims {
-            self.teardown_srsmt(m, v);
+            self.teardown_srsmt(m, v, "producer_realigned");
         }
     }
 
@@ -551,15 +596,27 @@ impl Pipeline<'_> {
             .map(|(i, _)| i)
             .collect();
         for v in victims {
-            self.teardown_srsmt(m, v);
+            self.teardown_srsmt(m, v, "creator_squashed");
         }
     }
 
     /// Tear down an SRSMT entry: free unconsumed storage and drop its
-    /// in-flight replicas.
-    pub(crate) fn teardown_srsmt(&mut self, m: &mut Mech, idx: usize) {
-        let Some(ent) = m.srsmt.invalidate(idx) else { return };
+    /// in-flight replicas. `reason` labels the teardown in the trace.
+    pub(crate) fn teardown_srsmt(&mut self, m: &mut Mech, idx: usize, reason: &'static str) {
+        let Some(ent) = m.srsmt.invalidate(idx) else {
+            return;
+        };
         let storage = ent.unconsumed_storage();
+        trace_event!(
+            self.tracer,
+            Subsystem::Vec,
+            ent.pc >> 2, // SRSMT stores byte PCs; the trace uses word PCs
+            self.cycle,
+            EventKind::Teardown {
+                reason,
+                entries: storage.len() as u32
+            }
+        );
         self.free_storage(m, &storage);
         self.replicas
             .retain(|r| !(r.srsmt_idx == idx && r.pc == ent.pc && r.gen == ent.gen));
@@ -605,15 +662,27 @@ impl Pipeline<'_> {
         );
         ent.event = m.sel_event.get(&bpc).copied();
         ent.creator = creator;
-        self.trace(pc32, &format!("create base={base:#x} stride={stride}"));
         match m.srsmt.alloc(ent) {
             AllocOutcome::Placed { idx, evicted } => {
                 if let Some(old) = evicted {
                     let s = old.unconsumed_storage();
                     self.free_storage(m, &s);
-                    self.replicas.retain(|r| !(r.pc == old.pc && r.gen == old.gen));
+                    self.replicas
+                        .retain(|r| !(r.pc == old.pc && r.gen == old.gen));
                 }
                 self.stats.vectorizations += 1;
+                trace_event!(
+                    self.tracer,
+                    Subsystem::Vec,
+                    pc32 as u64,
+                    self.cycle,
+                    EventKind::Vectorize {
+                        kind: "load",
+                        base,
+                        stride,
+                        count: self.cfg.mech.replicas_per_inst as u32,
+                    }
+                );
                 while self.grow_one(m, idx) {}
             }
             AllocOutcome::Full => {}
@@ -646,14 +715,20 @@ impl Pipeline<'_> {
                 seqs[i] = SeqId::SelfLoop;
                 seed = e.seq;
             } else if x.vs {
-                let Some(pidx) = m.srsmt.find(x.seq) else { return };
+                let Some(pidx) = m.srsmt.find(x.seq) else {
+                    return;
+                };
                 let p = m.srsmt.get(pidx).unwrap();
                 if !p.synced {
                     return; // producer's numbering not trustworthy yet
                 }
                 // This instruction's next dynamic instance pairs with
                 // the producer's next unconsumed instance.
-                seqs[i] = SeqId::Vec { pc: x.seq, gen: p.gen, off: p.decode };
+                seqs[i] = SeqId::Vec {
+                    pc: x.seq,
+                    gen: p.gen,
+                    off: p.decode,
+                };
             } else {
                 // Scalar operand: read its value now (§2.3.3). If not
                 // ready we skip vectorization rather than stalling the
@@ -680,26 +755,39 @@ impl Pipeline<'_> {
         // streams; require those to be in step at creation.
         ent.synced = true;
         let wants_seed = seed != 0;
-        ent.event = [seqs[0], seqs[1]]
-            .iter()
-            .find_map(|s| match s {
-                SeqId::Vec { pc, .. } => {
-                    m.srsmt.find(*pc).and_then(|i| m.srsmt.get(i)).and_then(|p| p.event)
-                }
-                _ => None,
-            });
+        ent.event = [seqs[0], seqs[1]].iter().find_map(|s| match s {
+            SeqId::Vec { pc, .. } => m
+                .srsmt
+                .find(*pc)
+                .and_then(|i| m.srsmt.get(i))
+                .and_then(|p| p.event),
+            _ => None,
+        });
         match m.srsmt.alloc(ent) {
             AllocOutcome::Placed { idx, evicted } => {
                 if let Some(old) = evicted {
                     let s = old.unconsumed_storage();
                     self.free_storage(m, &s);
-                    self.replicas.retain(|r| !(r.pc == old.pc && r.gen == old.gen));
+                    self.replicas
+                        .retain(|r| !(r.pc == old.pc && r.gen == old.gen));
                 }
                 if wants_seed {
                     let gen = m.srsmt.get(idx).unwrap().gen;
                     m.seed_waiters.insert(seed, (idx, gen));
                 }
                 self.stats.vectorizations += 1;
+                trace_event!(
+                    self.tracer,
+                    Subsystem::Vec,
+                    e.pc as u64,
+                    self.cycle,
+                    EventKind::Vectorize {
+                        kind: "op",
+                        base: 0,
+                        stride: 0,
+                        count: self.cfg.mech.replicas_per_inst as u32,
+                    }
+                );
                 while self.grow_one(m, idx) {}
             }
             AllocOutcome::Full => {}
@@ -709,7 +797,9 @@ impl Pipeline<'_> {
     /// Deliver a just-produced result to a self-loop entry waiting for
     /// its seed (called when the creating instruction completes).
     pub(crate) fn notify_seed(&mut self, seq: u64, value: u64) {
-        let Some(mut m) = self.mech.take() else { return };
+        let Some(mut m) = self.mech.take() else {
+            return;
+        };
         if let Some((idx, gen)) = m.seed_waiters.remove(&seq) {
             if let Some(ent) = m.srsmt.get_mut(idx) {
                 if ent.gen == gen {
@@ -724,10 +814,12 @@ impl Pipeline<'_> {
     /// squashed: the chain can never be seeded correctly — tear it
     /// down (called from the squash paths).
     pub(crate) fn kill_seed_waiter(&mut self, seq: u64) {
-        let Some(mut m) = self.mech.take() else { return };
+        let Some(mut m) = self.mech.take() else {
+            return;
+        };
         if let Some((idx, gen)) = m.seed_waiters.remove(&seq) {
             if m.srsmt.get(idx).map(|e| e.gen == gen).unwrap_or(false) {
-                self.teardown_srsmt(&mut m, idx);
+                self.teardown_srsmt(&mut m, idx, "seed_squashed");
             }
         }
         self.mech = Some(m);
@@ -740,14 +832,18 @@ impl Pipeline<'_> {
     /// Pre-execute one more instance of the entry at `idx` if a window
     /// slot and storage are available. Returns whether it grew.
     fn grow_one(&mut self, m: &mut Mech, idx: usize) -> bool {
-        let Some(ent) = m.srsmt.get(idx) else { return false };
+        let Some(ent) = m.srsmt.get(idx) else {
+            return false;
+        };
         if !ent.can_grow() {
             return false;
         }
         let (pc, gen, kind) = (ent.pc, ent.gen, ent.kind);
         let inst = ent.inst;
         let (seq1, seq2) = (ent.seq1, ent.seq2);
-        let Some(storage) = self.alloc_one_storage(m) else { return false };
+        let Some(storage) = self.alloc_one_storage(m) else {
+            return false;
+        };
         let ent = m.srsmt.get_mut(idx).unwrap();
         let k = ent.grow(storage);
         let work = match kind {
@@ -763,12 +859,20 @@ impl Pipeline<'_> {
                     srcs[i] = match *s {
                         SeqId::None => RepSrc::None,
                         SeqId::Scalar(v) => RepSrc::Val(v),
-                        SeqId::Vec { pc, gen, off } => RepSrc::Dep { pc, gen, idx: off + k },
+                        SeqId::Vec { pc, gen, off } => RepSrc::Dep {
+                            pc,
+                            gen,
+                            idx: off + k,
+                        },
                         SeqId::SelfLoop => {
                             if k == 0 {
                                 RepSrc::SeedSelf
                             } else {
-                                RepSrc::Dep { pc, gen: own_gen, idx: k - 1 }
+                                RepSrc::Dep {
+                                    pc,
+                                    gen: own_gen,
+                                    idx: k - 1,
+                                }
                             }
                         }
                     };
@@ -802,7 +906,9 @@ impl Pipeline<'_> {
     /// Re-dispatch and issue replicas with the cycle's leftover
     /// resources (§2.4.1: lower priority than scalar instructions).
     pub(crate) fn replica_pump(&mut self) {
-        let Some(mut m) = self.mech.take() else { return };
+        let Some(mut m) = self.mech.take() else {
+            return;
+        };
         if self.cfg.mode.vectorizes() {
             self.grow_pass(&mut m);
             self.issue_replicas(&mut m);
@@ -880,13 +986,17 @@ impl Pipeline<'_> {
             // Resources + compute.
             let (value, addr, done_at) = match rep.kind {
                 RepKind::StridedLoad { addr } => {
-                    let Some(lat) = self.arbitrate_load(addr) else { continue };
+                    let Some(lat) = self.arbitrate_load(addr) else {
+                        continue;
+                    };
                     (self.mem.read(addr), Some(addr), self.cycle + lat as u64)
                 }
                 RepKind::Op { inst, .. } => match inst {
                     Inst::Ld { offset, .. } => {
                         let a = cfir_emu::MemImage::align(vals[0].wrapping_add(offset as u64));
-                        let Some(lat) = self.arbitrate_load(a) else { continue };
+                        let Some(lat) = self.arbitrate_load(a) else {
+                            continue;
+                        };
                         (self.mem.read(a), Some(a), self.cycle + lat as u64)
                     }
                     Inst::Alu { op, .. } => {
@@ -960,7 +1070,9 @@ impl Pipeline<'_> {
 
     /// Deliver completed replicas (called from writeback).
     pub(crate) fn complete_replicas(&mut self) {
-        let Some(mut m) = self.mech.take() else { return };
+        let Some(mut m) = self.mech.take() else {
+            return;
+        };
         let cycle = self.cycle;
         let mut i = 0;
         while i < self.replicas.len() {
@@ -1007,8 +1119,16 @@ impl Pipeline<'_> {
 
     /// Runs at recovery, *before* the pipeline squash, while the wrong
     /// path is still in the window.
-    pub(crate) fn mech_on_mispredict(&mut self, rob_idx: usize, bseq: u64, bpc: u32, is_cond: bool) {
-        let Some(mut m) = self.mech.take() else { return };
+    pub(crate) fn mech_on_mispredict(
+        &mut self,
+        rob_idx: usize,
+        bseq: u64,
+        bpc: u32,
+        is_cond: bool,
+    ) {
+        let Some(mut m) = self.mech.take() else {
+            return;
+        };
         let mode = self.cfg.mode;
         if is_cond {
             let hard = mode.selects_ci()
@@ -1046,7 +1166,8 @@ impl Pipeline<'_> {
         for ent in released {
             let storage = ent.unconsumed_storage();
             self.free_storage(&mut m, &storage);
-            self.replicas.retain(|r| !(r.pc == ent.pc && r.gen == ent.gen));
+            self.replicas
+                .retain(|r| !(r.pc == ent.pc && r.gen == ent.gen));
         }
         self.mech = Some(m);
     }
@@ -1088,7 +1209,10 @@ impl Pipeline<'_> {
                 m.squash_buf
                     .entry(e.pc)
                     .or_default()
-                    .push_back(SquashReuse { value: e.value, event });
+                    .push_back(SquashReuse {
+                        value: e.value,
+                        event,
+                    });
             } else if let Some(d) = e.ldest {
                 mask |= 1u64 << d;
             }
@@ -1100,7 +1224,9 @@ impl Pipeline<'_> {
     /// assumes all in-flight validations died; those older than the
     /// branch did not).
     pub(crate) fn recount_srsmt_decode(&mut self) {
-        let Some(mut m) = self.mech.take() else { return };
+        let Some(mut m) = self.mech.take() else {
+            return;
+        };
         let mut counts: HashMap<usize, u32> = HashMap::new();
         for e in &self.rob {
             if let Some(r) = &e.reuse {
@@ -1187,7 +1313,10 @@ mod tests {
         let pipe = run(Mode::Ci);
         let m = pipe.mech.as_ref().unwrap();
         // The load is at pc 6 (byte pc 24).
-        assert!(m.stride.selected(24), "the CI-feeding strided load must carry S");
+        assert!(
+            m.stride.selected(24),
+            "the CI-feeding strided load must carry S"
+        );
         assert!(m.stride.is_strided(24));
     }
 
@@ -1195,9 +1324,18 @@ mod tests {
     fn srsmt_holds_the_vectorized_chain() {
         let pipe = run(Mode::Ci);
         let m = pipe.mech.as_ref().unwrap();
-        assert!(m.srsmt.occupancy() >= 1, "at least the load stays vectorized");
-        assert!(m.srsmt.find(24).is_some(), "load entry present at end of run");
-        assert!(pipe.stats.vectorizations >= 2, "load + dependents vectorized");
+        assert!(
+            m.srsmt.occupancy() >= 1,
+            "at least the load stays vectorized"
+        );
+        assert!(
+            m.srsmt.find(24).is_some(),
+            "load entry present at end of run"
+        );
+        assert!(
+            pipe.stats.vectorizations >= 2,
+            "load + dependents vectorized"
+        );
     }
 
     #[test]

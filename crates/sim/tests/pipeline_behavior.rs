@@ -29,7 +29,10 @@ fn mispredicted_loop_exit_recovers() {
     assert_eq!(pipe.run(), RunExit::Halted);
     assert_eq!(pipe.arch_reg(3), 7);
     assert!(pipe.stats.mispredicts >= 1);
-    assert!(pipe.stats.squashed > 0, "the wrong path past the loop was flushed");
+    assert!(
+        pipe.stats.squashed > 0,
+        "the wrong path past the loop was flushed"
+    );
 }
 
 #[test]
@@ -284,12 +287,17 @@ fn reuse_survives_a_misprediction() {
     let mut mem = MemImage::new();
     let mut x = 12345u64;
     for i in 0..1024u64 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         mem.write(4096 + i * 8, (x >> 60) & 1);
     }
     let mut pipe = Pipeline::new(&p, mem, cfg(Mode::Ci));
     assert_eq!(pipe.run(), RunExit::Halted);
-    assert!(pipe.stats.mispredicts > 200, "branches must actually mispredict");
+    assert!(
+        pipe.stats.mispredicts > 200,
+        "branches must actually mispredict"
+    );
     assert!(
         pipe.stats.committed_reuse > 500,
         "reuse must survive mispredictions: {}",
@@ -360,7 +368,10 @@ fn stats_accessors_are_consistent() {
     assert!(s.fetched >= s.committed, "fetch includes wrong paths");
     assert!((s.ipc() - s.committed as f64 / s.cycles as f64).abs() < 1e-12);
     assert!(s.branches >= 60);
-    assert!(s.reg_occupancy_sum >= s.cycles * 65, "arch mappings always live");
+    assert!(
+        s.reg_occupancy_sum >= s.cycles * 65,
+        "arch mappings always live"
+    );
 }
 
 #[test]
@@ -481,14 +492,21 @@ fn interval_samples_record_progress() {
     let mut pipe = Pipeline::new(&p, MemImage::new(), c);
     assert_eq!(pipe.run(), RunExit::Halted);
     let iv = &pipe.stats.intervals;
-    assert!(iv.len() >= 3, "several samples over {} cycles", pipe.stats.cycles);
+    assert!(
+        iv.len() >= 3,
+        "several samples over {} cycles",
+        pipe.stats.cycles
+    );
     for w in iv.windows(2) {
         assert!(w[1].cycle > w[0].cycle);
         assert!(w[1].committed >= w[0].committed);
     }
     let total: f64 = pipe.stats.ipc();
     let mid = iv[iv.len() / 2].interval_ipc;
-    assert!((mid - total).abs() / total < 0.5, "steady loop: interval ~ total IPC");
+    assert!(
+        (mid - total).abs() / total < 0.5,
+        "steady loop: interval ~ total IPC"
+    );
 }
 
 #[test]
@@ -524,7 +542,10 @@ fn specmem_mode_injects_copy_uops() {
     c.mech = cfir_core::MechConfig::paper_with_specmem(256);
     let mut pipe = Pipeline::new(&p, mem.clone(), c);
     assert_eq!(pipe.run(), RunExit::Halted);
-    assert!(pipe.stats.committed_reuse > 0, "reuse still works through the copy path");
+    assert!(
+        pipe.stats.committed_reuse > 0,
+        "reuse still works through the copy path"
+    );
     assert!(
         pipe.stats.specmem_copies > 0,
         "every monolithic-free delivery must inject a copy"

@@ -17,8 +17,7 @@
 use crate::{Workload, WorkloadSpec};
 use cfir_emu::MemImage;
 use cfir_isa::{AluOp, Cond, ProgramBuilder};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cfir_obs::Rng64;
 
 /// Base address of the generated data array.
 pub const CUSTOM_BASE: u64 = 0x40_0000;
@@ -59,12 +58,12 @@ pub fn build(params: CustomParams, spec: WorkloadSpec) -> Workload {
     assert!(params.strided_loads <= 3 && params.irregular_loads <= 2);
     assert!(params.ci_tail <= 8);
 
-    let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0xC057_0313);
+    let mut rng = Rng64::seed_from_u64(spec.seed ^ 0xC057_0313);
     let mut mem = MemImage::new();
     for i in 0..spec.elems {
         // Value < taken_percent with the requested probability: store
         // uniform 0..100 so the branch tests `v < taken_percent`.
-        let v: u64 = rng.gen_range(0..100);
+        let v: u64 = rng.gen_range(0, 100);
         mem.write(CUSTOM_BASE + i * 8, v);
     }
 
@@ -129,7 +128,11 @@ pub fn build(params: CustomParams, spec: WorkloadSpec) -> Workload {
     b.alui(AluOp::Add, 2, 2, 1);
     b.br(Cond::Lt, 2, 3, top);
     b.halt();
-    Workload { name: "custom", prog: b.finish(), mem }
+    Workload {
+        name: "custom",
+        prog: b.finish(),
+        mem,
+    }
 }
 
 #[cfg(test)]
@@ -138,7 +141,11 @@ mod tests {
     use cfir_emu::Emulator;
 
     fn spec() -> WorkloadSpec {
-        WorkloadSpec { iters: 500, elems: 256, seed: 11 }
+        WorkloadSpec {
+            iters: 500,
+            elems: 256,
+            seed: 11,
+        }
     }
 
     #[test]
@@ -147,13 +154,23 @@ mod tests {
         let mut e = Emulator::new(w.mem.clone());
         e.run(&w.prog, 10_000_000);
         assert!(e.halted);
-        assert_eq!(e.reg(20) + e.reg(21), 500, "one hammock outcome per iteration");
+        assert_eq!(
+            e.reg(20) + e.reg(21),
+            500,
+            "one hammock outcome per iteration"
+        );
     }
 
     #[test]
     fn taken_percent_controls_the_split() {
         for pct in [5u32, 50, 95] {
-            let w = build(CustomParams { taken_percent: pct, ..Default::default() }, spec());
+            let w = build(
+                CustomParams {
+                    taken_percent: pct,
+                    ..Default::default()
+                },
+                spec(),
+            );
             let mut e = Emulator::new(w.mem.clone());
             e.run(&w.prog, 10_000_000);
             // "else" side counts v < pct occurrences.
@@ -187,7 +204,10 @@ mod tests {
     #[test]
     fn stores_write_into_the_array() {
         let w = build(
-            CustomParams { store_shift: Some(4), ..Default::default() },
+            CustomParams {
+                store_shift: Some(4),
+                ..Default::default()
+            },
             spec(),
         );
         let stores = w.prog.insts.iter().filter(|i| i.is_store()).count();
@@ -199,14 +219,32 @@ mod tests {
 
     #[test]
     fn ci_tail_length_scales_program() {
-        let short = build(CustomParams { ci_tail: 0, ..Default::default() }, spec());
-        let long = build(CustomParams { ci_tail: 8, ..Default::default() }, spec());
+        let short = build(
+            CustomParams {
+                ci_tail: 0,
+                ..Default::default()
+            },
+            spec(),
+        );
+        let long = build(
+            CustomParams {
+                ci_tail: 8,
+                ..Default::default()
+            },
+            spec(),
+        );
         assert_eq!(long.prog.len(), short.prog.len() + 8);
     }
 
     #[test]
     #[should_panic]
     fn invalid_percent_rejected() {
-        let _ = build(CustomParams { taken_percent: 101, ..Default::default() }, spec());
+        let _ = build(
+            CustomParams {
+                taken_percent: 101,
+                ..Default::default()
+            },
+            spec(),
+        );
     }
 }

@@ -9,8 +9,7 @@
 use crate::{Workload, WorkloadSpec};
 use cfir_emu::MemImage;
 use cfir_isa::{AluOp, Cond, FpOp, ProgramBuilder};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cfir_obs::Rng64;
 
 /// Base address of the primary data array.
 pub const ARRAY_A: u64 = 0x1_0000;
@@ -21,13 +20,13 @@ pub const ARRAY_C: u64 = 0x20_0000;
 /// Base address of the output region.
 pub const OUT: u64 = 0x30_0000;
 
-fn rng_for(spec: &WorkloadSpec, salt: u64) -> SmallRng {
-    SmallRng::seed_from_u64(spec.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+fn rng_for(spec: &WorkloadSpec, salt: u64) -> Rng64 {
+    Rng64::seed_from_u64(spec.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
-fn fill_random(mem: &mut MemImage, base: u64, n: u64, rng: &mut SmallRng, f: impl Fn(u64) -> u64) {
+fn fill_random(mem: &mut MemImage, base: u64, n: u64, rng: &mut Rng64, f: impl Fn(u64) -> u64) {
     for i in 0..n {
-        let v: u64 = rng.gen();
+        let v: u64 = rng.next_u64();
         mem.write(base + i * 8, f(v));
     }
 }
@@ -82,7 +81,11 @@ pub fn bzip2(spec: WorkloadSpec) -> Workload {
     b.bind(join);
     b.alu(AluOp::Add, 22, 22, 11); // I11: CI, depends on the strided load
     epilogue(&mut b, top);
-    Workload { name: "bzip2", prog: b.finish(), mem }
+    Workload {
+        name: "bzip2",
+        prog: b.finish(),
+        mem,
+    }
 }
 
 /// `crafty` — bit-twiddling over strided "bitboard" words with a
@@ -126,7 +129,11 @@ pub fn crafty(spec: WorkloadSpec) -> Workload {
     b.alu(AluOp::Xor, 15, 15, 11);
     b.alu(AluOp::Add, 24, 24, 15);
     epilogue(&mut b, top);
-    Workload { name: "crafty", prog: b.finish(), mem }
+    Workload {
+        name: "crafty",
+        prog: b.finish(),
+        mem,
+    }
 }
 
 /// `eon` — FP-heavy rendering loop: strided f64 arrays, a mildly biased
@@ -135,7 +142,7 @@ pub fn eon(spec: WorkloadSpec) -> Workload {
     let mut rng = rng_for(&spec, 3);
     let mut mem = MemImage::new();
     for i in 0..spec.elems {
-        let f: f64 = rng.gen::<f64>();
+        let f: f64 = rng.next_f64();
         mem.write(ARRAY_A + i * 8, f.to_bits());
         mem.write(ARRAY_B + i * 8, (f * 0.5 + 0.1).to_bits());
     }
@@ -164,7 +171,11 @@ pub fn eon(spec: WorkloadSpec) -> Workload {
     b.fp(FpOp::Fadd, 21, 21, 16);
     b.alu(AluOp::Add, 20, 20, 14);
     epilogue(&mut b, top);
-    Workload { name: "eon", prog: b.finish(), mem }
+    Workload {
+        name: "eon",
+        prog: b.finish(),
+        mem,
+    }
 }
 
 /// `gap` — arithmetic groups: a long integer divide chain (12-cycle
@@ -172,7 +183,9 @@ pub fn eon(spec: WorkloadSpec) -> Workload {
 pub fn gap(spec: WorkloadSpec) -> Workload {
     let mut rng = rng_for(&spec, 4);
     let mut mem = MemImage::new();
-    fill_random(&mut mem, ARRAY_A, spec.elems, &mut rng, |v| (v & 0xFFFF) + 1);
+    fill_random(&mut mem, ARRAY_A, spec.elems, &mut rng, |v| {
+        (v & 0xFFFF) + 1
+    });
     fill_random(&mut mem, ARRAY_B, spec.elems * 2, &mut rng, |v| v & 0xFF);
 
     let mut b = ProgramBuilder::new("gap");
@@ -198,7 +211,11 @@ pub fn gap(spec: WorkloadSpec) -> Workload {
     b.bind(join);
     b.alu(AluOp::Add, 22, 22, 13); // CI on the stride-16 load
     epilogue(&mut b, top);
-    Workload { name: "gap", prog: b.finish(), mem }
+    Workload {
+        name: "gap",
+        prog: b.finish(),
+        mem,
+    }
 }
 
 /// `gcc` — branch-dense: a 4-way ladder on random data, an irregular
@@ -225,7 +242,7 @@ pub fn gcc(spec: WorkloadSpec) -> Workload {
     b.alui(AluOp::Mul, 12, 12, 8);
     b.alu(AluOp::Add, 12, 12, 6);
     b.ld(13, 12, 0); // non-strided
-    // 4-way ladder on the low bits (uniform -> hard).
+                     // 4-way ladder on the low bits (uniform -> hard).
     b.alui(AluOp::And, 14, 11, 3);
     let c1 = b.label();
     let c2 = b.label();
@@ -251,7 +268,11 @@ pub fn gcc(spec: WorkloadSpec) -> Workload {
     b.alu(AluOp::Add, 24, 24, 11); // CI on the strided load
     b.alu(AluOp::Xor, 25, 25, 13);
     epilogue(&mut b, top);
-    Workload { name: "gcc", prog: b.finish(), mem }
+    Workload {
+        name: "gcc",
+        prog: b.finish(),
+        mem,
+    }
 }
 
 /// `gzip` — heavily biased branches (≈94% not taken) over a
@@ -282,7 +303,11 @@ pub fn gzip(spec: WorkloadSpec) -> Workload {
     b.alui(AluOp::Srl, 13, 11, 3);
     b.alu(AluOp::Xor, 23, 23, 13);
     epilogue(&mut b, top);
-    Workload { name: "gzip", prog: b.finish(), mem }
+    Workload {
+        name: "gzip",
+        prog: b.finish(),
+        mem,
+    }
 }
 
 /// `mcf` — pointer chasing over a randomized singly linked list: the
@@ -303,18 +328,18 @@ pub fn mcf(spec: WorkloadSpec) -> Workload {
     // Fisher-Yates over the nodes after 0, forming a single cycle
     // (Sattolo's algorithm shape: chain 0 -> perm[0] -> ... -> 0).
     for i in (1..perm.len()).rev() {
-        let j = rng.gen_range(0..=i);
+        let j = rng.gen_range_incl(0, i as u64) as usize;
         perm.swap(i, j);
     }
     let node = |i: u64| ARRAY_A + i * 16;
     let mut cur = 0u64;
     for &nx in &perm {
         mem.write(node(cur), node(nx));
-        mem.write(node(cur) + 8, rng.gen::<u64>() & 0xFFFF);
+        mem.write(node(cur) + 8, rng.next_u64() & 0xFFFF);
         cur = nx;
     }
     mem.write(node(cur), node(0));
-    mem.write(node(cur) + 8, rng.gen::<u64>() & 0xFFFF);
+    mem.write(node(cur) + 8, rng.next_u64() & 0xFFFF);
 
     let mut b = ProgramBuilder::new("mcf");
     prologue(&mut b, &spec);
@@ -336,7 +361,11 @@ pub fn mcf(spec: WorkloadSpec) -> Workload {
     b.alu(AluOp::Add, 22, 22, 11); // CI but not strided-backed
     b.ld(7, 7, 0); // chase to the next node
     epilogue(&mut b, top);
-    Workload { name: "mcf", prog: b.finish(), mem }
+    Workload {
+        name: "mcf",
+        prog: b.finish(),
+        mem,
+    }
 }
 
 /// `parser` — a perfectly learnable alternating branch plus a random
@@ -373,7 +402,11 @@ pub fn parser(spec: WorkloadSpec) -> Workload {
     b.bind(join);
     b.alu(AluOp::Add, 22, 22, 11); // CI on the strided load
     epilogue(&mut b, top);
-    Workload { name: "parser", prog: b.finish(), mem }
+    Workload {
+        name: "parser",
+        prog: b.finish(),
+        mem,
+    }
 }
 
 /// `perlbmk` — a bytecode-style dispatch loop: a strided opcode stream
@@ -414,14 +447,18 @@ pub fn perlbmk(spec: WorkloadSpec) -> Workload {
     b.jr(14); // indirect dispatch
     b.bind(after);
     b.alu(AluOp::Add, 25, 25, 13); // CI tail after the dispatch joins
-    // Data-dependent guard after the join (regex-match style hammock).
+                                   // Data-dependent guard after the join (regex-match style hammock).
     b.alui(AluOp::And, 15, 13, 1);
     let no_match = b.label();
     b.br(Cond::Eq, 15, 0, no_match);
     b.alui(AluOp::Add, 26, 26, 1);
     b.bind(no_match);
     epilogue(&mut b, top);
-    Workload { name: "perlbmk", prog: b.finish(), mem }
+    Workload {
+        name: "perlbmk",
+        prog: b.finish(),
+        mem,
+    }
 }
 
 /// `twolf` — placement swap loop: compares two strided arrays, stores
@@ -455,8 +492,8 @@ pub fn twolf(spec: WorkloadSpec) -> Workload {
     b.alui(AluOp::Add, 20, 20, 1);
     b.bind(join);
     b.alu(AluOp::Add, 21, 21, 13); // CI on the b-stream
-    // Every 64th iteration, dirty a[i+2] — an element the replica
-    // engine has typically already pre-loaded (§2.4.3's hazard).
+                                   // Every 64th iteration, dirty a[i+2] — an element the replica
+                                   // engine has typically already pre-loaded (§2.4.3's hazard).
     b.alui(AluOp::And, 15, 2, 63);
     let no_dirty = b.label();
     b.br(Cond::Ne, 15, 0, no_dirty);
@@ -467,7 +504,11 @@ pub fn twolf(spec: WorkloadSpec) -> Workload {
     b.st(13, 16, 0);
     b.bind(no_dirty);
     epilogue(&mut b, top);
-    Workload { name: "twolf", prog: b.finish(), mem }
+    Workload {
+        name: "twolf",
+        prog: b.finish(),
+        mem,
+    }
 }
 
 /// `vortex` — database-record filter: 4-word records scanned at stride
@@ -478,10 +519,10 @@ pub fn vortex(spec: WorkloadSpec) -> Workload {
     let mut mem = MemImage::new();
     for i in 0..spec.elems {
         let base = ARRAY_A + i * 32;
-        mem.write(base, rng.gen::<u64>() & 3); // tag
-        mem.write(base + 8, rng.gen::<u64>() & 0xFFFF); // payload
-        mem.write(base + 16, rng.gen());
-        mem.write(base + 24, rng.gen());
+        mem.write(base, rng.next_u64() & 3); // tag
+        mem.write(base + 8, rng.next_u64() & 0xFFFF); // payload
+        mem.write(base + 16, rng.next_u64());
+        mem.write(base + 24, rng.next_u64());
     }
 
     let mut b = ProgramBuilder::new("vortex");
@@ -507,7 +548,11 @@ pub fn vortex(spec: WorkloadSpec) -> Workload {
     b.bind(join);
     b.alu(AluOp::Add, 21, 21, 12); // CI on the payload load
     epilogue(&mut b, top);
-    Workload { name: "vortex", prog: b.finish(), mem }
+    Workload {
+        name: "vortex",
+        prog: b.finish(),
+        mem,
+    }
 }
 
 /// `vpr` — routing-cost loop: strided FP cost arrays, a 50/50 branch on
@@ -516,8 +561,8 @@ pub fn vpr(spec: WorkloadSpec) -> Workload {
     let mut rng = rng_for(&spec, 12);
     let mut mem = MemImage::new();
     for i in 0..spec.elems {
-        mem.write(ARRAY_A + i * 8, rng.gen::<f64>().to_bits());
-        mem.write(ARRAY_B + i * 8, (rng.gen::<f64>() * 3.0).to_bits());
+        mem.write(ARRAY_A + i * 8, rng.next_f64().to_bits());
+        mem.write(ARRAY_B + i * 8, (rng.next_f64() * 3.0).to_bits());
     }
 
     let mut b = ProgramBuilder::new("vpr");
@@ -542,7 +587,11 @@ pub fn vpr(spec: WorkloadSpec) -> Workload {
     b.fp(FpOp::Fmul, 15, 11, 13); // CI FP work on both strided loads
     b.fp(FpOp::Fadd, 21, 21, 15);
     epilogue(&mut b, top);
-    Workload { name: "vpr", prog: b.finish(), mem }
+    Workload {
+        name: "vpr",
+        prog: b.finish(),
+        mem,
+    }
 }
 
 #[cfg(test)]
@@ -551,7 +600,11 @@ mod tests {
     use cfir_emu::Emulator;
 
     fn spec() -> WorkloadSpec {
-        WorkloadSpec { iters: 500, elems: 256, seed: 42 }
+        WorkloadSpec {
+            iters: 500,
+            elems: 256,
+            seed: 42,
+        }
     }
 
     #[test]
@@ -598,8 +651,7 @@ mod tests {
         let mut e = Emulator::new(w.mem.clone());
         e.run(&w.prog, 10_000_000);
         assert!(e.halted);
-        let total: u64 =
-            (0..4u64).map(|k| e.reg(20 + k as u8) / (k + 1)).sum();
+        let total: u64 = (0..4u64).map(|k| e.reg(20 + k as u8) / (k + 1)).sum();
         assert_eq!(total, 500, "each iteration runs exactly one handler");
     }
 

@@ -36,8 +36,8 @@ use cfir_isa::Program;
 
 /// The benchmark names, in the paper's figure order.
 pub const NAMES: [&str; 12] = [
-    "bzip2", "crafty", "eon", "gap", "gcc", "gzip", "mcf", "parser", "perlbmk", "twolf",
-    "vortex", "vpr",
+    "bzip2", "crafty", "eon", "gap", "gcc", "gzip", "mcf", "parser", "perlbmk", "twolf", "vortex",
+    "vpr",
 ];
 
 /// Parameters for building one workload.
@@ -55,7 +55,11 @@ impl Default for WorkloadSpec {
     fn default() -> Self {
         // Large enough that harness runs are bounded by `max_insts`,
         // small enough that the data fits comfortably in memory.
-        WorkloadSpec { iters: 1 << 30, elems: 1 << 14, seed: 0xC0FFEE }
+        WorkloadSpec {
+            iters: 1 << 30,
+            elems: 1 << 14,
+            seed: 0xC0FFEE,
+        }
     }
 }
 
@@ -104,7 +108,11 @@ mod tests {
     use cfir_emu::{Emulator, StopReason};
 
     fn small() -> WorkloadSpec {
-        WorkloadSpec { iters: 200, elems: 256, seed: 7 }
+        WorkloadSpec {
+            iters: 200,
+            elems: 256,
+            seed: 7,
+        }
     }
 
     #[test]

@@ -14,9 +14,20 @@ struct Character {
 }
 
 fn measure(name: &str) -> Character {
-    let w = by_name(name, WorkloadSpec { iters: 2000, elems: 1024, seed: 0x77 }).unwrap();
+    let w = by_name(
+        name,
+        WorkloadSpec {
+            iters: 2000,
+            elems: 1024,
+            seed: 0x77,
+        },
+    )
+    .unwrap();
     let mut emu = Emulator::new(w.mem.clone());
-    let mut ch = Character { branches: HashMap::new(), load_strides: HashMap::new() };
+    let mut ch = Character {
+        branches: HashMap::new(),
+        load_strides: HashMap::new(),
+    };
     while let Some(r) = emu.step(&w.prog) {
         if r.inst.is_cond_branch() {
             let e = ch.branches.entry(r.pc).or_insert((0, 0));
@@ -57,14 +68,20 @@ fn is_strided(addrs: &[u64]) -> bool {
         return false;
     }
     let stride = addrs[1].wrapping_sub(addrs[0]);
-    addrs.windows(2).take(32).all(|w| w[1].wrapping_sub(w[0]) == stride)
+    addrs
+        .windows(2)
+        .take(32)
+        .all(|w| w[1].wrapping_sub(w[0]) == stride)
 }
 
 #[test]
 fn bzip2_hammock_is_balanced() {
     let ch = measure("bzip2");
     let r = hammock_rate(&ch);
-    assert!((0.35..=0.65).contains(&r), "bzip2 hammock taken rate {r:.2}");
+    assert!(
+        (0.35..=0.65).contains(&r),
+        "bzip2 hammock taken rate {r:.2}"
+    );
 }
 
 #[test]
@@ -126,9 +143,10 @@ fn bzip2_and_gzip_loads_stride() {
 #[test]
 fn vortex_records_stride_by_32() {
     let ch = measure("vortex");
-    let strided32 = ch.load_strides.values().any(|a| {
-        a.len() >= 8 && a.windows(2).take(16).all(|w| w[1].wrapping_sub(w[0]) == 32)
-    });
+    let strided32 = ch
+        .load_strides
+        .values()
+        .any(|a| a.len() >= 8 && a.windows(2).take(16).all(|w| w[1].wrapping_sub(w[0]) == 32));
     assert!(strided32, "vortex records are 32 bytes apart");
 }
 

@@ -17,9 +17,18 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(100_000);
-    let modes = [Mode::Scalar, Mode::WideBus, Mode::CiIw, Mode::Ci, Mode::Vect];
+    let modes = [
+        Mode::Scalar,
+        Mode::WideBus,
+        Mode::CiIw,
+        Mode::Ci,
+        Mode::Vect,
+    ];
 
-    println!("{:10} {:>8} {:>8} {:>8} {:>8} {:>8}", "bench", "scal", "wb", "ci-iw", "ci", "vect");
+    println!(
+        "{:10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "bench", "scal", "wb", "ci-iw", "ci", "vect"
+    );
     println!("{}", "-".repeat(56));
 
     let mut per_mode: Vec<Vec<f64>> = vec![Vec::new(); modes.len()];

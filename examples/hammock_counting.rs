@@ -53,7 +53,11 @@ fn data(elems: u64, zero_percent: u32, seed: u64) -> MemImage {
         x ^= x << 13;
         x ^= x >> 7;
         x ^= x << 17;
-        let v = if (x % 100) < zero_percent as u64 { 0 } else { 1 + (x & 0xF) };
+        let v = if (x % 100) < zero_percent as u64 {
+            0
+        } else {
+            1 + (x & 0xF)
+        };
         mem.write(0x1_0000 + i * 8, v);
     }
     mem

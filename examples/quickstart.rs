@@ -56,7 +56,12 @@ fn main() {
     // Golden model first: architectural truth.
     let mut emu = Emulator::new(mem.clone());
     emu.run(&prog, u64::MAX >> 1);
-    println!("emulator:  sum={} zeros={} nonzeros={}", emu.reg(4), emu.reg(3), emu.reg(2));
+    println!(
+        "emulator:  sum={} zeros={} nonzeros={}",
+        emu.reg(4),
+        emu.reg(3),
+        emu.reg(2)
+    );
     assert_eq!(emu.reg(4), expected_sum);
 
     // Now the cycle-level core, baseline vs the paper's mechanism.
@@ -68,7 +73,11 @@ fn main() {
         let mut pipe = Pipeline::new(&prog, mem.clone(), cfg);
         let exit = pipe.run();
         assert_eq!(exit, RunExit::Halted);
-        assert_eq!(pipe.arch_reg(4), expected_sum, "same architecture in {mode:?}");
+        assert_eq!(
+            pipe.arch_reg(4),
+            expected_sum,
+            "same architecture in {mode:?}"
+        );
         let s = &pipe.stats;
         println!(
             "{:6}  IPC {:.3}  cycles {:7}  mispredict {:4.1}%  reuse {:4.1}%  replicas {}",

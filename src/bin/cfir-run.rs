@@ -17,6 +17,8 @@
 //! * `--trace N` — print the last N committed instructions;
 //! * `--pipeview N` — print per-cycle pipeline occupancy for the first
 //!   N cycles;
+//! * `--emit-json` — print the versioned run-statistics snapshot as a
+//!   JSON document instead of the human-readable summary;
 //! * `--data ADDR=VALUE,...` — pre-initialise data memory words;
 //! * `--dump ADDR..ADDR` — print a memory range after the run.
 
@@ -33,6 +35,7 @@ struct Args {
     replicas: u8,
     trace: usize,
     pipeview: u64,
+    emit_json: bool,
     data: Vec<(u64, u64)>,
     dump: Option<(u64, u64)>,
 }
@@ -41,7 +44,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: cfir-run <prog.asm> [--mode scal|wb|ci-iw|ci|vect] [--emu] [--insts N]\n\
          \x20             [--regs N|inf] [--ports N] [--replicas N] [--trace N] [--pipeview N]\n\
-         \x20             [--data ADDR=VAL,...] [--dump LO..HI]"
+         \x20             [--emit-json] [--data ADDR=VAL,...] [--dump LO..HI]"
     );
     exit(2)
 }
@@ -57,6 +60,7 @@ fn parse_args() -> Args {
         replicas: 4,
         trace: 0,
         pipeview: 0,
+        emit_json: false,
         data: Vec::new(),
         dump: None,
     };
@@ -71,7 +75,12 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| usage())
             }
             "--emu" => a.emu = true,
-            "--insts" => a.insts = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--insts" => {
+                a.insts = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--regs" => {
                 a.regs = match it.next().as_deref() {
                     Some("inf") => RegFileSize::Infinite,
@@ -79,14 +88,31 @@ fn parse_args() -> Args {
                     None => usage(),
                 }
             }
-            "--ports" => a.ports = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--ports" => {
+                a.ports = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--replicas" => {
-                a.replicas = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                a.replicas = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
-            "--trace" => a.trace = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--trace" => {
+                a.trace = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--pipeview" => {
-                a.pipeview = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                a.pipeview = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
+            "--emit-json" => a.emit_json = true,
             "--data" => {
                 for kv in it.next().unwrap_or_else(|| usage()).split(',') {
                     let (k, v) = kv.split_once('=').unwrap_or_else(|| usage());
@@ -168,24 +194,36 @@ fn main() {
             let s = pipe.snapshot();
             println!(
                 "{:5}  {:8}  {:4}  {:4}({:3})  {:3}  {:4}  {:8}  {:5}  {:9}",
-                s.cycle, s.fetch_pc, s.decode_q, s.rob, s.rob_done, s.lsq, s.regs_in_use,
-                s.replicas_in_flight, s.srsmt_entries, s.committed
+                s.cycle,
+                s.fetch_pc,
+                s.decode_q,
+                s.rob,
+                s.rob_done,
+                s.lsq,
+                s.regs_in_use,
+                s.replicas_in_flight,
+                s.srsmt_entries,
+                s.committed
             );
         }
         println!();
     }
     let exit_reason = pipe.run();
     let s = &pipe.stats;
-    println!(
-        "{}: {exit_reason:?}  committed={} cycles={} IPC={:.3} mispredict={:.1}% reuse={:.1}%",
-        a.mode.label(),
-        s.committed,
-        s.cycles,
-        s.ipc(),
-        s.mispredict_rate() * 100.0,
-        s.reuse_fraction() * 100.0,
-    );
-    print_regs(|r| pipe.arch_reg(r));
+    if a.emit_json {
+        println!("{}", run_json(&a.path, a.mode.label(), s));
+    } else {
+        println!(
+            "{}: {exit_reason:?}  committed={} cycles={} IPC={:.3} mispredict={:.1}% reuse={:.1}%",
+            a.mode.label(),
+            s.committed,
+            s.cycles,
+            s.ipc(),
+            s.mispredict_rate() * 100.0,
+            s.reuse_fraction() * 100.0,
+        );
+        print_regs(|r| pipe.arch_reg(r));
+    }
     if a.trace > 0 {
         println!("\nlast {} commits:", a.trace);
         for c in pipe.commit_log() {

@@ -103,7 +103,14 @@ fn random_program(rng: &mut Rng) -> Program {
                 b.alui(AluOp::Div, d, s, 1 + rng.below(9) as i64);
             }
             _ => {
-                let ops = [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::And, AluOp::Or, AluOp::Srl];
+                let ops = [
+                    AluOp::Add,
+                    AluOp::Sub,
+                    AluOp::Xor,
+                    AluOp::And,
+                    AluOp::Or,
+                    AluOp::Srl,
+                ];
                 let o = ops[rng.below(6) as usize];
                 let (d, s1, s2) = (r(rng), r(rng), r(rng));
                 b.alu(o, d, s1, s2);
@@ -118,12 +125,21 @@ fn random_program(rng: &mut Rng) -> Program {
 }
 
 fn main() {
-    let cases: u64 = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(100);
+    let cases: u64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100);
     let base_seed: u64 = std::env::args()
         .nth(2)
         .and_then(|v| v.parse().ok())
         .unwrap_or(0xC0FF_EE00);
-    let modes = [Mode::Scalar, Mode::WideBus, Mode::CiIw, Mode::Ci, Mode::Vect];
+    let modes = [
+        Mode::Scalar,
+        Mode::WideBus,
+        Mode::CiIw,
+        Mode::Ci,
+        Mode::Vect,
+    ];
     let mut total_reuse = 0u64;
     for case in 0..cases {
         let seed = base_seed.wrapping_add(case.wrapping_mul(0x9E37_79B9));
@@ -158,5 +174,8 @@ fn main() {
             println!("{}/{} cases clean", case + 1, cases);
         }
     }
-    println!("all {cases} cases clean across {} modes ({total_reuse} values reused)", modes.len());
+    println!(
+        "all {cases} cases clean across {} modes ({total_reuse} values reused)",
+        modes.len()
+    );
 }

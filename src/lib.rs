@@ -13,6 +13,7 @@
 //! | [`core`] | the paper's mechanism: MBS, NRBQ, CRP, SRSMT, spec memory |
 //! | [`sim`] | execution-driven out-of-order superscalar pipeline |
 //! | [`workloads`] | 12 synthetic SpecInt2000-like kernels |
+//! | [`obs`] | tracing, histograms, stall attribution, JSON telemetry |
 //!
 //! This facade re-exports everything under one roof and is what the
 //! `examples/` and integration tests build against.
@@ -60,6 +61,7 @@ pub use cfir_core as core;
 pub use cfir_emu as emu;
 pub use cfir_isa as isa;
 pub use cfir_mem as mem;
+pub use cfir_obs as obs;
 pub use cfir_predict as predict;
 pub use cfir_sim as sim;
 pub use cfir_workloads as workloads;
@@ -68,6 +70,9 @@ pub use cfir_workloads as workloads;
 pub mod prelude {
     pub use cfir_emu::{Emulator, MemImage};
     pub use cfir_isa::{assemble, Inst, Program, ProgramBuilder};
-    pub use cfir_sim::{harmonic_mean, Mode, Pipeline, RegFileSize, RunExit, SimConfig, SimStats};
+    pub use cfir_obs::Rng64;
+    pub use cfir_sim::{
+        harmonic_mean, run_json, Mode, Pipeline, RegFileSize, RunExit, SimConfig, SimStats,
+    };
     pub use cfir_workloads::{by_name, suite, Workload, WorkloadSpec};
 }

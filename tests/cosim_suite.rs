@@ -15,13 +15,23 @@ fn cfg(mode: Mode) -> SimConfig {
 }
 
 fn spec() -> WorkloadSpec {
-    WorkloadSpec { iters: 1 << 30, elems: 1024, seed: 0xABCD }
+    WorkloadSpec {
+        iters: 1 << 30,
+        elems: 1024,
+        seed: 0xABCD,
+    }
 }
 
 #[test]
 fn every_benchmark_cosims_in_every_mode() {
     for w in suite(spec()) {
-        for mode in [Mode::Scalar, Mode::WideBus, Mode::CiIw, Mode::Ci, Mode::Vect] {
+        for mode in [
+            Mode::Scalar,
+            Mode::WideBus,
+            Mode::CiIw,
+            Mode::Ci,
+            Mode::Vect,
+        ] {
             let mut pipe = Pipeline::new(&w.prog, w.mem.clone(), cfg(mode));
             let exit = pipe.run();
             assert_eq!(
@@ -45,12 +55,22 @@ fn architectural_results_identical_across_modes() {
     // Run each benchmark to completion (small iteration count) in every
     // mode and compare the full architectural register file against the
     // emulator's.
-    let spec = WorkloadSpec { iters: 400, elems: 256, seed: 0x5EED };
+    let spec = WorkloadSpec {
+        iters: 400,
+        elems: 256,
+        seed: 0x5EED,
+    };
     for w in suite(spec) {
         let mut emu = Emulator::new(w.mem.clone());
         emu.run(&w.prog, 50_000_000);
         assert!(emu.halted, "{}: emulator must halt", w.name);
-        for mode in [Mode::Scalar, Mode::WideBus, Mode::CiIw, Mode::Ci, Mode::Vect] {
+        for mode in [
+            Mode::Scalar,
+            Mode::WideBus,
+            Mode::CiIw,
+            Mode::Ci,
+            Mode::Vect,
+        ] {
             let mut c = cfg(mode).with_max_insts(u64::MAX >> 1);
             c.cosim_check = true;
             let mut pipe = Pipeline::new(&w.prog, w.mem.clone(), c);

@@ -6,7 +6,11 @@ use cfir::prelude::*;
 use cfir_workloads::custom::{build, CustomParams};
 
 fn run(params: CustomParams, mode: Mode) -> (Pipeline<'static>, Emulator) {
-    let spec = WorkloadSpec { iters: 1200, elems: 1024, seed: 0x1234 };
+    let spec = WorkloadSpec {
+        iters: 1200,
+        elems: 1024,
+        seed: 0x1234,
+    };
     let w = build(params, spec);
     let prog: &'static cfir_isa::Program = Box::leak(Box::new(w.prog));
     let mut emu = Emulator::new(w.mem.clone());
@@ -52,12 +56,20 @@ fn reuse_tracks_the_strided_axis() {
     // With no strided loads, the vectorizer has nothing to chew on;
     // with one, it engages.
     let none = run(
-        CustomParams { strided_loads: 0, taken_percent: 50, ..Default::default() },
+        CustomParams {
+            strided_loads: 0,
+            taken_percent: 50,
+            ..Default::default()
+        },
         Mode::Ci,
     )
     .0;
     let one = run(
-        CustomParams { strided_loads: 1, taken_percent: 50, ..Default::default() },
+        CustomParams {
+            strided_loads: 1,
+            taken_percent: 50,
+            ..Default::default()
+        },
         Mode::Ci,
     )
     .0;
@@ -71,7 +83,10 @@ fn reuse_tracks_the_strided_axis() {
 
 #[test]
 fn coherence_store_axis_cosims() {
-    let p = CustomParams { store_shift: Some(3), ..Default::default() };
+    let p = CustomParams {
+        store_shift: Some(3),
+        ..Default::default()
+    };
     let (pipe, emu) = run(p, Mode::Ci);
     for r in 0..64u8 {
         assert_eq!(pipe.arch_reg(r), emu.reg(r), "r{r}");
@@ -82,12 +97,20 @@ fn coherence_store_axis_cosims() {
 #[test]
 fn ci_tail_lengthens_the_reusable_region() {
     let short = run(
-        CustomParams { ci_tail: 1, taken_percent: 50, ..Default::default() },
+        CustomParams {
+            ci_tail: 1,
+            taken_percent: 50,
+            ..Default::default()
+        },
         Mode::Ci,
     )
     .0;
     let long = run(
-        CustomParams { ci_tail: 8, taken_percent: 50, ..Default::default() },
+        CustomParams {
+            ci_tail: 8,
+            taken_percent: 50,
+            ..Default::default()
+        },
         Mode::Ci,
     )
     .0;

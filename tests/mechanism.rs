@@ -4,7 +4,15 @@
 use cfir::prelude::*;
 
 fn run(name: &str, mode: Mode, insts: u64) -> SimStats {
-    let w = by_name(name, WorkloadSpec { iters: 1 << 30, elems: 4096, seed: 0xFEED }).unwrap();
+    let w = by_name(
+        name,
+        WorkloadSpec {
+            iters: 1 << 30,
+            elems: 4096,
+            seed: 0xFEED,
+        },
+    )
+    .unwrap();
     let mut c = SimConfig::paper_baseline()
         .with_mode(mode)
         .with_regs(RegFileSize::Finite(512))
@@ -51,7 +59,10 @@ fn events_classify_mispredictions() {
     assert!(s.events.total_mispredictions > 100);
     // Figure 5's shape: most mispredictions find CI instructions, and a
     // large share achieve reuse.
-    assert!(sel + reu > 0.5, "selected {sel:.2} + reused {reu:.2} too low");
+    assert!(
+        sel + reu > 0.5,
+        "selected {sel:.2} + reused {reu:.2} too low"
+    );
     assert!(reu > 0.03, "reused fraction {reu:.2} too low");
     assert!(nf < 0.5, "not-found fraction {nf:.2} too high");
 }
@@ -122,7 +133,15 @@ fn store_coherence_fires_on_twolf() {
 
 #[test]
 fn daec_bounds_register_occupancy() {
-    let w = by_name("crafty", WorkloadSpec { iters: 1 << 30, elems: 4096, seed: 1 }).unwrap();
+    let w = by_name(
+        "crafty",
+        WorkloadSpec {
+            iters: 1 << 30,
+            elems: 4096,
+            seed: 1,
+        },
+    )
+    .unwrap();
     let mut with_daec = SimConfig::paper_baseline()
         .with_mode(Mode::Ci)
         .with_regs(RegFileSize::Infinite)
@@ -146,8 +165,15 @@ fn daec_bounds_register_occupancy() {
 fn more_replicas_more_speculative_work() {
     let one = run("parser", Mode::Ci, 40_000);
     let eight = {
-        let w = by_name("parser", WorkloadSpec { iters: 1 << 30, elems: 4096, seed: 0xFEED })
-            .unwrap();
+        let w = by_name(
+            "parser",
+            WorkloadSpec {
+                iters: 1 << 30,
+                elems: 4096,
+                seed: 0xFEED,
+            },
+        )
+        .unwrap();
         let mut c = SimConfig::paper_baseline()
             .with_mode(Mode::Ci)
             .with_regs(RegFileSize::Finite(512))

@@ -1,11 +1,12 @@
-//! Property-based co-simulation: randomly generated (terminating)
-//! programs must produce the same architectural state on the golden
-//! emulator and on the out-of-order core in every machine mode —
-//! including with the full CI/DV mechanism speculating over them.
+//! Randomized co-simulation: randomly generated (terminating) programs
+//! must produce the same architectural state on the golden emulator and
+//! on the out-of-order core in every machine mode — including with the
+//! full CI/DV mechanism speculating over them.
+//!
+//! Plain seeded-`Rng64` tests (no proptest): deterministic, offline.
 
 use cfir::prelude::*;
 use cfir_isa::{AluOp, Cond};
-use proptest::prelude::*;
 
 const DATA_BASE: i64 = 0x2_0000;
 const OUT_BASE: i64 = 0x8_0000;
@@ -23,45 +24,36 @@ enum BodyOp {
     Accumulate(u8, u8),
 }
 
-fn reg() -> impl Strategy<Value = u8> {
-    // Work registers r10..r25; the harness owns r1..r9.
-    (10u8..=25).prop_map(|r| r)
+const ALU_OPS: [AluOp; 10] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Sll,
+    AluOp::Srl,
+    AluOp::Slt,
+    AluOp::Div,
+];
+const CONDS: [Cond; 4] = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge];
+
+/// Work registers r10..r25; the harness owns r1..r9.
+fn reg(rng: &mut Rng64) -> u8 {
+    rng.gen_range_incl(10, 25) as u8
 }
 
-fn alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Mul),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Xor),
-        Just(AluOp::Sll),
-        Just(AluOp::Srl),
-        Just(AluOp::Slt),
-        Just(AluOp::Div),
-    ]
-}
-
-fn cond() -> impl Strategy<Value = Cond> {
-    prop_oneof![
-        Just(Cond::Eq),
-        Just(Cond::Ne),
-        Just(Cond::Lt),
-        Just(Cond::Ge),
-    ]
-}
-
-fn body_op() -> impl Strategy<Value = BodyOp> {
-    prop_oneof![
-        (alu_op(), reg(), reg(), reg()).prop_map(|(o, a, b, c)| BodyOp::Alu(o, a, b, c)),
-        (alu_op(), reg(), reg(), any::<i8>()).prop_map(|(o, a, b, i)| BodyOp::AluImm(o, a, b, i)),
-        reg().prop_map(BodyOp::LoadStrided),
-        (reg(), reg()).prop_map(|(d, i)| BodyOp::LoadIndexed(d, i)),
-        reg().prop_map(BodyOp::Store),
-        (cond(), reg(), reg()).prop_map(|(c, a, b)| BodyOp::Hammock(c, a, b)),
-        (reg(), reg()).prop_map(|(a, b)| BodyOp::Accumulate(a, b)),
-    ]
+fn body_op(rng: &mut Rng64) -> BodyOp {
+    let op = ALU_OPS[rng.gen_range(0, 10) as usize];
+    match rng.gen_range(0, 7) {
+        0 => BodyOp::Alu(op, reg(rng), reg(rng), reg(rng)),
+        1 => BodyOp::AluImm(op, reg(rng), reg(rng), rng.next_u64() as i8),
+        2 => BodyOp::LoadStrided(reg(rng)),
+        3 => BodyOp::LoadIndexed(reg(rng), reg(rng)),
+        4 => BodyOp::Store(reg(rng)),
+        5 => BodyOp::Hammock(CONDS[rng.gen_range(0, 4) as usize], reg(rng), reg(rng)),
+        _ => BodyOp::Accumulate(reg(rng), reg(rng)),
+    }
 }
 
 /// Build a terminating program: `iters` iterations of a random body
@@ -139,21 +131,20 @@ fn data_mem(seed: u64) -> MemImage {
     mem
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn random_programs_cosim_in_every_mode(
-        ops in prop::collection::vec(body_op(), 1..12),
-        iters in 16u16..150,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn random_programs_cosim_in_every_mode() {
+    let mut rng = Rng64::seed_from_u64(0xC0512);
+    for case in 0..24 {
+        let n = rng.gen_range(1, 12) as usize;
+        let ops: Vec<BodyOp> = (0..n).map(|_| body_op(&mut rng)).collect();
+        let iters = rng.gen_range(16, 150) as u16;
+        let seed = rng.next_u64();
         let prog = build(&ops, iters);
         let mem = data_mem(seed);
 
         let mut emu = Emulator::new(mem.clone());
         emu.run(&prog, 10_000_000);
-        prop_assert!(emu.halted, "generated program must halt");
+        assert!(emu.halted, "case {case}: generated program must halt");
 
         for mode in [Mode::Scalar, Mode::Ci, Mode::Vect] {
             let mut cfg = SimConfig::paper_baseline()
@@ -162,43 +153,60 @@ proptest! {
                 .with_max_insts(u64::MAX >> 1);
             cfg.cosim_check = true; // the oracle panics on any divergence
             let mut pipe = Pipeline::new(&prog, mem.clone(), cfg);
-            prop_assert_eq!(pipe.run(), RunExit::Halted);
+            assert_eq!(pipe.run(), RunExit::Halted, "case {case} {mode:?}");
             for r in 0..64u8 {
-                prop_assert_eq!(pipe.arch_reg(r), emu.reg(r), "r{} in {:?}", r, mode);
+                assert_eq!(
+                    pipe.arch_reg(r),
+                    emu.reg(r),
+                    "case {case}: r{r} in {mode:?} (ops {ops:?})"
+                );
             }
             // Committed memory must match too (stores).
             for i in 0..64u64 {
                 let a = OUT_BASE as u64 + i * 8;
-                prop_assert_eq!(pipe.memory().read(a), emu.mem.read(a));
+                assert_eq!(
+                    pipe.memory().read(a),
+                    emu.mem.read(a),
+                    "case {case} mem {a:#x}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn stride_predictor_never_lies_about_trust(
-        addrs in prop::collection::vec(0u64..1_000_000, 2..100),
-    ) {
+#[test]
+fn stride_predictor_never_lies_about_trust() {
+    let mut rng = Rng64::seed_from_u64(0x57AB1E);
+    for _ in 0..100 {
         // After any observation sequence, a trusted prediction must be
         // consistent with the recorded last address and stride.
+        let n = rng.gen_range(2, 100) as usize;
+        let addrs: Vec<u64> = (0..n).map(|_| rng.gen_range(0, 1_000_000)).collect();
         let mut sp = cfir::predict::StridePredictor::paper();
         for &a in &addrs {
             sp.observe(0x40, a);
         }
         if let Some(e) = sp.lookup(0x40) {
             if e.trusted() {
-                prop_assert_eq!(e.predict(0), e.last_addr);
-                prop_assert_eq!(e.predict(2), e.last_addr.wrapping_add((e.stride as u64).wrapping_mul(2)));
+                assert_eq!(e.predict(0), e.last_addr);
+                assert_eq!(
+                    e.predict(2),
+                    e.last_addr.wrapping_add((e.stride as u64).wrapping_mul(2))
+                );
             }
-            prop_assert_eq!(e.last_addr, *addrs.last().unwrap());
+            assert_eq!(e.last_addr, *addrs.last().unwrap());
         }
     }
+}
 
-    #[test]
-    fn write_masks_cover_every_written_register(
-        dests in prop::collection::vec(1u8..64, 1..40),
-    ) {
+#[test]
+fn write_masks_cover_every_written_register() {
+    let mut rng = Rng64::seed_from_u64(0x3A5C);
+    for _ in 0..100 {
         // The NRBQ/CRP mask discipline: after writes, every written
         // register must test non-CI and untouched ones CI.
+        let n = rng.gen_range(1, 40) as usize;
+        let dests: Vec<u8> = (0..n).map(|_| rng.gen_range(1, 64) as u8).collect();
         let mut crp = cfir::core::Crp::new();
         crp.activate(0, 0, 0);
         crp.on_fetch(0);
@@ -206,11 +214,11 @@ proptest! {
             crp.on_dest_write(d, false);
         }
         for &d in &dests {
-            prop_assert!(!crp.is_control_independent([Some(d), None]));
+            assert!(!crp.is_control_independent([Some(d), None]));
         }
         for r in 1u8..64 {
             if !dests.contains(&r) {
-                prop_assert!(crp.is_control_independent([Some(r), None]));
+                assert!(crp.is_control_independent([Some(r), None]));
             }
         }
     }
