@@ -1,19 +1,35 @@
 //! Quick mechanism smoke check: one benchmark, all five machine modes.
-//! Usage: `cargo run -p cfir-bench --bin smoke [benchmark] [--emit-json]`
+//! Usage: `cargo run -p cfir-bench --bin smoke [benchmark] [--emit-json [path]]`
 //!
-//! With `--emit-json` the table is suppressed and a single versioned
-//! JSON document (one full statistics snapshot per mode) is printed to
-//! stdout instead.
+//! With `--emit-json` a single versioned JSON document (one full
+//! statistics snapshot per mode, with the interval time series) is
+//! written to the given `.json` path — or printed to stdout, table
+//! suppressed, when no path follows the flag.
 
-use cfir_bench::report::{emit_json_requested, f3, pct};
+use cfir_bench::report::{emit_json_path, emit_json_requested, f3, pct, write_json_doc};
 use cfir_bench::{run_one, take_snapshots, Table};
 use cfir_sim::{Mode, RegFileSize, SimConfig};
 use cfir_workloads::by_name;
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: smoke [benchmark] [--emit-json [path.json]]\n\
+         \x20 benchmark    workload name (default bzip2); see cfir-workloads\n\
+         \x20 --emit-json  emit the versioned snapshot bundle; with a path\n\
+         \x20              ending in .json, write it there (stdout otherwise)\n\
+         env: CFIR_INSTS, CFIR_ELEMS, CFIR_SEED"
+    );
+    std::process::exit(2)
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    let json_path = emit_json_path();
     let name = std::env::args()
         .skip(1)
-        .find(|a| !a.starts_with('-'))
+        .find(|a| !a.starts_with('-') && Some(a.as_str()) != json_path.as_deref())
         .unwrap_or_else(|| "bzip2".into());
     let emit_json = emit_json_requested();
     let w = by_name(&name, cfir_bench::default_spec()).expect("unknown benchmark");
@@ -61,9 +77,14 @@ fn main() {
         ]);
     }
     if emit_json {
-        // `run_one` recorded a full snapshot per mode; print the bundle
-        // as the sole stdout output so callers can pipe it to a parser.
-        println!("{}", cfir_bench::report::report_json(&t, &take_snapshots()));
+        // `run_one` recorded a full snapshot per mode; write the bundle
+        // to the requested path, or print it as the sole stdout output
+        // so callers can pipe it to a parser.
+        let doc = cfir_bench::report::report_json(&t, &take_snapshots());
+        if json_path.is_some() {
+            print!("{}", t.render());
+        }
+        write_json_doc(json_path.as_deref(), &doc);
     } else {
         print!("{}", t.render());
     }

@@ -139,6 +139,38 @@ pub fn emit_json_requested() -> bool {
     std::env::args().any(|a| a == "--emit-json")
 }
 
+/// The explicit output path given after `--emit-json`, if any. The
+/// next argument is taken as the path when it ends in `.json` (so a
+/// positional benchmark name after the flag is not mistaken for one):
+/// `smoke bzip2 --emit-json results/smoke.json`.
+pub fn emit_json_path() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--emit-json")?;
+    args.get(i + 1)
+        .filter(|a| a.ends_with(".json"))
+        .map(|a| a.to_string())
+}
+
+/// Write `doc` to `path` (creating parent directories), or print it to
+/// stdout when no path was given — the shared `--emit-json [path]`
+/// behaviour of `smoke` and `cfir-run`.
+pub fn write_json_doc(path: Option<&str>, doc: &str) {
+    match path {
+        Some(p) => {
+            let p = Path::new(p);
+            if let Some(dir) = p.parent() {
+                let _ = fs::create_dir_all(dir);
+            }
+            if let Err(e) = fs::write(p, doc) {
+                eprintln!("(could not write {}: {e})", p.display());
+            } else {
+                println!("[json written to {}]", p.display());
+            }
+        }
+        None => println!("{doc}"),
+    }
+}
+
 /// A versioned JSON document bundling the rendered table (header +
 /// rows, as strings) with the full per-run statistics snapshots.
 pub fn report_json(table: &Table, runs: &[String]) -> String {

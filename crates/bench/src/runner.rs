@@ -59,6 +59,11 @@ pub struct RunRow {
 pub fn run_one(w: &Workload, mut cfg: SimConfig) -> SimStats {
     cfg.max_insts = max_insts();
     cfg.cosim_check = false; // benchmarking: the oracle is exercised in tests
+    if crate::report::emit_json_requested() && cfg.interval_cycles == 0 {
+        // Snapshots should carry the interval time series; callers that
+        // set their own cadence keep it.
+        cfg.interval_cycles = 10_000;
+    }
     let label = cfg.mode.label();
     let mut p = Pipeline::new(&w.prog, w.mem.clone(), cfg);
     p.run();

@@ -48,6 +48,15 @@ impl Hist {
         }
     }
 
+    /// Upper bound (inclusive) of bucket `i`.
+    pub fn bucket_hi(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            64 => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
     /// Record one sample.
     #[inline]
     pub fn record(&mut self, v: u64) {
@@ -86,6 +95,41 @@ impl Hist {
         }
     }
 
+    /// Estimated `p`-quantile (`0.0 < p <= 1.0`): the inclusive upper
+    /// bound of the bucket holding the `ceil(p * count)`-th smallest
+    /// sample, clamped to the observed maximum. Exact when the bucket
+    /// holds a single distinct value; otherwise an upper estimate
+    /// within a factor of two (the bucket width).
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Self::bucket_hi(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`Hist::percentile`]).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
     /// Iterator over non-empty buckets as `(bucket_lo, count)`.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets
@@ -105,10 +149,19 @@ impl Hist {
         self.max = self.max.max(other.max);
     }
 
-    /// One-line human rendering: `count/mean/max` plus sparse buckets.
+    /// One-line human rendering: `count/mean/percentiles/max` plus
+    /// sparse buckets.
     pub fn render(&self) -> String {
         use std::fmt::Write;
-        let mut s = format!("n={} mean={:.1} max={}", self.count, self.mean(), self.max);
+        let mut s = format!(
+            "n={} mean={:.1} p50={} p90={} p99={} max={}",
+            self.count,
+            self.mean(),
+            self.p50(),
+            self.p90(),
+            self.p99(),
+            self.max
+        );
         for (lo, c) in self.nonzero_buckets() {
             let _ = write!(s, " [{lo}+]={c}");
         }
@@ -172,5 +225,52 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.nonzero_buckets().count(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn bucket_hi_bounds() {
+        assert_eq!(Hist::bucket_hi(0), 0);
+        assert_eq!(Hist::bucket_hi(1), 1);
+        assert_eq!(Hist::bucket_hi(2), 3);
+        assert_eq!(Hist::bucket_hi(4), 15);
+        assert_eq!(Hist::bucket_hi(64), u64::MAX);
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(Hist::bucket_hi(i) + 1, Hist::bucket_lo(i + 1), "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn percentiles_on_single_valued_buckets_are_exact() {
+        let mut h = Hist::new();
+        for _ in 0..99 {
+            h.record(1);
+        }
+        h.record(100);
+        assert_eq!(h.p50(), 1);
+        assert_eq!(h.p90(), 1);
+        // The 100th sample is the outlier; its bucket is [64,127] but
+        // the estimate clamps to the observed max.
+        assert_eq!(h.p99(), 1);
+        assert_eq!(h.percentile(1.0), 100);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded() {
+        let mut h = Hist::new();
+        for v in 0..1000u64 {
+            h.record(v * 7 % 513);
+        }
+        let mut prev = 0;
+        for p in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let q = h.percentile(p);
+            assert!(q >= prev, "quantiles must be monotone");
+            assert!(q <= h.max());
+            prev = q;
+        }
+        // The render line includes the percentile summary.
+        assert!(h.render().contains("p50="));
+        assert!(h.render().contains("p99="));
     }
 }

@@ -56,6 +56,15 @@ impl Pipeline<'_> {
                 let correct = self.arch_value_of(&e);
                 if correct == r.value {
                     self.stats.committed_reuse += 1;
+                    // Scorecard: this reuse skipped one execution; the
+                    // cycles saved are the FU latency it avoided (loads:
+                    // the L1 hit the replica already paid for it).
+                    let saved =
+                        e.inst
+                            .class()
+                            .latency()
+                            .unwrap_or(self.cfg.hierarchy.l1_hit) as u64;
+                    self.stats.branch_prof.note_reuse_commit(r.event, saved);
                     if let Some(ev) = r.event {
                         self.stats.events.mark_reused(ev);
                     }
@@ -156,6 +165,9 @@ impl Pipeline<'_> {
                 }
                 Inst::Br { .. } => {
                     self.stats.branches += 1;
+                    self.stats
+                        .branch_prof
+                        .note_branch(e.pc, e.actual_target != e.pred_target);
                     self.arch_ghist =
                         ((self.arch_ghist << 1) | e.actual_taken as u64) & ((1u64 << 16) - 1);
                     self.gshare

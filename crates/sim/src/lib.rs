@@ -39,6 +39,7 @@ pub mod exec;
 pub mod lsq;
 pub mod mech;
 pub mod pipeline;
+pub mod prof;
 pub mod regfile;
 pub mod rob;
 pub mod snapshot;
@@ -48,5 +49,6 @@ pub mod vec_engine;
 
 pub use config::{Mode, RegFileSize, SimConfig};
 pub use pipeline::{CommitRecord, Pipeline, PipelineSnapshot, RunExit};
+pub use prof::{BranchProf, BranchScore};
 pub use snapshot::{run_json, SCHEMA_VERSION};
 pub use stats::{harmonic_mean, SimStats};

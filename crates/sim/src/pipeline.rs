@@ -390,15 +390,30 @@ impl<'a> Pipeline<'a> {
         self.stats.cycles += 1;
         self.cycle += 1;
         if self.cfg.interval_cycles > 0 && self.cycle.is_multiple_of(self.cfg.interval_cycles) {
-            let prev = self.stats.intervals.last().map(|s| (s.cycle, s.committed));
-            let (pc, pi) = prev.unwrap_or((0, 0));
-            let dc = self.cycle - pc;
-            let di = self.stats.committed - pi;
+            let prev = self.stats.intervals.last().copied().unwrap_or_default();
+            let dc = self.cycle - prev.cycle;
+            let di = self.stats.committed - prev.committed;
+            let dr = self.stats.committed_reuse - prev.committed_reuse;
+            let db = self.stats.branches - prev.branches;
+            let dm = self.stats.mispredicts - prev.mispredicts;
+            let rate = |num: u64, den: u64| {
+                if den == 0 {
+                    0.0
+                } else {
+                    num as f64 / den as f64
+                }
+            };
             self.stats.intervals.push(crate::stats::IntervalSample {
                 cycle: self.cycle,
                 committed: self.stats.committed,
                 committed_reuse: self.stats.committed_reuse,
-                interval_ipc: if dc == 0 { 0.0 } else { di as f64 / dc as f64 },
+                branches: self.stats.branches,
+                mispredicts: self.stats.mispredicts,
+                interval_ipc: rate(di, dc),
+                interval_mispredict_rate: rate(dm, db),
+                interval_reuse_rate: rate(dr, di),
+                rob_occupancy: self.rob.len() as u32,
+                regs_in_use: self.rf.in_use() as u32,
             });
         }
     }
@@ -416,6 +431,10 @@ impl<'a> Pipeline<'a> {
         if let Some(m) = &self.mech {
             self.stats.srsmt = m.srsmt.stats;
         }
+        // Fold per-event outcomes into the per-branch scorecards (the
+        // clone is a few bytes per misprediction, once per run).
+        let events = self.stats.events.clone();
+        self.stats.branch_prof.finalize(&events);
         // Accounting invariant: every commit slot of every cycle was
         // charged to exactly one cause.
         if let Err(e) = self

@@ -1,0 +1,314 @@
+//! Per-static-branch CI-reuse scorecards.
+//!
+//! The paper's headline claim — control-flow independence is exploited
+//! for ~50% of mispredicted branches — is a *per-site* property: some
+//! static branches are gold mines for the mechanism, others never pay.
+//! This module attributes every mechanism action (event opened, replica
+//! dispatched/executed, validation, committed reuse) back to the static
+//! branch whose misprediction triggered it, keyed by the branch's word
+//! PC, so a run can be profiled branch by branch instead of only in
+//! aggregate.
+//!
+//! Attribution flows through the misprediction *event* id that the
+//! selection machinery already threads through `SRSMT` entries and
+//! [`crate::rob::ReuseInfo`] for the Figure 5 classification: the
+//! scorecard records which branch PC opened each event and charges all
+//! downstream work to it. Work with no event (e.g. `vect` mode, which
+//! vectorizes on stride trust alone) lands in an explicit
+//! `unattributed` bucket so scorecard totals always reconcile exactly
+//! with the global [`crate::stats::SimStats`] counters.
+
+use cfir_core::{EventOutcome, EventStats};
+use std::collections::HashMap;
+
+/// Mechanism effectiveness at one static conditional branch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BranchScore {
+    /// Committed dynamic instances of this branch.
+    pub executed: u64,
+    /// Committed instances whose prediction was wrong.
+    pub mispredicts: u64,
+    /// CI events opened by this branch (hard mispredictions that
+    /// activated the CRP).
+    pub events: u64,
+    /// Events in which at least one precomputed result was reused —
+    /// the paper's "CI exploited" numerator.
+    pub events_reused: u64,
+    /// Events that selected CI instructions but reused none.
+    pub events_selected: u64,
+    /// Replica instances dispatched to the engine for work this branch
+    /// selected.
+    pub replicas_created: u64,
+    /// Replica instances that actually executed.
+    pub replicas_executed: u64,
+    /// Decode-time validations that consumed a replica slot.
+    pub validations: u64,
+    /// Committed instructions that reused a value attributed to this
+    /// branch's events.
+    pub reuse_commits: u64,
+    /// Estimated execution cycles the reuses avoided (the FU or L1-hit
+    /// latency each validated instruction skipped).
+    pub cycles_saved: u64,
+}
+
+impl BranchScore {
+    /// Replicas executed whose value was never consumed by a committed
+    /// reuse — the wasted speculative work at this branch.
+    pub fn replicas_wasted(&self) -> u64 {
+        self.replicas_executed.saturating_sub(self.reuse_commits)
+    }
+
+    /// Fraction of this branch's mispredictions for which CI was
+    /// exploited (≥ 1 reuse survived the squash).
+    pub fn ci_exploited_rate(&self) -> f64 {
+        if self.mispredicts == 0 {
+            0.0
+        } else {
+            self.events_reused as f64 / self.mispredicts as f64
+        }
+    }
+
+    fn add(&mut self, other: &BranchScore) {
+        self.executed += other.executed;
+        self.mispredicts += other.mispredicts;
+        self.events += other.events;
+        self.events_reused += other.events_reused;
+        self.events_selected += other.events_selected;
+        self.replicas_created += other.replicas_created;
+        self.replicas_executed += other.replicas_executed;
+        self.validations += other.validations;
+        self.reuse_commits += other.reuse_commits;
+        self.cycles_saved += other.cycles_saved;
+    }
+}
+
+/// The per-run scorecard table plus the unattributed spill bucket.
+#[derive(Debug, Clone, Default)]
+pub struct BranchProf {
+    /// Scores keyed by the branch's word PC.
+    scores: HashMap<u32, BranchScore>,
+    /// Which branch PC opened each event id (filled at recovery).
+    event_pc: HashMap<u64, u32>,
+    /// Mechanism work that carried no event id (`vect` mode, or events
+    /// already evicted): kept so totals reconcile with the global
+    /// statistics.
+    pub unattributed: BranchScore,
+    /// Outcomes already folded (see [`BranchProf::finalize`]).
+    finalized: bool,
+}
+
+impl BranchProf {
+    /// A committed conditional branch (called from the commit stage).
+    pub fn note_branch(&mut self, pc: u32, mispredicted: bool) {
+        let s = self.scores.entry(pc).or_default();
+        s.executed += 1;
+        if mispredicted {
+            s.mispredicts += 1;
+        }
+    }
+
+    /// A CI event opened by the misprediction of the branch at `pc`.
+    pub fn note_event(&mut self, pc: u32, event: u64) {
+        self.scores.entry(pc).or_default().events += 1;
+        self.event_pc.insert(event, pc);
+    }
+
+    fn score_for(&mut self, event: Option<u64>) -> &mut BranchScore {
+        match event.and_then(|id| self.event_pc.get(&id).copied()) {
+            Some(pc) => self.scores.entry(pc).or_default(),
+            None => &mut self.unattributed,
+        }
+    }
+
+    /// A replica instance was dispatched to the engine.
+    pub fn note_replica_created(&mut self, event: Option<u64>) {
+        self.score_for(event).replicas_created += 1;
+    }
+
+    /// A replica instance executed.
+    pub fn note_replica_executed(&mut self, event: Option<u64>) {
+        self.score_for(event).replicas_executed += 1;
+    }
+
+    /// A decode-time validation consumed a replica slot.
+    pub fn note_validation(&mut self, event: Option<u64>) {
+        self.score_for(event).validations += 1;
+    }
+
+    /// A reused value committed; `cycles_saved` estimates the
+    /// execution latency the validating instruction skipped.
+    pub fn note_reuse_commit(&mut self, event: Option<u64>, cycles_saved: u64) {
+        let s = self.score_for(event);
+        s.reuse_commits += 1;
+        s.cycles_saved += cycles_saved;
+    }
+
+    /// Fold the final per-event outcomes into the per-branch
+    /// `events_reused` / `events_selected` counters. Called once from
+    /// `finalize_stats`; idempotent.
+    pub fn finalize(&mut self, events: &EventStats) {
+        if self.finalized {
+            return;
+        }
+        self.finalized = true;
+        for (&id, &pc) in &self.event_pc {
+            let Some(outcome) = events.outcome(id) else {
+                continue;
+            };
+            let s = self.scores.entry(pc).or_default();
+            match outcome {
+                EventOutcome::Reused => s.events_reused += 1,
+                EventOutcome::SelectedNoReuse => s.events_selected += 1,
+                EventOutcome::NotFound => {}
+            }
+        }
+    }
+
+    /// Number of distinct static branches profiled.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// Whether no branch was profiled.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// The score of one branch PC.
+    pub fn get(&self, pc: u32) -> Option<&BranchScore> {
+        self.scores.get(&pc)
+    }
+
+    /// All `(pc, score)` rows, sorted by descending misprediction
+    /// count (ties broken by PC) — the order reports print in.
+    pub fn sorted(&self) -> Vec<(u32, BranchScore)> {
+        let mut rows: Vec<(u32, BranchScore)> = self.scores.iter().map(|(&p, &s)| (p, s)).collect();
+        rows.sort_by(|a, b| b.1.mispredicts.cmp(&a.1.mispredicts).then(a.0.cmp(&b.0)));
+        rows
+    }
+
+    /// Sum over every branch row (the `unattributed` bucket excluded).
+    pub fn totals(&self) -> BranchScore {
+        let mut t = BranchScore::default();
+        for s in self.scores.values() {
+            t.add(s);
+        }
+        t
+    }
+
+    /// Sum over every row *including* the unattributed bucket — the
+    /// side that must reconcile with the global statistics.
+    pub fn grand_totals(&self) -> BranchScore {
+        let mut t = self.totals();
+        t.add(&self.unattributed);
+        t
+    }
+
+    /// The paper's headline metric: fraction of all committed
+    /// mispredictions for which CI was exploited (≥ 1 reuse).
+    pub fn ci_exploited_fraction(&self) -> f64 {
+        let t = self.totals();
+        if t.mispredicts == 0 {
+            0.0
+        } else {
+            t.events_reused as f64 / t.mispredicts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution_and_totals() {
+        let mut p = BranchProf::default();
+        let mut ev = EventStats::new();
+        // Branch 10 mispredicts twice; one event gets a reuse.
+        p.note_branch(10, true);
+        p.note_branch(10, true);
+        p.note_branch(10, false);
+        let e0 = ev.open_event();
+        p.note_event(10, e0);
+        let e1 = ev.open_event();
+        p.note_event(10, e1);
+        ev.mark_selected(e1);
+        ev.mark_reused(e1);
+        p.note_replica_created(Some(e1));
+        p.note_replica_created(Some(e1));
+        p.note_replica_executed(Some(e1));
+        p.note_validation(Some(e1));
+        p.note_reuse_commit(Some(e1), 3);
+        // Branch 20: clean.
+        p.note_branch(20, false);
+        // Eventless work spills to unattributed.
+        p.note_replica_created(None);
+        p.note_reuse_commit(None, 1);
+        p.finalize(&ev);
+
+        let s10 = p.get(10).copied().unwrap();
+        assert_eq!(s10.executed, 3);
+        assert_eq!(s10.mispredicts, 2);
+        assert_eq!(s10.events, 2);
+        assert_eq!(s10.events_reused, 1);
+        assert_eq!(s10.events_selected, 0);
+        assert_eq!(s10.replicas_created, 2);
+        assert_eq!(s10.replicas_executed, 1);
+        assert_eq!(s10.validations, 1);
+        assert_eq!(s10.reuse_commits, 1);
+        assert_eq!(s10.cycles_saved, 3);
+        assert_eq!(s10.replicas_wasted(), 0);
+        assert!((s10.ci_exploited_rate() - 0.5).abs() < 1e-12);
+
+        assert_eq!(p.unattributed.replicas_created, 1);
+        assert_eq!(p.unattributed.reuse_commits, 1);
+        assert_eq!(p.unattributed.cycles_saved, 1);
+
+        let t = p.totals();
+        assert_eq!(t.executed, 4);
+        assert_eq!(t.mispredicts, 2);
+        let g = p.grand_totals();
+        assert_eq!(g.reuse_commits, 2);
+        assert_eq!(g.cycles_saved, 4);
+        assert!((p.ci_exploited_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finalize_is_idempotent() {
+        let mut p = BranchProf::default();
+        let mut ev = EventStats::new();
+        p.note_branch(5, true);
+        let e = ev.open_event();
+        p.note_event(5, e);
+        ev.mark_reused(e);
+        p.finalize(&ev);
+        p.finalize(&ev);
+        assert_eq!(p.get(5).unwrap().events_reused, 1);
+    }
+
+    #[test]
+    fn sorted_ranks_by_mispredictions() {
+        let mut p = BranchProf::default();
+        p.note_branch(7, true);
+        p.note_branch(3, true);
+        p.note_branch(3, true);
+        p.note_branch(9, false);
+        let rows = p.sorted();
+        assert_eq!(rows[0].0, 3);
+        assert_eq!(rows[1].0, 7);
+        assert_eq!(rows[2].0, 9);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn unknown_events_spill_to_unattributed() {
+        let mut p = BranchProf::default();
+        // Event 42 was never opened through note_event (e.g. the map
+        // entry was lost): work must not vanish.
+        p.note_replica_executed(Some(42));
+        assert_eq!(p.unattributed.replicas_executed, 1);
+        assert_eq!(p.totals().replicas_executed, 0);
+        assert_eq!(p.grand_totals().replicas_executed, 1);
+    }
+}

@@ -6,19 +6,31 @@
 //! [`SCHEMA_VERSION`] on any breaking change so downstream tooling can
 //! reject snapshots it does not understand.
 
+use crate::prof::BranchScore;
 use crate::stats::SimStats;
 use cfir_obs::stall::ALL_CAUSES;
 use cfir_obs::{Hist, JsonWriter};
 
 /// Version stamped into every snapshot (`"schema_version"` field).
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// History:
+/// * **1** — initial schema (metrics, valfail reasons, memory, stall
+///   breakdown, histograms, intervals).
+/// * **2** — additive: histogram percentiles (`p50`/`p90`/`p99`),
+///   extended interval samples (branch counters, rates, occupancy) and
+///   the per-branch `branch_prof` scorecard. Every v1 key is unchanged,
+///   so v1 consumers can read v2 documents.
+pub const SCHEMA_VERSION: u32 = 2;
 
 fn write_hist(w: &mut JsonWriter, key: &str, h: &Hist) {
     w.key(key).begin_obj();
     w.field_u64("count", h.count())
         .field_u64("sum", h.sum())
         .field_u64("max", h.max())
-        .field_f64("mean", h.mean());
+        .field_f64("mean", h.mean())
+        .field_u64("p50", h.p50())
+        .field_u64("p90", h.p90())
+        .field_u64("p99", h.p99());
     // Sparse buckets: `[bucket_lower_bound, count]` pairs.
     w.key("buckets").begin_arr();
     for (lo, n) in h.nonzero_buckets() {
@@ -104,13 +116,55 @@ pub fn run_json(name: &str, label: &str, stats: &SimStats) -> String {
             .field_u64("cycle", s.cycle)
             .field_u64("committed", s.committed)
             .field_u64("committed_reuse", s.committed_reuse)
+            .field_u64("branches", s.branches)
+            .field_u64("mispredicts", s.mispredicts)
             .field_f64("interval_ipc", s.interval_ipc)
+            .field_f64("interval_mispredict_rate", s.interval_mispredict_rate)
+            .field_f64("interval_reuse_rate", s.interval_reuse_rate)
+            .field_u64("rob_occupancy", s.rob_occupancy as u64)
+            .field_u64("regs_in_use", s.regs_in_use as u64)
             .end_obj();
     }
     w.end_arr();
 
+    // Per-static-branch scorecard (schema v2). Rows sorted by
+    // descending mispredictions; the `unattributed` bucket catches
+    // mechanism work that carried no event id (e.g. `vect` mode) so
+    // `totals` + `unattributed` reconcile with the global counters.
+    let prof = &stats.branch_prof;
+    w.key("branch_prof").begin_obj();
+    w.field_u64("static_branches", prof.len() as u64)
+        .field_f64("ci_exploited_fraction", prof.ci_exploited_fraction());
+    write_score_fields(w.key("totals").begin_obj(), &prof.totals()).end_obj();
+    write_score_fields(w.key("unattributed").begin_obj(), &prof.unattributed).end_obj();
+    w.key("branches").begin_arr();
+    for (pc, score) in prof.sorted() {
+        w.begin_obj().field_u64("pc", pc as u64);
+        write_score_fields(&mut w, &score);
+        w.field_f64("ci_exploited_rate", score.ci_exploited_rate())
+            .end_obj();
+    }
+    w.end_arr();
+    w.end_obj();
+
     w.end_obj();
     w.finish()
+}
+
+/// Emit the counter fields of one [`BranchScore`] into the object the
+/// writer currently has open.
+fn write_score_fields<'a>(w: &'a mut JsonWriter, s: &BranchScore) -> &'a mut JsonWriter {
+    w.field_u64("executed", s.executed)
+        .field_u64("mispredicts", s.mispredicts)
+        .field_u64("events", s.events)
+        .field_u64("events_reused", s.events_reused)
+        .field_u64("events_selected", s.events_selected)
+        .field_u64("replicas_created", s.replicas_created)
+        .field_u64("replicas_executed", s.replicas_executed)
+        .field_u64("replicas_wasted", s.replicas_wasted())
+        .field_u64("validations", s.validations)
+        .field_u64("reuse_commits", s.reuse_commits)
+        .field_u64("cycles_saved", s.cycles_saved)
 }
 
 #[cfg(test)]
@@ -138,12 +192,20 @@ mod tests {
             cycle: 500,
             committed: 1200,
             committed_reuse: 100,
+            branches: 90,
+            mispredicts: 9,
             interval_ipc: 2.4,
+            interval_mispredict_rate: 0.1,
+            interval_reuse_rate: 0.08,
+            rob_occupancy: 120,
+            regs_in_use: 64,
         });
+        stats.branch_prof.note_branch(0x40, true);
+        stats.branch_prof.note_reuse_commit(None, 2);
 
         let text = run_json("bzip2 \"quoted\"", "ci", &stats);
         let v = json::parse(&text).expect("snapshot parses");
-        assert_eq!(v.get("schema_version").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("schema_version").unwrap().as_u64(), Some(2));
         assert_eq!(v.get("name").unwrap().as_str(), Some("bzip2 \"quoted\""));
         assert_eq!(v.get("mode").unwrap().as_str(), Some("ci"));
         assert_eq!(v.get("cycles").unwrap().as_u64(), Some(1000));
@@ -158,8 +220,50 @@ mod tests {
         let h = v.get("histograms").unwrap().get("load_to_use").unwrap();
         assert_eq!(h.get("count").unwrap().as_u64(), Some(2));
         assert_eq!(h.get("buckets").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(h.get("p50").unwrap().as_u64(), Some(1));
+        assert_eq!(h.get("p99").unwrap().as_u64(), Some(14));
         let iv = v.get("intervals").unwrap().as_arr().unwrap();
         assert_eq!(iv[0].get("cycle").unwrap().as_u64(), Some(500));
+        assert_eq!(iv[0].get("mispredicts").unwrap().as_u64(), Some(9));
+        assert_eq!(iv[0].get("rob_occupancy").unwrap().as_u64(), Some(120));
+        let bp = v.get("branch_prof").unwrap();
+        assert_eq!(bp.get("static_branches").unwrap().as_u64(), Some(1));
+        let rows = bp.get("branches").unwrap().as_arr().unwrap();
+        assert_eq!(rows[0].get("pc").unwrap().as_u64(), Some(0x40));
+        assert_eq!(rows[0].get("mispredicts").unwrap().as_u64(), Some(1));
+        let un = bp.get("unattributed").unwrap();
+        assert_eq!(un.get("reuse_commits").unwrap().as_u64(), Some(1));
+        assert_eq!(un.get("cycles_saved").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn v1_documents_still_parse_and_expose_v1_keys() {
+        // A committed v1 snapshot fragment (pre-percentile histograms,
+        // short interval rows, no branch_prof): the parser and the v1
+        // key set must keep working so old baselines stay readable.
+        let v1 = r#"{
+            "schema_version": 1,
+            "name": "bzip2", "mode": "ci",
+            "cycles": 1000, "committed": 2500, "ipc": 2.5,
+            "committed_reuse": 300, "reuse_fraction": 0.12,
+            "histograms": {
+                "load_to_use": {"count": 2, "sum": 15, "max": 14,
+                                 "mean": 7.5, "buckets": [[1, 1], [8, 1]]}
+            },
+            "intervals": [
+                {"cycle": 500, "committed": 1200,
+                 "committed_reuse": 100, "interval_ipc": 2.4}
+            ]
+        }"#;
+        let v = json::parse(v1).expect("v1 snapshot parses");
+        assert_eq!(v.get("schema_version").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("cycles").unwrap().as_u64(), Some(1000));
+        let h = v.get("histograms").unwrap().get("load_to_use").unwrap();
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(2));
+        assert!(h.get("p50").is_none());
+        let iv = v.get("intervals").unwrap().as_arr().unwrap();
+        assert_eq!(iv[0].get("cycle").unwrap().as_u64(), Some(500));
+        assert!(iv[0].get("rob_occupancy").is_none());
     }
 
     #[test]

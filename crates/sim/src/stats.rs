@@ -1,13 +1,16 @@
 //! Statistics collected by one simulation run — everything the paper's
 //! figures need.
 
+use crate::prof::BranchProf;
 use cfir_core::srsmt::SrsmtStats;
 use cfir_core::EventStats;
 use cfir_obs::{Hist, StallBreakdown};
 
 /// One point of the interval time series (see
-/// `SimConfig::interval_cycles`).
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// `SimConfig::interval_cycles`). Cumulative counters plus the rates
+/// over the *last* interval and a point sample of occupancy, so a
+/// run's effectiveness can be watched evolving over time.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct IntervalSample {
     /// Cycle at which the sample was taken.
     pub cycle: u64,
@@ -15,8 +18,20 @@ pub struct IntervalSample {
     pub committed: u64,
     /// Reused instructions committed so far.
     pub committed_reuse: u64,
+    /// Conditional branches committed so far.
+    pub branches: u64,
+    /// Mispredictions committed so far.
+    pub mispredicts: u64,
     /// IPC over the *last* interval only.
     pub interval_ipc: f64,
+    /// Misprediction rate over the last interval only.
+    pub interval_mispredict_rate: f64,
+    /// Fraction of the last interval's commits that reused a value.
+    pub interval_reuse_rate: f64,
+    /// Window occupancy at the sample point.
+    pub rob_occupancy: u32,
+    /// Physical registers in use at the sample point.
+    pub regs_in_use: u32,
 }
 
 /// Aggregate statistics of a run.
@@ -103,6 +118,8 @@ pub struct SimStats {
     pub squash_reuse_hits: u64,
     /// Periodic samples (empty unless `SimConfig::interval_cycles` set).
     pub intervals: Vec<IntervalSample>,
+    /// Per-static-branch CI-reuse scorecards.
+    pub branch_prof: BranchProf,
     /// Load issue→value latency (forwarded loads count as 1 cycle).
     pub h_load_to_use: Hist,
     /// Branch dispatch→resolution latency.

@@ -329,6 +329,7 @@ impl Pipeline<'_> {
                     ent.advance_decode();
                     let gen = ent.gen;
                     let event = ent.event;
+                    self.stats.branch_prof.note_validation(event);
                     if !ent.confirmed {
                         // Probe: consume the slot but execute normally;
                         // the alignment is verified at issue against the
@@ -838,6 +839,7 @@ impl Pipeline<'_> {
         if !ent.can_grow() {
             return false;
         }
+        let event = ent.event;
         let (pc, gen, kind) = (ent.pc, ent.gen, ent.kind);
         let inst = ent.inst;
         let (seq1, seq2) = (ent.seq1, ent.seq2);
@@ -891,6 +893,7 @@ impl Pipeline<'_> {
             addr: None,
         });
         self.stats.replicas_created += 1;
+        self.stats.branch_prof.note_replica_created(event);
         true
     }
 
@@ -1048,6 +1051,8 @@ impl Pipeline<'_> {
                 e.issue += 1;
             }
             self.stats.replicas_executed += 1;
+            let event = m.srsmt.get(rep.srsmt_idx).and_then(|e| e.event);
+            self.stats.branch_prof.note_replica_executed(event);
         }
     }
 
@@ -1135,6 +1140,7 @@ impl Pipeline<'_> {
                 && (!self.cfg.mech.mbs_gating || m.mbs.is_hard(Program::byte_pc(bpc)));
             if hard {
                 let event = self.stats.events.open_event();
+                self.stats.branch_prof.note_event(bpc, event);
                 let rcp_est = if self.cfg.mech.full_rcp_heuristic {
                     cfir_core::rcp::estimate(self.prog, bpc)
                 } else {

@@ -96,14 +96,26 @@ fn interval_sampling_tracks_cumulative_counters() {
     );
     let mut prev_cycle = 0;
     let mut prev_committed = 0;
+    let mut prev_branches = 0;
     for iv in &s.intervals {
         assert!(iv.cycle > prev_cycle, "sample cycles strictly increase");
         assert!(iv.committed >= prev_committed, "committed is cumulative");
+        assert!(iv.branches >= prev_branches, "branches is cumulative");
+        assert!(iv.mispredicts <= iv.branches);
         assert!(iv.interval_ipc >= 0.0 && iv.interval_ipc <= WIDTH as f64);
+        assert!((0.0..=1.0).contains(&iv.interval_mispredict_rate));
+        assert!((0.0..=1.0).contains(&iv.interval_reuse_rate));
+        // with_regs(Finite(512)) grows the window to 512 (§3.2).
+        assert!(iv.rob_occupancy <= 512, "bounded by the window size");
         prev_cycle = iv.cycle;
         prev_committed = iv.committed;
+        prev_branches = iv.branches;
     }
     assert!(s.intervals.last().unwrap().committed <= s.committed);
+    assert!(
+        s.intervals.iter().any(|iv| iv.rob_occupancy > 0),
+        "some sample catches a non-empty window"
+    );
 }
 
 #[test]
@@ -111,7 +123,7 @@ fn snapshot_json_matches_the_stats_it_came_from() {
     let s = run("bzip2", Mode::Vect, 2_000);
     let doc = run_json("bzip2", "vect", &s);
     let v = json::parse(&doc).expect("snapshot must parse");
-    assert_eq!(v.get("schema_version").and_then(|x| x.as_u64()), Some(1));
+    assert_eq!(v.get("schema_version").and_then(|x| x.as_u64()), Some(2));
     assert_eq!(v.get("name").and_then(|x| x.as_str()), Some("bzip2"));
     assert_eq!(v.get("cycles").and_then(|x| x.as_u64()), Some(s.cycles));
     assert_eq!(

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerate the committed perf baselines in results/baselines/.
+#
+# The simulator is deterministic (seeded workloads), so for a fixed
+# CFIR_INSTS these snapshots are exactly reproducible; CI's perf-gate
+# job reruns the same commands and compares fresh output against the
+# committed files with `cfir-report check`. Rerun this script (and
+# commit the result) whenever a change intentionally moves the numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CFIR_INSTS="${CFIR_INSTS:-20000}"
+
+cargo build --release --workspace
+mkdir -p results/baselines
+
+# Per-mode run snapshots of the smoke benchmark (schema v2 bundle).
+./target/release/smoke bzip2 --emit-json results/baselines/smoke.json
+
+# Machine-configuration table (a drift gate, not a perf gate).
+./target/release/table1 --emit-json >/dev/null
+cp results/table1.json results/baselines/table1.json
+
+echo "baselines refreshed (CFIR_INSTS=$CFIR_INSTS):"
+ls -l results/baselines/

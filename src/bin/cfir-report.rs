@@ -1,0 +1,87 @@
+//! `cfir-report` — inspect, diff and gate the simulator's JSON
+//! snapshots (see `DESIGN.md` for the schema).
+//!
+//! ```sh
+//! # Pretty-print a snapshot (single run or bundle):
+//! cfir-report results/smoke.json
+//!
+//! # Per-metric deltas between two snapshots; exit 1 when a gating
+//! # metric (IPC, reuse fraction, CI-exploited fraction) regresses:
+//! cfir-report diff results/baselines/smoke.json results/smoke.json
+//!
+//! # Same, phrased as a regression gate (CI uses this):
+//! cfir-report check results/baselines/smoke.json results/smoke.json --tolerance 2%
+//! ```
+//!
+//! `--tolerance` accepts `2%` or `0.02` (default `2%`); it is the
+//! relative move a gating metric may make in the bad direction before
+//! the check fails. Exit codes: 0 ok, 1 regression, 2 usage/IO error.
+
+use cfir::report;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cfir-report <snapshot.json>\n\
+         \x20      cfir-report diff  <old.json> <new.json> [--tolerance P%]\n\
+         \x20      cfir-report check <baseline.json> <run.json> [--tolerance P%]"
+    );
+    exit(2)
+}
+
+fn load(path: &str) -> cfir::obs::json::JsonValue {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cfir-report: cannot read {path}: {e}");
+        exit(2)
+    });
+    report::parse_doc(&text).unwrap_or_else(|e| {
+        eprintln!("cfir-report: {path}: {e}");
+        exit(2)
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<&str> = Vec::new();
+    let mut sub: Option<&str> = None;
+    let mut tolerance = 0.02;
+    let mut it = args.iter().map(|s| s.as_str()).peekable();
+    while let Some(a) = it.next() {
+        match a {
+            "diff" | "check" | "--check" if sub.is_none() && files.is_empty() => {
+                sub = Some(a.trim_start_matches("--"));
+            }
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(report::parse_tolerance)
+                    .unwrap_or_else(|| usage());
+            }
+            "--help" | "-h" => usage(),
+            _ if !a.starts_with('-') => files.push(a),
+            _ => usage(),
+        }
+    }
+
+    match (sub, files.as_slice()) {
+        (None, [path]) => {
+            print!("{}", report::render(&load(path)));
+        }
+        (Some(_), [old, new]) => {
+            let outcome = report::diff(&load(old), &load(new), tolerance).unwrap_or_else(|e| {
+                eprintln!("cfir-report: {e}");
+                exit(2)
+            });
+            print!("{}", outcome.report);
+            if outcome.regressed {
+                eprintln!(
+                    "cfir-report: regression beyond {:.2}% tolerance",
+                    tolerance * 100.0
+                );
+                exit(1)
+            }
+            println!("ok (tolerance {:.2}%)", tolerance * 100.0);
+        }
+        _ => usage(),
+    }
+}

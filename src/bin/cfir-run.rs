@@ -17,8 +17,10 @@
 //! * `--trace N` — print the last N committed instructions;
 //! * `--pipeview N` — print per-cycle pipeline occupancy for the first
 //!   N cycles;
-//! * `--emit-json` — print the versioned run-statistics snapshot as a
-//!   JSON document instead of the human-readable summary;
+//! * `--emit-json [path.json]` — emit the versioned run-statistics
+//!   snapshot as a JSON document (with interval time series) instead of
+//!   the human-readable summary; when the next argument ends in
+//!   `.json` the document is written there instead of stdout;
 //! * `--data ADDR=VALUE,...` — pre-initialise data memory words;
 //! * `--dump ADDR..ADDR` — print a memory range after the run.
 
@@ -36,6 +38,7 @@ struct Args {
     trace: usize,
     pipeview: u64,
     emit_json: bool,
+    emit_json_path: Option<String>,
     data: Vec<(u64, u64)>,
     dump: Option<(u64, u64)>,
 }
@@ -44,7 +47,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: cfir-run <prog.asm> [--mode scal|wb|ci-iw|ci|vect] [--emu] [--insts N]\n\
          \x20             [--regs N|inf] [--ports N] [--replicas N] [--trace N] [--pipeview N]\n\
-         \x20             [--emit-json] [--data ADDR=VAL,...] [--dump LO..HI]"
+         \x20             [--emit-json [path.json]] [--data ADDR=VAL,...] [--dump LO..HI]\n\
+         --emit-json emits the versioned statistics snapshot (JSON) instead of the\n\
+         text summary; give a path ending in .json to write it to a file\n\
+         (e.g. results/run.json) rather than stdout"
     );
     exit(2)
 }
@@ -61,10 +67,11 @@ fn parse_args() -> Args {
         trace: 0,
         pipeview: 0,
         emit_json: false,
+        emit_json_path: None,
         data: Vec::new(),
         dump: None,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--mode" => {
@@ -112,7 +119,14 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
-            "--emit-json" => a.emit_json = true,
+            "--emit-json" => {
+                a.emit_json = true;
+                // An optional output path follows iff it looks like one
+                // (so the positional program file is never swallowed).
+                if it.peek().is_some_and(|n| n.ends_with(".json")) {
+                    a.emit_json_path = it.next();
+                }
+            }
             "--data" => {
                 for kv in it.next().unwrap_or_else(|| usage()).split(',') {
                     let (k, v) = kv.split_once('=').unwrap_or_else(|| usage());
@@ -177,12 +191,16 @@ fn main() {
         return;
     }
 
-    let cfg = SimConfig::paper_baseline()
+    let mut cfg = SimConfig::paper_baseline()
         .with_mode(a.mode)
         .with_regs(a.regs)
         .with_dports(a.ports)
         .with_replicas(a.replicas)
         .with_max_insts(a.insts);
+    if a.emit_json {
+        // Snapshots carry the interval time series.
+        cfg.interval_cycles = 10_000;
+    }
     let mut pipe = Pipeline::new(&prog, mem, cfg);
     if a.trace > 0 {
         pipe.enable_commit_log(a.trace);
@@ -211,7 +229,20 @@ fn main() {
     let exit_reason = pipe.run();
     let s = &pipe.stats;
     if a.emit_json {
-        println!("{}", run_json(&a.path, a.mode.label(), s));
+        let doc = run_json(&a.path, a.mode.label(), s);
+        match &a.emit_json_path {
+            Some(p) => {
+                if let Some(dir) = std::path::Path::new(p).parent() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+                if let Err(e) = std::fs::write(p, doc) {
+                    eprintln!("cannot write {p}: {e}");
+                    exit(1)
+                }
+                println!("[json written to {p}]");
+            }
+            None => println!("{doc}"),
+        }
     } else {
         println!(
             "{}: {exit_reason:?}  committed={} cycles={} IPC={:.3} mispredict={:.1}% reuse={:.1}%",

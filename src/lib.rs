@@ -57,6 +57,8 @@
 //! assert_eq!(pipe.arch_reg(2) + pipe.arch_reg(3), 10, "hammock counts");
 //! ```
 
+pub mod report;
+
 pub use cfir_core as core;
 pub use cfir_emu as emu;
 pub use cfir_isa as isa;

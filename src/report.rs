@@ -1,0 +1,559 @@
+//! Snapshot reading, diffing and regression gating for `cfir-report`.
+//!
+//! Works on the versioned JSON documents the simulator emits: either a
+//! single-run snapshot ([`cfir_sim::run_json`]) or a bundle with a
+//! `"runs"` array (`cfir_bench::report::report_json`, what `smoke
+//! --emit-json` and the figure binaries write). Runs are matched across
+//! documents by `(name, mode)`, compared metric by metric, and the
+//! *gating* metrics (IPC, reuse fraction, CI-exploited fraction) decide
+//! whether the new document regressed beyond a relative tolerance —
+//! the contract the CI perf gate enforces against
+//! `results/baselines/`.
+
+use cfir_obs::json::{self, JsonValue};
+use std::fmt::Write as _;
+
+/// How a metric's movement is judged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Dropping below the baseline is a regression (e.g. IPC).
+    HigherIsBetter,
+    /// Rising above the baseline is a regression (e.g. cycles).
+    LowerIsBetter,
+    /// Reported in the diff but never gates (e.g. committed count).
+    Info,
+}
+
+/// One comparable metric of a run snapshot.
+#[derive(Debug, Clone, Copy)]
+pub struct Metric {
+    /// JSON key (top-level, or inside `branch_prof` — see
+    /// [`extract_runs`]).
+    pub key: &'static str,
+    /// Direction of goodness.
+    pub direction: Direction,
+    /// Whether a move beyond tolerance fails the check.
+    pub gating: bool,
+}
+
+/// The metrics `cfir-report diff` compares, in display order. The
+/// gating set is the ISSUE's contract: IPC and the two reuse rates.
+pub const METRICS: &[Metric] = &[
+    Metric {
+        key: "ipc",
+        direction: Direction::HigherIsBetter,
+        gating: true,
+    },
+    Metric {
+        key: "reuse_fraction",
+        direction: Direction::HigherIsBetter,
+        gating: true,
+    },
+    Metric {
+        key: "ci_exploited_fraction",
+        direction: Direction::HigherIsBetter,
+        gating: true,
+    },
+    Metric {
+        key: "mispredict_rate",
+        direction: Direction::LowerIsBetter,
+        gating: false,
+    },
+    Metric {
+        key: "wrong_path_fraction",
+        direction: Direction::LowerIsBetter,
+        gating: false,
+    },
+    Metric {
+        key: "cycles",
+        direction: Direction::LowerIsBetter,
+        gating: false,
+    },
+    Metric {
+        key: "committed",
+        direction: Direction::Info,
+        gating: false,
+    },
+];
+
+/// The metrics of one run, extracted from a snapshot document.
+/// `values[i]` corresponds to `METRICS[i]`; `None` when the document
+/// does not carry the key (e.g. schema-v1 snapshots have no
+/// `branch_prof`).
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Workload name.
+    pub name: String,
+    /// Machine-variant label.
+    pub mode: String,
+    /// One slot per [`METRICS`] entry.
+    pub values: Vec<Option<f64>>,
+}
+
+impl RunMetrics {
+    fn id(&self) -> (String, String) {
+        (self.name.clone(), self.mode.clone())
+    }
+}
+
+/// Parse a snapshot document's text, rejecting schemas newer than this
+/// build understands (older ones — v1 — are fine: v2 is additive).
+pub fn parse_doc(text: &str) -> Result<JsonValue, String> {
+    let v = json::parse(text)?;
+    match v.get("schema_version").and_then(|x| x.as_u64()) {
+        None => Err("document has no schema_version".into()),
+        Some(n) if n > cfir_sim::SCHEMA_VERSION as u64 => Err(format!(
+            "schema_version {n} is newer than this tool understands ({})",
+            cfir_sim::SCHEMA_VERSION
+        )),
+        Some(_) => Ok(v),
+    }
+}
+
+fn extract_one(run: &JsonValue) -> Option<RunMetrics> {
+    let name = run.get("name")?.as_str()?.to_string();
+    let mode = run.get("mode")?.as_str()?.to_string();
+    let values = METRICS
+        .iter()
+        .map(|m| match m.key {
+            "ci_exploited_fraction" => run
+                .get("branch_prof")
+                .and_then(|bp| bp.get(m.key))
+                .and_then(|x| x.as_f64()),
+            k => run.get(k).and_then(|x| x.as_f64()),
+        })
+        .collect();
+    Some(RunMetrics { name, mode, values })
+}
+
+/// All runs in a document: the `"runs"` array of a bundle, or the
+/// document itself when it is a single-run snapshot.
+pub fn extract_runs(doc: &JsonValue) -> Result<Vec<RunMetrics>, String> {
+    if let Some(runs) = doc.get("runs").and_then(|r| r.as_arr()) {
+        let out: Vec<RunMetrics> = runs.iter().filter_map(extract_one).collect();
+        if out.is_empty() {
+            return Err("bundle has an empty or malformed runs array".into());
+        }
+        return Ok(out);
+    }
+    extract_one(doc)
+        .map(|r| vec![r])
+        .ok_or_else(|| "document is neither a run snapshot nor a bundle with runs".into())
+}
+
+/// Parse a tolerance argument: `"2%"` → `0.02`, `"0.02"` → `0.02`.
+pub fn parse_tolerance(s: &str) -> Option<f64> {
+    let (num, is_pct) = match s.strip_suffix('%') {
+        Some(n) => (n, true),
+        None => (s, false),
+    };
+    let v: f64 = num.trim().parse().ok()?;
+    let v = if is_pct { v / 100.0 } else { v };
+    (v >= 0.0).then_some(v)
+}
+
+/// Result of diffing two documents.
+#[derive(Debug)]
+pub struct DiffOutcome {
+    /// Human-readable per-run, per-metric delta report.
+    pub report: String,
+    /// Whether any gating metric regressed beyond tolerance (or a
+    /// baseline run disappeared).
+    pub regressed: bool,
+}
+
+fn fmt_val(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x == x.trunc() && x.abs() < 1e15 => format!("{x}"),
+        Some(x) => format!("{x:.4}"),
+        None => "-".into(),
+    }
+}
+
+/// The `"table"` of a bundle as `(title, rows)`, each row joined
+/// header-to-cells, for textual comparison of table-only documents
+/// (e.g. the Table 1 configuration snapshot).
+fn extract_table(doc: &JsonValue) -> Option<(String, Vec<Vec<String>>)> {
+    let title = doc.get("title")?.as_str()?.to_string();
+    let rows = doc
+        .get("table")?
+        .get("rows")?
+        .as_arr()?
+        .iter()
+        .map(|r| {
+            r.as_arr()
+                .map(|cells| {
+                    cells
+                        .iter()
+                        .filter_map(|c| c.as_str().map(str::to_string))
+                        .collect()
+                })
+                .unwrap_or_default()
+        })
+        .collect();
+    Some((title, rows))
+}
+
+/// Textual diff of two table-only documents: any changed, missing or
+/// reordered baseline row is a regression (configuration drift).
+fn diff_tables(old: &JsonValue, new: &JsonValue) -> Result<DiffOutcome, String> {
+    let (ot, orows) = extract_table(old).ok_or("old document has no table")?;
+    let (_, nrows) = extract_table(new).ok_or("new document has no table")?;
+    let mut report = String::new();
+    let mut regressed = false;
+    let _ = writeln!(report, "{ot}: comparing {} table rows", orows.len());
+    for (i, orow) in orows.iter().enumerate() {
+        match nrows.get(i) {
+            Some(nrow) if nrow == orow => {}
+            Some(nrow) => {
+                let _ = writeln!(
+                    report,
+                    "  row {i}: {:?} -> {:?}  CHANGED",
+                    orow.join(" | "),
+                    nrow.join(" | ")
+                );
+                regressed = true;
+            }
+            None => {
+                let _ = writeln!(report, "  row {i}: {:?} MISSING", orow.join(" | "));
+                regressed = true;
+            }
+        }
+    }
+    for (i, nrow) in nrows.iter().enumerate().skip(orows.len()) {
+        let _ = writeln!(report, "  row {i}: {:?} added", nrow.join(" | "));
+    }
+    if !regressed {
+        let _ = writeln!(report, "  all rows identical");
+    }
+    Ok(DiffOutcome { report, regressed })
+}
+
+/// Compare `new` against the `old` baseline. A gating metric regresses
+/// when it moves in the bad direction by more than `tolerance`
+/// (relative to the baseline value). Non-gating metrics are reported
+/// but never fail the check. Documents that carry no runs but do carry
+/// a rendered table (e.g. the Table 1 configuration dump) are compared
+/// textually instead.
+pub fn diff(old: &JsonValue, new: &JsonValue, tolerance: f64) -> Result<DiffOutcome, String> {
+    let (old_runs, new_runs) = match (extract_runs(old), extract_runs(new)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(_), Err(_)) if old.get("table").is_some() && new.get("table").is_some() => {
+            return diff_tables(old, new);
+        }
+        (Err(e), _) | (_, Err(e)) => return Err(e),
+    };
+    let mut report = String::new();
+    let mut regressed = false;
+
+    for o in &old_runs {
+        let Some(n) = new_runs.iter().find(|n| n.id() == o.id()) else {
+            let _ = writeln!(
+                report,
+                "{}/{}: MISSING from new document (regression)",
+                o.name, o.mode
+            );
+            regressed = true;
+            continue;
+        };
+        let _ = writeln!(report, "{}/{}:", o.name, o.mode);
+        for (i, m) in METRICS.iter().enumerate() {
+            let (ov, nv) = (o.values[i], n.values[i]);
+            let (Some(ov), Some(nv)) = (ov, nv) else {
+                // Absent on either side (e.g. v1 baseline without
+                // branch_prof): informational, never a regression.
+                let _ = writeln!(
+                    report,
+                    "  {:24} {:>12} -> {:>12}",
+                    m.key,
+                    fmt_val(o.values[i]),
+                    fmt_val(n.values[i])
+                );
+                continue;
+            };
+            let delta = nv - ov;
+            let rel = if ov.abs() > 1e-12 { delta / ov } else { 0.0 };
+            let bad = match m.direction {
+                Direction::HigherIsBetter => -rel,
+                Direction::LowerIsBetter => rel,
+                Direction::Info => 0.0,
+            };
+            let is_regression = m.gating && bad > tolerance;
+            regressed |= is_regression;
+            let _ = writeln!(
+                report,
+                "  {:24} {:>12} -> {:>12}  ({:+.2}%){}",
+                m.key,
+                fmt_val(Some(ov)),
+                fmt_val(Some(nv)),
+                rel * 100.0,
+                if is_regression { "  REGRESSION" } else { "" }
+            );
+        }
+    }
+    for n in &new_runs {
+        if !old_runs.iter().any(|o| o.id() == n.id()) {
+            let _ = writeln!(report, "{}/{}: new run (no baseline)", n.name, n.mode);
+        }
+    }
+    Ok(DiffOutcome { report, regressed })
+}
+
+/// Pretty-print a snapshot document: headline metrics per run, the
+/// top of the per-branch scorecard, and histogram percentiles.
+pub fn render(doc: &JsonValue) -> String {
+    let mut out = String::new();
+    if let Some(title) = doc.get("title").and_then(|t| t.as_str()) {
+        let _ = writeln!(out, "== {title} ==");
+    }
+    let runs: Vec<&JsonValue> = match doc.get("runs").and_then(|r| r.as_arr()) {
+        Some(rs) => rs.iter().collect(),
+        None => vec![doc],
+    };
+    if runs.is_empty() {
+        // Table-only bundle (e.g. the Table 1 configuration dump).
+        if let Some((_, rows)) = extract_table(doc) {
+            for row in rows {
+                let _ = writeln!(out, "  {}", row.join("  |  "));
+            }
+        }
+        return out;
+    }
+    for run in runs {
+        render_run(&mut out, run);
+    }
+    out
+}
+
+fn render_run(out: &mut String, run: &JsonValue) {
+    let s = |k: &str| {
+        run.get(k)
+            .and_then(|x| x.as_str())
+            .unwrap_or("?")
+            .to_string()
+    };
+    let f = |k: &str| run.get(k).and_then(|x| x.as_f64()).unwrap_or(0.0);
+    let _ = writeln!(out, "\n{} / {}", s("name"), s("mode"));
+    let _ = writeln!(
+        out,
+        "  ipc={:.3}  cycles={}  committed={}  reuse={:.2}%  mispredict={:.2}%  wrong-path={:.2}%",
+        f("ipc"),
+        f("cycles") as u64,
+        f("committed") as u64,
+        f("reuse_fraction") * 100.0,
+        f("mispredict_rate") * 100.0,
+        f("wrong_path_fraction") * 100.0,
+    );
+    if let Some(h) = run.get("histograms") {
+        for key in [
+            "load_to_use",
+            "branch_resolve",
+            "reuse_wait",
+            "flush_recovery",
+        ] {
+            let Some(hist) = h.get(key) else { continue };
+            let g = |k: &str| hist.get(k).and_then(|x| x.as_u64());
+            if let (Some(n), Some(p50), Some(p90), Some(p99)) =
+                (g("count"), g("p50"), g("p90"), g("p99"))
+            {
+                let _ = writeln!(
+                    out,
+                    "  {key:16} n={n}  p50={p50}  p90={p90}  p99={p99}  max={}",
+                    g("max").unwrap_or(0)
+                );
+            }
+        }
+    }
+    let Some(bp) = run.get("branch_prof") else {
+        return;
+    };
+    let _ = writeln!(
+        out,
+        "  CI exploited for {:.1}% of mispredictions across {} static branches",
+        bp.get("ci_exploited_fraction")
+            .and_then(|x| x.as_f64())
+            .unwrap_or(0.0)
+            * 100.0,
+        bp.get("static_branches")
+            .and_then(|x| x.as_u64())
+            .unwrap_or(0),
+    );
+    let Some(rows) = bp.get("branches").and_then(|b| b.as_arr()) else {
+        return;
+    };
+    let _ = writeln!(
+        out,
+        "  {:>8} {:>9} {:>9} {:>8} {:>9} {:>9} {:>8} {:>10}",
+        "pc", "executed", "mispred", "events", "ev-reuse", "reuses", "wasted", "cyc-saved"
+    );
+    for row in rows.iter().take(10) {
+        let g = |k: &str| row.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "  {:>#8x} {:>9} {:>9} {:>8} {:>9} {:>9} {:>8} {:>10}",
+            g("pc"),
+            g("executed"),
+            g("mispredicts"),
+            g("events"),
+            g("events_reused"),
+            g("reuse_commits"),
+            g("replicas_wasted"),
+            g("cycles_saved"),
+        );
+    }
+    if rows.len() > 10 {
+        let _ = writeln!(out, "  ... {} more branches", rows.len() - 10);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(name: &str, mode: &str, ipc: f64, reuse: f64) -> String {
+        format!(
+            r#"{{"schema_version":2,"name":"{name}","mode":"{mode}","ipc":{ipc},
+               "reuse_fraction":{reuse},"mispredict_rate":0.05,
+               "wrong_path_fraction":0.3,"cycles":1000,"committed":2500,
+               "branch_prof":{{"static_branches":1,"ci_exploited_fraction":0.5,
+                 "totals":{{}},"unattributed":{{}},"branches":[]}}}}"#
+        )
+    }
+
+    fn bundle(runs: &[String]) -> String {
+        format!(
+            r#"{{"schema_version":2,"title":"t","table":{{"header":[],"rows":[]}},"runs":[{}]}}"#,
+            runs.join(",")
+        )
+    }
+
+    #[test]
+    fn tolerance_parsing() {
+        assert_eq!(parse_tolerance("2%"), Some(0.02));
+        assert_eq!(parse_tolerance("0.02"), Some(0.02));
+        assert_eq!(parse_tolerance("0"), Some(0.0));
+        assert_eq!(parse_tolerance("-1"), None);
+        assert_eq!(parse_tolerance("x"), None);
+    }
+
+    #[test]
+    fn schema_gatekeeping() {
+        assert!(parse_doc(r#"{"ipc":1.0}"#).is_err(), "no version");
+        assert!(parse_doc(r#"{"schema_version":99}"#).is_err(), "too new");
+        assert!(parse_doc(r#"{"schema_version":1}"#).is_ok(), "v1 ok");
+    }
+
+    #[test]
+    fn single_and_bundle_extraction() {
+        let one = parse_doc(&snap("bzip2", "ci", 2.0, 0.1)).unwrap();
+        let rs = extract_runs(&one).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].name, "bzip2");
+        // ci_exploited_fraction comes from branch_prof.
+        let idx = METRICS
+            .iter()
+            .position(|m| m.key == "ci_exploited_fraction")
+            .unwrap();
+        assert_eq!(rs[0].values[idx], Some(0.5));
+
+        let b = parse_doc(&bundle(&[
+            snap("a", "ci", 1.0, 0.1),
+            snap("a", "scal", 0.8, 0.0),
+        ]))
+        .unwrap();
+        let rs = extract_runs(&b).unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[1].mode, "scal");
+    }
+
+    #[test]
+    fn identical_documents_never_regress() {
+        let d = parse_doc(&snap("b", "ci", 2.0, 0.12)).unwrap();
+        let o = diff(&d, &d, 0.0).unwrap();
+        assert!(!o.regressed, "{}", o.report);
+        assert!(o.report.contains("ipc"));
+    }
+
+    #[test]
+    fn ipc_drop_beyond_tolerance_regresses() {
+        let old = parse_doc(&snap("b", "ci", 2.0, 0.12)).unwrap();
+        let new = parse_doc(&snap("b", "ci", 1.9, 0.12)).unwrap();
+        // 5% drop: fails a 2% gate, passes a 10% gate.
+        let tight = diff(&old, &new, 0.02).unwrap();
+        assert!(tight.regressed);
+        assert!(tight.report.contains("REGRESSION"));
+        let loose = diff(&old, &new, 0.10).unwrap();
+        assert!(!loose.regressed, "{}", loose.report);
+    }
+
+    #[test]
+    fn reuse_drop_regresses_and_improvement_does_not() {
+        let old = parse_doc(&snap("b", "ci", 2.0, 0.12)).unwrap();
+        let worse = parse_doc(&snap("b", "ci", 2.0, 0.05)).unwrap();
+        assert!(diff(&old, &worse, 0.02).unwrap().regressed);
+        let better = parse_doc(&snap("b", "ci", 2.5, 0.20)).unwrap();
+        assert!(!diff(&old, &better, 0.02).unwrap().regressed);
+    }
+
+    #[test]
+    fn missing_baseline_run_is_a_regression() {
+        let old = parse_doc(&bundle(&[
+            snap("a", "ci", 1.0, 0.1),
+            snap("a", "scal", 0.8, 0.0),
+        ]))
+        .unwrap();
+        let new = parse_doc(&bundle(&[snap("a", "ci", 1.0, 0.1)])).unwrap();
+        let o = diff(&old, &new, 0.02).unwrap();
+        assert!(o.regressed);
+        assert!(o.report.contains("MISSING"));
+        // The reverse (extra new run) is fine.
+        let o = diff(&new, &old, 0.02).unwrap();
+        assert!(!o.regressed, "{}", o.report);
+        assert!(o.report.contains("new run"));
+    }
+
+    #[test]
+    fn v1_baseline_without_branch_prof_still_checks() {
+        // A v1 snapshot has no branch_prof: the ci_exploited_fraction
+        // column is informational, the IPC gate still applies.
+        let v1 = parse_doc(
+            r#"{"schema_version":1,"name":"b","mode":"ci","ipc":2.0,
+                "reuse_fraction":0.12,"mispredict_rate":0.05,
+                "wrong_path_fraction":0.3,"cycles":1000,"committed":2500}"#,
+        )
+        .unwrap();
+        let v2 = parse_doc(&snap("b", "ci", 1.5, 0.12)).unwrap();
+        let o = diff(&v1, &v2, 0.02).unwrap();
+        assert!(o.regressed, "IPC 2.0 -> 1.5 must fail the gate");
+    }
+
+    #[test]
+    fn table_only_documents_diff_textually() {
+        let t1 = r#"{"schema_version":2,"title":"Table 1",
+            "table":{"header":["parameter","value"],
+                     "rows":[["Fetch width","8"],["Commit width","8"]]},
+            "runs":[]}"#;
+        let t2 = r#"{"schema_version":2,"title":"Table 1",
+            "table":{"header":["parameter","value"],
+                     "rows":[["Fetch width","4"],["Commit width","8"]]},
+            "runs":[]}"#;
+        let a = parse_doc(t1).unwrap();
+        let b = parse_doc(t2).unwrap();
+        let same = diff(&a, &a, 0.02).unwrap();
+        assert!(!same.regressed, "{}", same.report);
+        let drift = diff(&a, &b, 0.02).unwrap();
+        assert!(drift.regressed, "config drift must gate");
+        assert!(drift.report.contains("CHANGED"));
+        // Pretty-printing a table-only doc shows the rows.
+        assert!(render(&a).contains("Fetch width"));
+    }
+
+    #[test]
+    fn render_shows_headlines_and_scorecard() {
+        let d = parse_doc(&snap("bzip2", "ci", 2.0, 0.1)).unwrap();
+        let r = render(&d);
+        assert!(r.contains("bzip2 / ci"));
+        assert!(r.contains("ipc=2.000"));
+        assert!(r.contains("CI exploited for 50.0%"));
+    }
+}
