@@ -1,0 +1,198 @@
+//! Dominator trees via Cooper–Harvey–Kennedy ("A Simple, Fast
+//! Dominance Algorithm"): iterate the two-finger `intersect` over a
+//! reverse-postorder numbering until fixpoint. Post-dominators are the
+//! dominators of the reversed graph rooted at the virtual exit.
+
+/// A dominator (or post-dominator) tree over graph nodes `0..n`.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Immediate dominator per node; `idom[root] == Some(root)`,
+    /// `None` for nodes unreachable from the root.
+    idom: Vec<Option<usize>>,
+    root: usize,
+}
+
+impl DomTree {
+    /// Compute dominators of the graph given as per-node successor
+    /// lists, rooted at `root`. For post-dominators pass the *reversed*
+    /// graph and the exit node as root.
+    pub fn compute(succs: &[Vec<usize>], root: usize) -> DomTree {
+        let n = succs.len();
+        assert!(root < n, "root out of range");
+        // Reverse postorder of the DFS from root.
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        state[root] = 1;
+        while let Some(&mut (node, ref mut i)) = stack.last_mut() {
+            if *i < succs[node].len() {
+                let next = succs[node][*i];
+                *i += 1;
+                if state[next] == 0 {
+                    state[next] = 1;
+                    stack.push((next, 0));
+                }
+            } else {
+                state[node] = 2;
+                order.push(node);
+                stack.pop();
+            }
+        }
+        order.reverse(); // now RPO, order[0] == root
+        let mut rpo_num = vec![usize::MAX; n];
+        for (i, &node) in order.iter().enumerate() {
+            rpo_num[node] = i;
+        }
+        // Predecessor lists restricted to reachable nodes.
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &node in &order {
+            for &s in &succs[node] {
+                if rpo_num[s] != usize::MAX {
+                    preds[s].push(node);
+                }
+            }
+        }
+        let mut idom: Vec<Option<usize>> = vec![None; n];
+        idom[root] = Some(root);
+        let intersect = |idom: &[Option<usize>], mut a: usize, mut b: usize| -> usize {
+            while a != b {
+                while rpo_num[a] > rpo_num[b] {
+                    a = idom[a].expect("processed node has idom");
+                }
+                while rpo_num[b] > rpo_num[a] {
+                    b = idom[b].expect("processed node has idom");
+                }
+            }
+            a
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &node in order.iter().skip(1) {
+                let mut new_idom: Option<usize> = None;
+                for &p in &preds[node] {
+                    if idom[p].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if new_idom.is_some() && idom[node] != new_idom {
+                    idom[node] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        DomTree { idom, root }
+    }
+
+    /// Root node of the tree.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Immediate dominator of `node` (`None` for the root itself and
+    /// for unreachable nodes).
+    pub fn idom_of(&self, node: usize) -> Option<usize> {
+        if node == self.root {
+            return None;
+        }
+        self.idom[node]
+    }
+
+    /// `true` when `node` is reachable from the root.
+    pub fn reachable(&self, node: usize) -> bool {
+        self.idom[node].is_some()
+    }
+
+    /// `true` when `a` dominates `b` (reflexive). `false` when `b` is
+    /// unreachable.
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        let mut cur = b;
+        if self.idom[cur].is_none() {
+            return false;
+        }
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.root {
+                return false;
+            }
+            cur = self.idom[cur].expect("reachable chain");
+        }
+    }
+
+    /// Number of idom links from the root (root depth 0); `None` when
+    /// unreachable.
+    pub fn depth(&self, node: usize) -> Option<usize> {
+        self.idom[node]?;
+        let mut d = 0;
+        let mut cur = node;
+        while cur != self.root {
+            cur = self.idom[cur].expect("reachable chain");
+            d += 1;
+        }
+        Some(d)
+    }
+}
+
+/// Reverse a successor-list graph.
+pub fn reverse(succs: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); succs.len()];
+    for (node, ss) in succs.iter().enumerate() {
+        for &s in ss {
+            rev[s].push(node);
+        }
+    }
+    rev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diamond_doms() {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let g = vec![vec![1, 2], vec![3], vec![3], vec![]];
+        let d = DomTree::compute(&g, 0);
+        assert_eq!(d.idom_of(1), Some(0));
+        assert_eq!(d.idom_of(2), Some(0));
+        assert_eq!(d.idom_of(3), Some(0), "join dominated only by the fork");
+        assert!(d.dominates(0, 3));
+        assert!(!d.dominates(1, 3));
+        assert_eq!(d.depth(3), Some(1));
+    }
+
+    #[test]
+    fn pdom_of_diamond_is_join() {
+        let g = vec![vec![1, 2], vec![3], vec![3], vec![]];
+        let p = DomTree::compute(&reverse(&g), 3);
+        assert_eq!(p.idom_of(0), Some(3), "branch pdom'd immediately by join");
+        assert_eq!(p.idom_of(1), Some(3));
+        assert_eq!(p.idom_of(2), Some(3));
+    }
+
+    #[test]
+    fn unreachable_node_has_no_idom() {
+        let g = vec![vec![1], vec![], vec![1]]; // 2 unreachable from 0
+        let d = DomTree::compute(&g, 0);
+        assert_eq!(d.idom_of(2), None);
+        assert!(!d.reachable(2));
+        assert!(!d.dominates(0, 2));
+    }
+
+    #[test]
+    fn loop_back_edge_keeps_header_dominating() {
+        // 0 -> 1 -> 2 -> 1, 2 -> 3
+        let g = vec![vec![1], vec![2], vec![1, 3], vec![]];
+        let d = DomTree::compute(&g, 0);
+        assert_eq!(d.idom_of(1), Some(0));
+        assert_eq!(d.idom_of(2), Some(1));
+        assert_eq!(d.idom_of(3), Some(2));
+        assert!(d.dominates(1, 2), "header dominates body despite back edge");
+    }
+}

@@ -1,0 +1,317 @@
+//! Workload lint pass: structural problems in synthetic kernels that
+//! would silently skew simulator results.
+//!
+//! Four checks:
+//!
+//! * **TargetOutOfRange** — a direct branch/jump whose target is not a
+//!   valid instruction index (mirrors `Program::validate`, but reported
+//!   per-site with context).
+//! * **FallthroughOffEnd** — execution can run past the last
+//!   instruction (a path with no terminating `halt`).
+//! * **UnreachableBlock** — a basic block no path from the entry
+//!   reaches (dead code inflates static footprints; for `jr` programs
+//!   indirect targets are resolved first, so jump-table handlers do
+//!   not trip this).
+//! * **ReadBeforeWrite** — a register read on some path before any
+//!   instruction wrote it. Found with a definite-assignment dataflow:
+//!   a register is *surely written* at a block entry only if it is
+//!   surely written at the exit of **every** predecessor. `r0` is
+//!   architecturally zero and exempt.
+
+use crate::cfg::Cfg;
+use cfir_isa::{Program, NUM_LOGICAL_REGS};
+
+/// Kind of problem a lint found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintKind {
+    /// Direct control transfer to a PC outside the program.
+    TargetOutOfRange,
+    /// Execution can fall past the last instruction.
+    FallthroughOffEnd,
+    /// Block unreachable from the entry.
+    UnreachableBlock,
+    /// Register read before any write on some path.
+    ReadBeforeWrite,
+}
+
+impl LintKind {
+    /// Short lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintKind::TargetOutOfRange => "target_out_of_range",
+            LintKind::FallthroughOffEnd => "fallthrough_off_end",
+            LintKind::UnreachableBlock => "unreachable_block",
+            LintKind::ReadBeforeWrite => "read_before_write",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lint {
+    /// What went wrong.
+    pub kind: LintKind,
+    /// Word PC the finding anchors to.
+    pub pc: u32,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Lint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] pc {}: {}", self.kind.name(), self.pc, self.detail)
+    }
+}
+
+/// Run all lint checks over `prog` with its `cfg`.
+pub fn lint(prog: &Program, cfg: &Cfg) -> Vec<Lint> {
+    let mut out = Vec::new();
+    let n = prog.len();
+    // Out-of-range direct targets.
+    for (pc, inst) in prog.insts.iter().enumerate() {
+        if let Some(t) = inst.static_target() {
+            if (t as usize) >= n {
+                out.push(Lint {
+                    kind: LintKind::TargetOutOfRange,
+                    pc: pc as u32,
+                    detail: format!("target {t} outside program of {n} instructions"),
+                });
+            }
+        }
+    }
+    // Fallthrough off the end / unreachable blocks.
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        if blk.falls_off_end && cfg.reachable[b] {
+            out.push(Lint {
+                kind: LintKind::FallthroughOffEnd,
+                pc: blk.end - 1,
+                detail: "execution can run past the last instruction (missing halt?)".to_string(),
+            });
+        }
+        if !cfg.reachable[b] {
+            out.push(Lint {
+                kind: LintKind::UnreachableBlock,
+                pc: blk.start,
+                detail: format!("block [{}, {}) unreachable from entry", blk.start, blk.end),
+            });
+        }
+    }
+    out.extend(read_before_write(prog, cfg));
+    out.sort_by_key(|l| (l.pc, l.kind.name()));
+    out
+}
+
+/// Definite-assignment dataflow over registers, as `u64` bitmasks
+/// (NUM_LOGICAL_REGS ≤ 64). `IN[b] = ∩ OUT[pred]`; entry starts with
+/// only `r0` surely written. Reports the first offending read per
+/// `(pc, reg)` pair.
+fn read_before_write(prog: &Program, cfg: &Cfg) -> Vec<Lint> {
+    let nb = cfg.len();
+    if nb == 0 {
+        return Vec::new();
+    }
+    const _: () = assert!(
+        NUM_LOGICAL_REGS <= 64,
+        "bitmask dataflow assumes <= 64 regs"
+    );
+    let gen_of = |b: usize| -> u64 {
+        let mut w = 0u64;
+        for pc in cfg.blocks[b].pcs() {
+            if let Some(rd) = prog.insts[pc as usize].dest() {
+                w |= 1u64 << rd;
+            }
+        }
+        w
+    };
+    let gens: Vec<u64> = (0..nb).map(gen_of).collect();
+    // IN[entry] = {r0} always — execution starts there with nothing
+    // else written, whatever back edges exist. IN[b] = ∩ OUT[pred]
+    // over reachable preds; OUT starts at "everything written" so the
+    // intersection converges downwards.
+    let in_mask_of = |b: usize, out_mask: &[u64]| -> u64 {
+        if b == 0 {
+            return 1u64;
+        }
+        let mut m = u64::MAX;
+        for &p in &cfg.blocks[b].preds {
+            if cfg.reachable[p] {
+                m &= out_mask[p];
+            }
+        }
+        m
+    };
+    let mut out_mask = vec![u64::MAX; nb];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..nb {
+            if !cfg.reachable[b] {
+                continue;
+            }
+            let new_out = in_mask_of(b, &out_mask) | gens[b];
+            if new_out != out_mask[b] {
+                out_mask[b] = new_out;
+                changed = true;
+            }
+        }
+    }
+    // Second pass: walk each reachable block with its IN mask and flag
+    // reads of not-surely-written registers.
+    let mut lints = Vec::new();
+    let mut seen: Vec<(u32, u8)> = Vec::new();
+    for b in 0..nb {
+        if !cfg.reachable[b] {
+            continue;
+        }
+        let mut written = in_mask_of(b, &out_mask);
+        for pc in cfg.blocks[b].pcs() {
+            let inst = prog.insts[pc as usize];
+            for src in inst.sources().into_iter().flatten() {
+                if src != 0 && written & (1u64 << src) == 0 && !seen.contains(&(pc, src)) {
+                    seen.push((pc, src));
+                    lints.push(Lint {
+                        kind: LintKind::ReadBeforeWrite,
+                        pc,
+                        detail: format!("r{src} read before any write reaches it"),
+                    });
+                }
+            }
+            if let Some(rd) = inst.dest() {
+                written |= 1u64 << rd;
+            }
+        }
+    }
+    lints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfir_isa::assemble;
+
+    fn lints_of(src: &str) -> Vec<Lint> {
+        let p = assemble("t", src).unwrap();
+        let cfg = Cfg::build(&p);
+        lint(&p, &cfg)
+    }
+
+    fn kinds(ls: &[Lint]) -> Vec<LintKind> {
+        ls.iter().map(|l| l.kind).collect()
+    }
+
+    #[test]
+    fn clean_program_has_no_lints() {
+        let ls = lints_of(
+            r#"
+            li r1, 0
+        loop:
+            addi r1, r1, 1
+            blt r1, r0, loop
+            halt
+            "#,
+        );
+        assert!(ls.is_empty(), "unexpected lints: {ls:?}");
+    }
+
+    #[test]
+    fn missing_halt_flagged() {
+        let ls = lints_of("li r1, 1\naddi r1, r1, 1");
+        assert_eq!(kinds(&ls), vec![LintKind::FallthroughOffEnd]);
+        assert_eq!(ls[0].pc, 1);
+    }
+
+    #[test]
+    fn dead_code_flagged() {
+        let ls = lints_of("jmp 2\nnop\nhalt");
+        assert_eq!(kinds(&ls), vec![LintKind::UnreachableBlock]);
+        assert_eq!(ls[0].pc, 1);
+    }
+
+    #[test]
+    fn read_before_write_flagged_once() {
+        let ls = lints_of("add r2, r1, r1\nadd r3, r1, r0\nhalt");
+        // r1 never written: flagged at both reading pcs, but each
+        // (pc, reg) once.
+        assert_eq!(
+            kinds(&ls),
+            vec![LintKind::ReadBeforeWrite, LintKind::ReadBeforeWrite]
+        );
+        assert_eq!(ls[0].pc, 0);
+        assert_eq!(ls[1].pc, 1);
+    }
+
+    #[test]
+    fn write_on_one_path_only_still_flagged() {
+        let ls = lints_of(
+            r#"
+            beq r0, r0, skip ; 0
+            li r1, 5         ; 1  writes r1 on fallthrough only
+        skip:
+            add r2, r1, r0   ; 2  r1 not surely written here
+            halt
+            "#,
+        );
+        assert_eq!(kinds(&ls), vec![LintKind::ReadBeforeWrite]);
+        assert_eq!(ls[0].pc, 2);
+    }
+
+    #[test]
+    fn write_on_every_path_is_clean() {
+        let ls = lints_of(
+            r#"
+            beq r0, r0, other ; 0
+            li r1, 5          ; 1
+            jmp join          ; 2
+        other:
+            li r1, 7          ; 3
+        join:
+            add r2, r1, r0    ; 4
+            halt
+            "#,
+        );
+        assert!(ls.is_empty(), "unexpected lints: {ls:?}");
+    }
+
+    #[test]
+    fn r0_reads_are_exempt() {
+        let ls = lints_of("add r1, r0, r0\nhalt");
+        assert!(ls.is_empty());
+    }
+
+    #[test]
+    fn loop_carried_write_is_clean() {
+        // r1 written before the loop, incremented inside: the back edge
+        // must not lose the definition.
+        let ls = lints_of(
+            r#"
+            li r1, 0
+            li r2, 4
+        loop:
+            addi r1, r1, 1
+            blt r1, r2, loop
+            halt
+            "#,
+        );
+        assert!(ls.is_empty(), "unexpected lints: {ls:?}");
+    }
+
+    #[test]
+    fn out_of_range_target_flagged() {
+        use cfir_isa::{Cond, Inst, Program};
+        let p = Program::from_insts(
+            "t",
+            vec![
+                Inst::Br {
+                    cond: Cond::Eq,
+                    rs1: 0,
+                    rs2: 0,
+                    target: 40,
+                },
+                Inst::Halt,
+            ],
+        );
+        let cfg = Cfg::build(&p);
+        let ls = lint(&p, &cfg);
+        assert_eq!(kinds(&ls), vec![LintKind::TargetOutOfRange]);
+    }
+}

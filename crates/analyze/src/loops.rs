@@ -1,0 +1,168 @@
+//! Natural-loop detection and per-block nesting depth.
+//!
+//! A *back edge* is a CFG edge `s -> h` where `h` dominates `s`; its
+//! natural loop is `h` plus every block that can reach `s` without
+//! passing through `h`. Back edges sharing a header are merged into one
+//! loop (standard practice for compiler-style loop forests).
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+
+/// One natural loop.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// Header block id (the target of the back edge(s)).
+    pub header: usize,
+    /// All member block ids, including the header, sorted.
+    pub body: Vec<usize>,
+}
+
+/// Loop forest plus per-block nesting depth.
+#[derive(Debug, Clone, Default)]
+pub struct LoopInfo {
+    /// Detected loops, one per distinct header, sorted by header id.
+    pub loops: Vec<Loop>,
+    /// Nesting depth per block (0 = not in any loop).
+    pub depth: Vec<u32>,
+}
+
+impl LoopInfo {
+    /// Find natural loops of `cfg` using its dominator tree `dom`
+    /// (rooted at the entry block). Edges into the virtual exit are
+    /// never back edges.
+    pub fn compute(cfg: &Cfg, dom: &DomTree) -> LoopInfo {
+        let n = cfg.len();
+        let mut depth = vec![0u32; n];
+        let mut loops: Vec<Loop> = Vec::new();
+        // Collect back-edge latches per header.
+        let mut latches: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (b, blk) in cfg.blocks.iter().enumerate() {
+            for &s in &blk.succs {
+                if s != cfg.exit && dom.reachable(b) && dom.dominates(s, b) {
+                    latches[s].push(b);
+                }
+            }
+        }
+        for header in 0..n {
+            if latches[header].is_empty() {
+                continue;
+            }
+            // Natural loop: walk predecessors backwards from each latch,
+            // stopping at the header.
+            let mut in_loop = vec![false; n];
+            in_loop[header] = true;
+            let mut stack: Vec<usize> = Vec::new();
+            for &l in &latches[header] {
+                if !in_loop[l] {
+                    in_loop[l] = true;
+                    stack.push(l);
+                }
+            }
+            while let Some(b) = stack.pop() {
+                for &p in &cfg.blocks[b].preds {
+                    if !in_loop[p] {
+                        in_loop[p] = true;
+                        stack.push(p);
+                    }
+                }
+            }
+            let body: Vec<usize> = (0..n).filter(|&b| in_loop[b]).collect();
+            for &b in &body {
+                depth[b] += 1;
+            }
+            loops.push(Loop { header, body });
+        }
+        LoopInfo { loops, depth }
+    }
+
+    /// Nesting depth of block `b` (0 when outside every loop, or when
+    /// `b` is the virtual exit).
+    pub fn depth_of(&self, b: usize) -> u32 {
+        self.depth.get(b).copied().unwrap_or(0)
+    }
+
+    /// Maximum nesting depth over all blocks.
+    pub fn max_depth(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfir_isa::assemble;
+
+    fn loops_of(src: &str) -> (Cfg, LoopInfo) {
+        let p = assemble("t", src).unwrap();
+        let cfg = Cfg::build(&p);
+        let dom = DomTree::compute(&cfg.succ_adj(), 0);
+        let li = LoopInfo::compute(&cfg, &dom);
+        (cfg, li)
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let (_, li) = loops_of("nop\nnop\nhalt");
+        assert!(li.loops.is_empty());
+        assert_eq!(li.max_depth(), 0);
+    }
+
+    #[test]
+    fn single_counted_loop() {
+        let (cfg, li) = loops_of(
+            r#"
+            li r1, 0        ; 0
+        loop:
+            addi r1, r1, 1  ; 1
+            blt r1, r2, loop; 2
+            halt            ; 3
+            "#,
+        );
+        assert_eq!(li.loops.len(), 1);
+        let header = cfg.block_of[1];
+        assert_eq!(li.loops[0].header, header);
+        assert_eq!(li.depth_of(header), 1);
+        assert_eq!(li.depth_of(cfg.block_of[0]), 0);
+        assert_eq!(li.depth_of(cfg.block_of[3]), 0);
+    }
+
+    #[test]
+    fn nested_loops_stack_depth() {
+        let (cfg, li) = loops_of(
+            r#"
+            li r1, 0          ; 0
+        outer:
+            li r2, 0          ; 1
+        inner:
+            addi r2, r2, 1    ; 2
+            blt r2, r4, inner ; 3
+            addi r1, r1, 1    ; 4
+            blt r1, r5, outer ; 5
+            halt              ; 6
+            "#,
+        );
+        assert_eq!(li.loops.len(), 2);
+        assert_eq!(li.depth_of(cfg.block_of[2]), 2, "inner body depth 2");
+        assert_eq!(li.depth_of(cfg.block_of[1]), 1, "outer header depth 1");
+        assert_eq!(li.max_depth(), 2);
+    }
+
+    #[test]
+    fn loop_with_break_keeps_exit_outside() {
+        let (cfg, li) = loops_of(
+            r#"
+            li r1, 0          ; 0
+        loop:
+            beq r3, r0, out   ; 1  break
+            addi r1, r1, 1    ; 2
+            blt r1, r2, loop  ; 3
+        out:
+            halt              ; 4
+            "#,
+        );
+        assert_eq!(li.loops.len(), 1);
+        assert_eq!(li.depth_of(cfg.block_of[1]), 1);
+        assert_eq!(li.depth_of(cfg.block_of[2]), 1);
+        assert_eq!(li.depth_of(cfg.block_of[4]), 0, "break target not in loop");
+    }
+}

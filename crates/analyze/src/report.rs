@@ -1,0 +1,274 @@
+//! JSON reports and the static-vs-dynamic agreement metric.
+//!
+//! The per-kernel report follows the snapshot conventions of the
+//! simulator (`schema_version` first, flat keys, no nulls — optional
+//! values are simply omitted). [`ANALYZE_SCHEMA_VERSION`] versions the
+//! *analyzer* report format independently of the simulator snapshots.
+
+use crate::branches::BranchInfo;
+use crate::strides::LoadClass;
+use crate::Analysis;
+use cfir_isa::Program;
+use cfir_obs::json::JsonWriter;
+
+/// Version of the analyzer report schema. Bump on breaking changes.
+pub const ANALYZE_SCHEMA_VERSION: u32 = 1;
+
+/// One static-vs-dynamic reconvergence disagreement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Word PC of the branch.
+    pub pc: u32,
+    /// Static (post-dominator) reconvergence PC, if any.
+    pub static_rcp: Option<u32>,
+    /// Dynamic heuristic estimate (`cfir_core::rcp::estimate`).
+    pub estimate: Option<u32>,
+    /// Hammock class name of the branch.
+    pub class: &'static str,
+}
+
+/// Agreement between the dynamic heuristic and the static oracle.
+#[derive(Debug, Clone, Default)]
+pub struct Agreement {
+    /// Hammock-class branches compared (the shapes the heuristic targets).
+    pub hammock_checked: u64,
+    /// ... of which the heuristic matched the static RCP exactly.
+    pub hammock_agree: u64,
+    /// All conditional branches with a static in-program RCP.
+    pub all_checked: u64,
+    /// ... of which the heuristic matched.
+    pub all_agree: u64,
+    /// Every disagreement, enumerated (hammock or not).
+    pub divergences: Vec<Divergence>,
+}
+
+impl Agreement {
+    /// Compare `cfir_core::rcp::estimate` against the static truth for
+    /// every conditional branch of `prog`.
+    pub fn compute(prog: &Program, branches: &[BranchInfo]) -> Agreement {
+        let mut a = Agreement::default();
+        for b in branches {
+            let est = cfir_core::rcp::estimate(prog, b.pc);
+            let matched = est == b.rcp;
+            if b.rcp.is_some() {
+                a.all_checked += 1;
+                if matched {
+                    a.all_agree += 1;
+                }
+            }
+            if b.class.is_hammock() {
+                a.hammock_checked += 1;
+                if matched {
+                    a.hammock_agree += 1;
+                }
+            }
+            if !matched {
+                a.divergences.push(Divergence {
+                    pc: b.pc,
+                    static_rcp: b.rcp,
+                    estimate: est,
+                    class: b.class.name(),
+                });
+            }
+        }
+        a
+    }
+
+    /// Agreement fraction on hammock-class branches (1.0 when there are
+    /// none to check).
+    pub fn hammock_fraction(&self) -> f64 {
+        if self.hammock_checked == 0 {
+            1.0
+        } else {
+            self.hammock_agree as f64 / self.hammock_checked as f64
+        }
+    }
+
+    /// Agreement fraction over all branches with a static RCP.
+    pub fn all_fraction(&self) -> f64 {
+        if self.all_checked == 0 {
+            1.0
+        } else {
+            self.all_agree as f64 / self.all_checked as f64
+        }
+    }
+}
+
+/// Write the report *object* for one analyzed program into `w` (the
+/// caller owns the surrounding document).
+pub fn write_report(prog: &Program, a: &Analysis, w: &mut JsonWriter) {
+    let agreement = Agreement::compute(prog, &a.branches);
+    w.begin_obj();
+    w.field_str("name", &prog.name);
+    w.field_u64("n_insts", prog.len() as u64);
+    w.field_u64("n_blocks", a.cfg.len() as u64);
+    w.field_u64("n_edges", a.cfg.n_edges as u64);
+    w.field_u64("n_loops", a.loops.loops.len() as u64);
+    w.field_u64("max_loop_depth", a.loops.max_depth() as u64);
+    w.field_bool("indirect_fallback_all", a.cfg.indirect_fallback_all);
+    w.field_u64("n_indirect_targets", a.cfg.indirect_targets.len() as u64);
+    let (mut fixed, mut strided, mut irregular) = (0u64, 0u64, 0u64);
+    for &(_, lc) in &a.strides.loads {
+        match lc {
+            LoadClass::Fixed => fixed += 1,
+            LoadClass::Strided => strided += 1,
+            LoadClass::Irregular => irregular += 1,
+        }
+    }
+    w.key("loads").begin_obj();
+    w.field_u64("fixed", fixed);
+    w.field_u64("strided", strided);
+    w.field_u64("irregular", irregular);
+    w.end_obj();
+    w.key("branches").begin_arr();
+    for b in &a.branches {
+        write_branch(b, prog, w);
+    }
+    w.end_arr();
+    w.key("agreement").begin_obj();
+    w.field_u64("hammock_checked", agreement.hammock_checked);
+    w.field_u64("hammock_agree", agreement.hammock_agree);
+    w.field_f64("hammock_fraction", agreement.hammock_fraction());
+    w.field_u64("all_checked", agreement.all_checked);
+    w.field_u64("all_agree", agreement.all_agree);
+    w.field_f64("all_fraction", agreement.all_fraction());
+    w.key("divergences").begin_arr();
+    for d in &agreement.divergences {
+        w.begin_obj();
+        w.field_u64("pc", d.pc as u64);
+        w.field_str("class", d.class);
+        if let Some(s) = d.static_rcp {
+            w.field_u64("static_rcp", s as u64);
+        }
+        if let Some(e) = d.estimate {
+            w.field_u64("estimate", e as u64);
+        }
+        w.end_obj();
+    }
+    w.end_arr();
+    w.end_obj();
+    w.key("lints").begin_arr();
+    for l in &a.lints {
+        w.begin_obj();
+        w.field_str("kind", l.kind.name());
+        w.field_u64("pc", l.pc as u64);
+        w.field_str("detail", &l.detail);
+        w.end_obj();
+    }
+    w.end_arr();
+    w.end_obj();
+}
+
+fn write_branch(b: &BranchInfo, prog: &Program, w: &mut JsonWriter) {
+    w.begin_obj();
+    w.field_u64("pc", b.pc as u64);
+    w.field_u64("target", b.target as u64);
+    w.field_str("class", b.class.name());
+    if let Some(r) = b.rcp {
+        w.field_u64("rcp", r as u64);
+    }
+    if let Some(e) = cfir_core::rcp::estimate(prog, b.pc) {
+        w.field_u64("rcp_estimate", e as u64);
+    }
+    w.field_u64("loop_depth", b.loop_depth as u64);
+    w.field_u64("ci_region_len", b.ci_region_len as u64);
+    w.field_u64("ci_loads", b.ci_loads as u64);
+    w.field_u64("ci_strided_loads", b.ci_strided_loads as u64);
+    w.end_obj();
+}
+
+/// Standalone single-kernel report document.
+pub fn report_json(prog: &Program, a: &Analysis) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.field_u64("schema_version", ANALYZE_SCHEMA_VERSION as u64);
+    w.key("kernels").begin_arr();
+    write_report(prog, a, &mut w);
+    w.end_arr();
+    w.end_obj();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use cfir_isa::assemble;
+    use cfir_obs::json;
+
+    #[test]
+    fn report_parses_and_has_expected_fields() {
+        let p = assemble(
+            "t",
+            r#"
+            li r1, 0           ; 0
+            li r6, 80          ; 1
+            li r2, 0           ; 2
+            li r3, 0           ; 3
+            li r4, 0           ; 4
+        loop:
+            ld r8, 0(r1)       ; 5
+            beq r8, r0, else_  ; 6
+            addi r2, r2, 1     ; 7
+            jmp ip             ; 8
+        else_:
+            addi r3, r3, 1     ; 9
+        ip:
+            add r4, r4, r8     ; 10
+            addi r1, r1, 8     ; 11
+            blt r1, r6, loop   ; 12
+            halt               ; 13
+            "#,
+        )
+        .unwrap();
+        let a = analyze(&p);
+        let doc = json::parse(&report_json(&p, &a)).expect("valid json");
+        assert_eq!(
+            doc.get("schema_version").unwrap().as_u64(),
+            Some(ANALYZE_SCHEMA_VERSION as u64)
+        );
+        let k = &doc.get("kernels").unwrap().as_arr().unwrap()[0];
+        assert_eq!(k.get("name").unwrap().as_str(), Some("t"));
+        assert_eq!(k.get("n_insts").unwrap().as_u64(), Some(14));
+        let branches = k.get("branches").unwrap().as_arr().unwrap();
+        assert_eq!(branches.len(), 2);
+        let hammock = &branches[0];
+        assert_eq!(hammock.get("pc").unwrap().as_u64(), Some(6));
+        assert_eq!(hammock.get("class").unwrap().as_str(), Some("ifthenelse"));
+        assert_eq!(hammock.get("rcp").unwrap().as_u64(), Some(10));
+        assert_eq!(hammock.get("rcp_estimate").unwrap().as_u64(), Some(10));
+        let agr = k.get("agreement").unwrap();
+        assert_eq!(agr.get("hammock_checked").unwrap().as_u64(), Some(1));
+        assert_eq!(agr.get("hammock_fraction").unwrap().as_f64(), Some(1.0));
+        assert!(agr.get("divergences").unwrap().as_arr().unwrap().is_empty());
+        assert!(k.get("lints").unwrap().as_arr().unwrap().is_empty());
+    }
+
+    #[test]
+    fn divergence_is_enumerated_not_hidden() {
+        // Reversed hammock pre-fix shape used to diverge; build a shape
+        // where the static join differs from the heuristic: the "then"
+        // side jumps *backwards* into the loop head so the pdom join is
+        // not what the forward heuristic derives.
+        let p = assemble(
+            "t",
+            r#"
+            beq r1, r0, a     ; 0
+            addi r2, r2, 1    ; 1
+            halt              ; 2
+        a:
+            halt              ; 3
+            "#,
+        )
+        .unwrap();
+        let a = analyze(&p);
+        let agr = Agreement::compute(&p, &a.branches);
+        // Static truth: no in-program RCP (both arms halt). Heuristic
+        // says Some(3). Must be recorded as a divergence.
+        assert_eq!(agr.all_checked, 0);
+        assert_eq!(agr.divergences.len(), 1);
+        assert_eq!(agr.divergences[0].pc, 0);
+        assert_eq!(agr.divergences[0].static_rcp, None);
+        assert_eq!(agr.divergences[0].estimate, Some(3));
+    }
+}

@@ -1,0 +1,241 @@
+//! Flow-insensitive static stride classification of loads.
+//!
+//! Every logical register is assigned a class from a small lattice by
+//! iterating the whole program to fixpoint (joins are monotone, so this
+//! terminates quickly):
+//!
+//! ```text
+//!   Const < Induction < IndexDerived < LoadDerived
+//! ```
+//!
+//! * **Const** — only immediates flow in (`li`, ALU over consts).
+//! * **Induction** — the register self-increments by an immediate
+//!   (`addi r, r, k` / `subi`), possibly re-seeded by `li`: a classic
+//!   loop counter.
+//! * **IndexDerived** — an affine combination of consts and induction
+//!   variables (e.g. `base + i*8`): still a predictable address.
+//! * **LoadDerived** — tainted by a load result (pointer chasing,
+//!   indirection tables): statically unpredictable.
+//!
+//! A load is then **Fixed** (const base: same address every visit),
+//! **Strided** (induction/index-derived base: regular sweep — the case
+//! the paper's CI-reuse mechanism vectorizes well), or **Irregular**
+//! (load-derived base).
+
+use cfir_isa::{AluOp, Inst, Program, NUM_LOGICAL_REGS};
+
+/// Register class lattice; ordering by `rank` (higher = less regular).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RegClass {
+    /// Only immediates flow in.
+    Const,
+    /// Self-incremented loop counter.
+    Induction,
+    /// Affine combination of consts and induction variables.
+    IndexDerived,
+    /// Tainted by a load result.
+    LoadDerived,
+}
+
+impl RegClass {
+    /// Lattice join (least upper bound).
+    pub fn join(self, other: RegClass) -> RegClass {
+        self.max(other)
+    }
+
+    /// Short lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RegClass::Const => "const",
+            RegClass::Induction => "induction",
+            RegClass::IndexDerived => "index",
+            RegClass::LoadDerived => "load",
+        }
+    }
+}
+
+/// Static access-pattern class of one load instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadClass {
+    /// Constant base: the same address on every visit.
+    Fixed,
+    /// Induction- or index-derived base: a regular sweep.
+    Strided,
+    /// Load-derived base: pointer chasing / table indirection.
+    Irregular,
+}
+
+impl LoadClass {
+    /// Short lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LoadClass::Fixed => "fixed",
+            LoadClass::Strided => "strided",
+            LoadClass::Irregular => "irregular",
+        }
+    }
+}
+
+/// Result of the whole-program stride analysis.
+#[derive(Debug, Clone)]
+pub struct StrideInfo {
+    /// Fixpoint class per logical register (`r0` stays [`RegClass::Const`]).
+    pub reg_class: Vec<RegClass>,
+    /// `(pc, class)` for every load in the program, in address order.
+    pub loads: Vec<(u32, LoadClass)>,
+}
+
+impl StrideInfo {
+    /// Run the fixpoint over `prog`.
+    pub fn compute(prog: &Program) -> StrideInfo {
+        let mut cls = vec![RegClass::Const; NUM_LOGICAL_REGS];
+        loop {
+            let mut changed = false;
+            for inst in &prog.insts {
+                let Some(rd) = inst.dest() else { continue };
+                let new = transfer(inst, &cls);
+                let joined = cls[rd as usize].join(new);
+                if joined != cls[rd as usize] {
+                    cls[rd as usize] = joined;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let loads = prog
+            .insts
+            .iter()
+            .enumerate()
+            .filter_map(|(pc, inst)| match *inst {
+                Inst::Ld { base, .. } => {
+                    let lc = match cls[base as usize] {
+                        RegClass::Const => LoadClass::Fixed,
+                        RegClass::Induction | RegClass::IndexDerived => LoadClass::Strided,
+                        RegClass::LoadDerived => LoadClass::Irregular,
+                    };
+                    Some((pc as u32, lc))
+                }
+                _ => None,
+            })
+            .collect();
+        StrideInfo {
+            reg_class: cls,
+            loads,
+        }
+    }
+
+    /// Class of the load at `pc`, if `pc` holds a load.
+    pub fn load_class(&self, pc: u32) -> Option<LoadClass> {
+        self.loads.iter().find(|&&(p, _)| p == pc).map(|&(_, c)| c)
+    }
+}
+
+/// Class produced by one defining instruction under current classes.
+fn transfer(inst: &Inst, cls: &[RegClass]) -> RegClass {
+    match *inst {
+        Inst::Li { .. } => RegClass::Const,
+        Inst::Ld { .. } => RegClass::LoadDerived,
+        Inst::AluImm { op, rd, rs1, .. } if rd == rs1 && matches!(op, AluOp::Add | AluOp::Sub) => {
+            // Self-increment: an induction step unless already tainted.
+            cls[rs1 as usize].join(RegClass::Induction)
+        }
+        _ => {
+            let mut c = RegClass::Const;
+            for src in inst.sources().into_iter().flatten() {
+                c = c.join(cls[src as usize]);
+            }
+            // Mixing induction variables into arithmetic yields an
+            // index, not a new induction variable.
+            if c == RegClass::Induction {
+                c = RegClass::IndexDerived;
+            }
+            c
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfir_isa::assemble;
+
+    fn info(src: &str) -> StrideInfo {
+        StrideInfo::compute(&assemble("t", src).unwrap())
+    }
+
+    #[test]
+    fn constant_base_load_is_fixed() {
+        let i = info("li r1, 64\nld r2, 0(r1)\nhalt");
+        assert_eq!(i.load_class(1), Some(LoadClass::Fixed));
+        assert_eq!(i.reg_class[1], RegClass::Const);
+        assert_eq!(i.reg_class[2], RegClass::LoadDerived);
+    }
+
+    #[test]
+    fn induction_base_load_is_strided() {
+        let i = info(
+            r#"
+            li r1, 0
+        loop:
+            ld r2, 0(r1)
+            addi r1, r1, 8
+            blt r1, r3, loop
+            halt
+            "#,
+        );
+        assert_eq!(i.reg_class[1], RegClass::Induction);
+        assert_eq!(i.load_class(1), Some(LoadClass::Strided));
+    }
+
+    #[test]
+    fn index_derived_base_is_strided() {
+        let i = info(
+            r#"
+            li r1, 0
+            li r5, 4096
+        loop:
+            slli r9, r1, 3
+            add r9, r5, r9
+            ld r2, 0(r9)
+            addi r1, r1, 1
+            blt r1, r3, loop
+            halt
+            "#,
+        );
+        assert_eq!(i.reg_class[9], RegClass::IndexDerived);
+        assert_eq!(i.load_class(4), Some(LoadClass::Strided));
+    }
+
+    #[test]
+    fn pointer_chase_is_irregular() {
+        let i = info(
+            r#"
+            li r1, 4096
+        loop:
+            ld r1, 0(r1)
+            bne r1, r0, loop
+            halt
+            "#,
+        );
+        assert_eq!(i.reg_class[1], RegClass::LoadDerived);
+        assert_eq!(i.load_class(1), Some(LoadClass::Irregular));
+    }
+
+    #[test]
+    fn load_derived_index_is_irregular() {
+        let i = info(
+            r#"
+            li r5, 0
+            ld r2, 0(r5)      ; table entry
+            slli r9, r2, 3
+            add r9, r5, r9    ; base + loaded*8
+            ld r3, 0(r9)
+            halt
+            "#,
+        );
+        assert_eq!(i.reg_class[9], RegClass::LoadDerived);
+        assert_eq!(i.load_class(4), Some(LoadClass::Irregular));
+    }
+}

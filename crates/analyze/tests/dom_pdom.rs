@@ -1,0 +1,184 @@
+//! Dominator / post-dominator torture tests: hand-built CFGs with
+//! known answers, plus a seeded randomized cross-check of the
+//! Cooper–Harvey–Kennedy implementation against a brute-force bitset
+//! dataflow solver.
+
+use cfir_analyze::dom::{reverse, DomTree};
+use cfir_obs::Rng64;
+
+/// Brute-force dominator sets: DOM[root] = {root},
+/// DOM[v] = {v} ∪ ∩_{p ∈ preds(v)} DOM[p], iterated to fixpoint.
+/// Returns per-node bitmasks (u32, so n <= 32); unreachable nodes get 0.
+fn brute_force_dom(succs: &[Vec<usize>], root: usize) -> Vec<u32> {
+    let n = succs.len();
+    assert!(n <= 32);
+    let preds = reverse(succs);
+    // Reachability first, so unreachable preds don't poison the meet.
+    let mut reach = vec![false; n];
+    let mut stack = vec![root];
+    reach[root] = true;
+    while let Some(v) = stack.pop() {
+        for &s in &succs[v] {
+            if !reach[s] {
+                reach[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    let all: u32 = if n == 32 { u32::MAX } else { (1 << n) - 1 };
+    let mut dom = vec![all; n];
+    dom[root] = 1 << root;
+    loop {
+        let mut changed = false;
+        for v in 0..n {
+            if v == root || !reach[v] {
+                continue;
+            }
+            let mut meet = all;
+            for &p in &preds[v] {
+                if reach[p] {
+                    meet &= dom[p];
+                }
+            }
+            let next = meet | (1 << v);
+            if next != dom[v] {
+                dom[v] = next;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for v in 0..n {
+        if !reach[v] {
+            dom[v] = 0;
+        }
+    }
+    dom
+}
+
+fn assert_matches_brute_force(succs: &[Vec<usize>], root: usize, what: &str) {
+    let tree = DomTree::compute(succs, root);
+    let sets = brute_force_dom(succs, root);
+    for a in 0..succs.len() {
+        for (b, &set) in sets.iter().enumerate() {
+            let brute = set != 0 && set & (1 << a) != 0;
+            assert_eq!(
+                tree.dominates(a, b),
+                brute,
+                "{what}: dominates({a}, {b}) disagrees with brute force\nsuccs: {succs:?}"
+            );
+        }
+    }
+}
+
+// ---- hand-built shapes ---------------------------------------------------
+
+/// 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 (diamond).
+#[test]
+fn diamond() {
+    let succs = vec![vec![1, 2], vec![3], vec![3], vec![]];
+    let t = DomTree::compute(&succs, 0);
+    assert_eq!(t.idom_of(3), Some(0), "join is dominated by the fork only");
+    assert_eq!(t.idom_of(1), Some(0));
+    assert_eq!(t.idom_of(2), Some(0));
+    assert_matches_brute_force(&succs, 0, "diamond");
+    // Post-dominators: reverse and root at the sink.
+    let p = DomTree::compute(&reverse(&succs), 3);
+    assert_eq!(p.idom_of(0), Some(3), "fork post-dominated by the join");
+    assert_eq!(p.idom_of(1), Some(3));
+}
+
+/// Nested hammock: outer diamond whose then-arm is itself a diamond.
+/// 0 -> {1, 5}; 1 -> {2, 3}; 2 -> 4; 3 -> 4; 4 -> 6; 5 -> 6.
+#[test]
+fn nested_hammock() {
+    let succs = vec![
+        vec![1, 5],
+        vec![2, 3],
+        vec![4],
+        vec![4],
+        vec![6],
+        vec![6],
+        vec![],
+    ];
+    let t = DomTree::compute(&succs, 0);
+    assert_eq!(t.idom_of(4), Some(1), "inner join belongs to inner fork");
+    assert_eq!(t.idom_of(6), Some(0), "outer join belongs to outer fork");
+    let p = DomTree::compute(&reverse(&succs), 6);
+    assert_eq!(
+        p.idom_of(1),
+        Some(4),
+        "inner fork reconverges at inner join"
+    );
+    assert_eq!(
+        p.idom_of(0),
+        Some(6),
+        "outer fork reconverges at outer join"
+    );
+    assert_matches_brute_force(&succs, 0, "nested hammock");
+}
+
+/// Loop with a break: 0 -> 1; 1 -> {2, 4}; 2 -> {3, 4}; 3 -> 1 (latch);
+/// 4 is the exit. The break edge 2 -> 4 means 3 does NOT post-dominate 2.
+#[test]
+fn loop_with_break() {
+    let succs = vec![vec![1], vec![2, 4], vec![3, 4], vec![1], vec![]];
+    let t = DomTree::compute(&succs, 0);
+    assert_eq!(t.idom_of(3), Some(2));
+    assert!(t.dominates(1, 3), "header dominates the latch");
+    let p = DomTree::compute(&reverse(&succs), 4);
+    assert_eq!(p.idom_of(2), Some(4), "break edge skips the latch");
+    assert!(!p.dominates(3, 2), "latch must not post-dominate the break");
+    assert_eq!(p.idom_of(3), Some(1), "latch always re-enters the header");
+    assert_matches_brute_force(&succs, 0, "loop with break");
+}
+
+/// Multi-entry ("irreducible-ish") region: both 1 and 2 jump into the
+/// shared body {3, 4}, which cycles. No single header dominates it.
+#[test]
+fn irreducible_multi_entry() {
+    let succs = vec![vec![1, 2], vec![3], vec![4], vec![4, 5], vec![3, 5], vec![]];
+    let t = DomTree::compute(&succs, 0);
+    assert_eq!(t.idom_of(3), Some(0), "entered from both arms");
+    assert_eq!(t.idom_of(4), Some(0), "entered from both arms");
+    assert!(!t.dominates(3, 4) && !t.dominates(4, 3));
+    let p = DomTree::compute(&reverse(&succs), 5);
+    assert_eq!(p.idom_of(0), Some(5));
+    assert_matches_brute_force(&succs, 0, "irreducible multi-entry");
+}
+
+// ---- randomized self-check ----------------------------------------------
+
+/// Random graph on `n` nodes: a spine 0 -> 1 -> ... guarantees
+/// reachability; extra edges (including back edges) are sprinkled on
+/// top. Dominators AND post-dominators (dom of the reversed graph,
+/// rooted at an absorbing exit) must match the brute-force solver.
+#[test]
+fn randomized_against_brute_force() {
+    let mut rng = Rng64::seed_from_u64(0xD04_1D04);
+    for round in 0..200 {
+        let n = 3 + (rng.gen_range(0, 10) as usize); // 3..=12
+        let exit = n - 1;
+        let mut succs: Vec<Vec<usize>> = (0..n)
+            .map(|v| if v < n - 1 { vec![v + 1] } else { Vec::new() })
+            .collect();
+        let extra = rng.gen_range(0, 2 * n as u64) as usize;
+        for _ in 0..extra {
+            let a = rng.gen_range(0, (n - 1) as u64) as usize; // exit stays absorbing
+            let b = rng.gen_range(0, n as u64) as usize;
+            if !succs[a].contains(&b) {
+                succs[a].push(b);
+            }
+        }
+        assert_matches_brute_force(&succs, 0, &format!("random round {round} (dom)"));
+        // Post-dominators: every node reaches `exit` via the spine, so
+        // the reversed graph rooted there covers all nodes.
+        assert_matches_brute_force(
+            &reverse(&succs),
+            exit,
+            &format!("random round {round} (pdom)"),
+        );
+    }
+}

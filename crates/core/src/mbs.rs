@@ -119,6 +119,13 @@ impl Mbs {
     pub fn occupancy(&self) -> usize {
         self.ways.iter().filter(|e| e.valid).count()
     }
+
+    /// Byte PCs of all valid entries (diagnostics / oracle cross-check:
+    /// tags are exact full PCs, so every valid entry must name a real
+    /// conditional branch).
+    pub fn valid_pcs(&self) -> impl Iterator<Item = u64> + '_ {
+        self.ways.iter().filter(|e| e.valid).map(|e| e.pc)
+    }
 }
 
 #[cfg(test)]

@@ -11,12 +11,38 @@
 //!   branch's destination (Figure 2-c); otherwise the code is an
 //!   if-then and the re-convergent point is the branch's own target
 //!   (Figure 2-b).
+//!
+//! # Intended scope
+//!
+//! The heuristic targets compiler-shaped *single-entry single-exit
+//! hammocks* (if-then, if-then-else with the `then` side laid out
+//! first) and loop-closing backward branches. It inspects at most two
+//! instructions and never builds a CFG, so it is exact on those shapes
+//! and only those; `crates/analyze` computes the post-dominator-based
+//! ground truth and the simulator counts runtime (dis)agreement per
+//! branch. Known divergences from the static truth:
+//!
+//! * arms that never re-join in the program (e.g. both sides `halt`):
+//!   the heuristic still names an in-program PC;
+//! * side entries into an arm (non-hammock `Complex` shapes): the
+//!   post-dominator join may be elsewhere;
+//! * backward branches that are *not* loop latches and whose layout
+//!   does not match the reversed-hammock pattern below.
+//!
+//! Two bugs found by the static oracle are fixed here: a backward
+//! branch in the last program slot used to return an out-of-range PC
+//! (now `None`), and a *reversed hammock* — a branch whose taken
+//! target precedes it, i.e. the `else` side is laid out before the
+//! branch and closes with a forward `jmp join` immediately above it —
+//! used to mis-estimate the fall-through as the re-convergent point
+//! (now that closing jump's destination).
 
 use cfir_isa::{Inst, Program};
 
 /// Estimate the re-convergent point of the conditional branch at
 /// `branch_pc`. Returns `None` for instructions that are not
-/// conditional branches or whose target information is unavailable.
+/// conditional branches, or for branches with no valid in-program
+/// re-convergent candidate (e.g. a backward branch in the last slot).
 pub fn estimate(prog: &Program, branch_pc: u32) -> Option<u32> {
     let inst = prog.fetch(branch_pc)?;
     let target = match *inst {
@@ -24,7 +50,22 @@ pub fn estimate(prog: &Program, branch_pc: u32) -> Option<u32> {
         _ => return None,
     };
     if target <= branch_pc {
-        // Backward branch: loop structure, re-converges at fall-through.
+        // Reversed hammock: the taken side was laid out *before* the
+        // branch and its closing forward jump sits immediately above
+        // us — both paths meet at that jump's destination.
+        if branch_pc >= 1 {
+            if let Some(above) = prog.fetch(branch_pc - 1) {
+                if above.is_uncond_direct() && above.is_forward_from(branch_pc) {
+                    return above.static_target();
+                }
+            }
+        }
+        // Backward branch: loop structure, re-converges at fall-through
+        // — unless the branch is the last instruction, in which case
+        // there is no in-program re-convergent point.
+        if (branch_pc as usize) + 1 >= prog.len() {
+            return None;
+        }
         return Some(branch_pc + 1);
     }
     // Forward branch: look one instruction above the target.
@@ -153,6 +194,55 @@ mod tests {
         let p = assemble("t", "nop\nhalt").unwrap();
         assert_eq!(estimate(&p, 0), None);
         assert_eq!(estimate(&p, 5), None, "out of range PC");
+    }
+
+    #[test]
+    fn backward_branch_in_last_slot_has_no_rcp() {
+        // Used to return Some(len), an out-of-range PC.
+        let p = assemble("t", "top:\n addi r1, r1, 1\n blt r1, r2, top").unwrap();
+        assert_eq!(estimate(&p, 1), None);
+    }
+
+    #[test]
+    fn reversed_hammock_reconverges_at_closing_jump_target() {
+        // The `else` side is laid out before the branch; its closing
+        // `jmp join` sits immediately above the branch. Used to return
+        // the fall-through (4), hiding the conditional `then` side.
+        let p = assemble(
+            "t",
+            r#"
+            jmp cond           ; 0
+        else_:
+            addi r3, r3, 1     ; 1
+            jmp join           ; 2  <- one above the branch
+        cond:
+            beq r1, r0, else_  ; 3  backward taken target
+            addi r2, r2, 1     ; 4 (then)
+        join:
+            add r4, r4, r2     ; 5
+            halt               ; 6
+            "#,
+        )
+        .unwrap();
+        assert_eq!(estimate(&p, 3), Some(5));
+    }
+
+    #[test]
+    fn loop_latch_below_backward_jmp_still_uses_fallthrough() {
+        // The instruction above the latch is a *backward* jump — the
+        // reversed-hammock rule must not fire.
+        let p = assemble(
+            "t",
+            r#"
+        top:
+            addi r1, r1, 1     ; 0
+            jmp top            ; 1 backward jmp (unreachable latch path)
+            blt r1, r2, top    ; 2
+            halt               ; 3
+            "#,
+        )
+        .unwrap();
+        assert_eq!(estimate(&p, 2), Some(3));
     }
 
     #[test]

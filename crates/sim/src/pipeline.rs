@@ -226,7 +226,7 @@ impl<'a> Pipeline<'a> {
         let gshare = Gshare::new(cfg.gshare_entries);
         let hier = Hierarchy::new(cfg.hierarchy.clone());
         let lsq = Lsq::new(cfg.lsq as usize);
-        Pipeline {
+        let mut pipe = Pipeline {
             prog,
             stats: SimStats::default(),
             cycle: 0,
@@ -262,7 +262,23 @@ impl<'a> Pipeline<'a> {
             last_flush_cycle: None,
             commit_log: None,
             cfg,
+        };
+        // Seed the per-branch scorecards with static oracle truth: the
+        // post-dominator reconvergence PC and hammock class of every
+        // conditional branch, so the runtime detector's estimates can
+        // be scored against ground truth as events open.
+        let analysis = cfir_analyze::analyze(prog);
+        for b in &analysis.branches {
+            pipe.stats.branch_prof.set_static_truth(
+                b.pc,
+                crate::prof::StaticTruth {
+                    rcp: b.rcp,
+                    class: b.class.name(),
+                    is_hammock: b.class.is_hammock(),
+                },
+            );
         }
+        pipe
     }
 
     /// Keep the last `n` committed instructions for inspection
@@ -430,6 +446,21 @@ impl<'a> Pipeline<'a> {
         self.stats.mem_accesses = self.hier.mem_accesses;
         if let Some(m) = &self.mech {
             self.stats.srsmt = m.srsmt.stats;
+            // Static-oracle cross-check of the MBS table: tags are
+            // exact full byte PCs, so every valid entry must name a
+            // conditional branch of the program.
+            for pc in m.mbs.valid_pcs() {
+                self.stats.oracle_mbs_checked += 1;
+                let word = (pc / 4) as u32;
+                let is_branch = self
+                    .prog
+                    .fetch(word)
+                    .map(|i| i.is_cond_branch())
+                    .unwrap_or(false);
+                if !is_branch {
+                    self.stats.oracle_mbs_nonbranch += 1;
+                }
+            }
         }
         // Fold per-event outcomes into the per-branch scorecards (the
         // clone is a few bytes per misprediction, once per run).

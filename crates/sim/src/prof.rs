@@ -49,6 +49,12 @@ pub struct BranchScore {
     /// Estimated execution cycles the reuses avoided (the FU or L1-hit
     /// latency each validated instruction skipped).
     pub cycles_saved: u64,
+    /// Runtime RCP-oracle comparisons at this branch: each time a CI
+    /// event opened here, the detector's re-convergence estimate was
+    /// compared against the static post-dominator truth.
+    pub rcp_checks: u64,
+    /// ... of which the estimate matched the static truth exactly.
+    pub rcp_agree: u64,
 }
 
 impl BranchScore {
@@ -79,7 +85,23 @@ impl BranchScore {
         self.validations += other.validations;
         self.reuse_commits += other.reuse_commits;
         self.cycles_saved += other.cycles_saved;
+        self.rcp_checks += other.rcp_checks;
+        self.rcp_agree += other.rcp_agree;
     }
+}
+
+/// Static (post-dominator) ground truth about one conditional branch,
+/// seeded from `cfir-analyze` when the pipeline is built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticTruth {
+    /// Exact post-dominator-based reconvergence PC (`None` when the
+    /// paths only meet at the program exit).
+    pub rcp: Option<u32>,
+    /// Hammock class name (`ifthen`, `ifthenelse`, `loopback`, ...).
+    pub class: &'static str,
+    /// `true` for the forward-hammock shapes the dynamic heuristic
+    /// targets.
+    pub is_hammock: bool,
 }
 
 /// The per-run scorecard table plus the unattributed spill bucket.
@@ -93,6 +115,8 @@ pub struct BranchProf {
     /// already evicted): kept so totals reconcile with the global
     /// statistics.
     pub unattributed: BranchScore,
+    /// Static oracle truth per branch PC (seeded at pipeline build).
+    statics: HashMap<u32, StaticTruth>,
     /// Outcomes already folded (see [`BranchProf::finalize`]).
     finalized: bool,
 }
@@ -111,6 +135,43 @@ impl BranchProf {
     pub fn note_event(&mut self, pc: u32, event: u64) {
         self.scores.entry(pc).or_default().events += 1;
         self.event_pc.insert(event, pc);
+    }
+
+    /// Seed the static oracle truth for the branch at `pc`.
+    pub fn set_static_truth(&mut self, pc: u32, truth: StaticTruth) {
+        self.statics.insert(pc, truth);
+    }
+
+    /// Static oracle truth for the branch at `pc`, if seeded.
+    pub fn static_truth(&self, pc: u32) -> Option<StaticTruth> {
+        self.statics.get(&pc).copied()
+    }
+
+    /// A runtime comparison of the dynamic RCP estimate against the
+    /// static truth at the branch `pc` (called when a CI event opens).
+    pub fn note_rcp_check(&mut self, pc: u32, agree: bool) {
+        let s = self.scores.entry(pc).or_default();
+        s.rcp_checks += 1;
+        if agree {
+            s.rcp_agree += 1;
+        }
+    }
+
+    /// `(checked, agreed)` runtime RCP-oracle totals over all branches.
+    pub fn rcp_totals(&self) -> (u64, u64) {
+        let t = self.totals();
+        (t.rcp_checks, t.rcp_agree)
+    }
+
+    /// Runtime agreement fraction between the dynamic RCP estimate and
+    /// the static oracle (1.0 when nothing was checked).
+    pub fn rcp_agreement(&self) -> f64 {
+        let (checked, agreed) = self.rcp_totals();
+        if checked == 0 {
+            1.0
+        } else {
+            agreed as f64 / checked as f64
+        }
     }
 
     fn score_for(&mut self, event: Option<u64>) -> &mut BranchScore {
@@ -299,6 +360,30 @@ mod tests {
         assert_eq!(rows[2].0, 9);
         assert_eq!(p.len(), 3);
         assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn rcp_oracle_counters() {
+        let mut p = BranchProf::default();
+        p.set_static_truth(
+            10,
+            StaticTruth {
+                rcp: Some(14),
+                class: "ifthen",
+                is_hammock: true,
+            },
+        );
+        assert_eq!(p.static_truth(10).unwrap().rcp, Some(14));
+        assert!(p.static_truth(11).is_none());
+        p.note_rcp_check(10, true);
+        p.note_rcp_check(10, true);
+        p.note_rcp_check(10, false);
+        let s = p.get(10).copied().unwrap();
+        assert_eq!(s.rcp_checks, 3);
+        assert_eq!(s.rcp_agree, 2);
+        assert_eq!(p.rcp_totals(), (3, 2));
+        assert!((p.rcp_agreement() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(BranchProf::default().rcp_agreement(), 1.0);
     }
 
     #[test]

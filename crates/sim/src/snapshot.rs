@@ -20,7 +20,12 @@ use cfir_obs::{Hist, JsonWriter};
 ///   extended interval samples (branch counters, rates, occupancy) and
 ///   the per-branch `branch_prof` scorecard. Every v1 key is unchanged,
 ///   so v1 consumers can read v2 documents.
-pub const SCHEMA_VERSION: u32 = 2;
+/// * **3** — additive: the static-vs-dynamic `oracle` object
+///   (runtime RCP-agreement counters and the MBS cross-check), plus
+///   per-branch `rcp_checks`/`rcp_agree` counters and the optional
+///   `static_rcp`/`hammock_class` keys (omitted when unknown). Every
+///   v2 key is unchanged, so v2 consumers can read v3 documents.
+pub const SCHEMA_VERSION: u32 = 3;
 
 fn write_hist(w: &mut JsonWriter, key: &str, h: &Hist) {
     w.key(key).begin_obj();
@@ -141,10 +146,30 @@ pub fn run_json(name: &str, label: &str, stats: &SimStats) -> String {
     for (pc, score) in prof.sorted() {
         w.begin_obj().field_u64("pc", pc as u64);
         write_score_fields(&mut w, &score);
-        w.field_f64("ci_exploited_rate", score.ci_exploited_rate())
-            .end_obj();
+        w.field_f64("ci_exploited_rate", score.ci_exploited_rate());
+        // Static oracle truth (schema v3); keys omitted when the
+        // analyzer had nothing for this PC (e.g. synthetic tests).
+        if let Some(truth) = prof.static_truth(pc) {
+            w.field_str("hammock_class", truth.class);
+            if let Some(rcp) = truth.rcp {
+                w.field_u64("static_rcp", rcp as u64);
+            }
+        }
+        w.end_obj();
     }
     w.end_arr();
+    w.end_obj();
+
+    // Static-vs-dynamic oracle summary (schema v3): runtime agreement
+    // of the configured RCP detector with the post-dominator truth,
+    // plus the end-of-run MBS tag cross-check.
+    let (rcp_checked, rcp_agreed) = prof.rcp_totals();
+    w.key("oracle").begin_obj();
+    w.field_u64("rcp_checked", rcp_checked)
+        .field_u64("rcp_agreed", rcp_agreed)
+        .field_f64("rcp_agreement", prof.rcp_agreement())
+        .field_u64("mbs_checked", stats.oracle_mbs_checked)
+        .field_u64("mbs_nonbranch", stats.oracle_mbs_nonbranch);
     w.end_obj();
 
     w.end_obj();
@@ -165,6 +190,8 @@ fn write_score_fields<'a>(w: &'a mut JsonWriter, s: &BranchScore) -> &'a mut Jso
         .field_u64("validations", s.validations)
         .field_u64("reuse_commits", s.reuse_commits)
         .field_u64("cycles_saved", s.cycles_saved)
+        .field_u64("rcp_checks", s.rcp_checks)
+        .field_u64("rcp_agree", s.rcp_agree)
 }
 
 #[cfg(test)]
@@ -202,10 +229,21 @@ mod tests {
         });
         stats.branch_prof.note_branch(0x40, true);
         stats.branch_prof.note_reuse_commit(None, 2);
+        stats.branch_prof.set_static_truth(
+            0x40,
+            crate::prof::StaticTruth {
+                rcp: Some(0x44),
+                class: "ifthen",
+                is_hammock: true,
+            },
+        );
+        stats.branch_prof.note_rcp_check(0x40, true);
+        stats.branch_prof.note_rcp_check(0x40, false);
+        stats.oracle_mbs_checked = 7;
 
         let text = run_json("bzip2 \"quoted\"", "ci", &stats);
         let v = json::parse(&text).expect("snapshot parses");
-        assert_eq!(v.get("schema_version").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("schema_version").unwrap().as_u64(), Some(3));
         assert_eq!(v.get("name").unwrap().as_str(), Some("bzip2 \"quoted\""));
         assert_eq!(v.get("mode").unwrap().as_str(), Some("ci"));
         assert_eq!(v.get("cycles").unwrap().as_u64(), Some(1000));
@@ -234,6 +272,36 @@ mod tests {
         let un = bp.get("unattributed").unwrap();
         assert_eq!(un.get("reuse_commits").unwrap().as_u64(), Some(1));
         assert_eq!(un.get("cycles_saved").unwrap().as_u64(), Some(2));
+        // Schema v3: per-branch static truth + oracle summary.
+        assert_eq!(
+            rows[0].get("hammock_class").unwrap().as_str(),
+            Some("ifthen")
+        );
+        assert_eq!(rows[0].get("static_rcp").unwrap().as_u64(), Some(0x44));
+        assert_eq!(rows[0].get("rcp_checks").unwrap().as_u64(), Some(2));
+        assert_eq!(rows[0].get("rcp_agree").unwrap().as_u64(), Some(1));
+        let oracle = v.get("oracle").unwrap();
+        assert_eq!(oracle.get("rcp_checked").unwrap().as_u64(), Some(2));
+        assert_eq!(oracle.get("rcp_agreed").unwrap().as_u64(), Some(1));
+        assert!((oracle.get("rcp_agreement").unwrap().as_f64().unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(oracle.get("mbs_checked").unwrap().as_u64(), Some(7));
+        assert_eq!(oracle.get("mbs_nonbranch").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn static_truth_keys_omitted_when_unseeded() {
+        let mut stats = SimStats::default();
+        stats.branch_prof.note_branch(8, true);
+        let v = json::parse(&run_json("x", "ci", &stats)).unwrap();
+        let rows = v
+            .get("branch_prof")
+            .unwrap()
+            .get("branches")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert!(rows[0].get("hammock_class").is_none());
+        assert!(rows[0].get("static_rcp").is_none());
     }
 
     #[test]

@@ -116,6 +116,12 @@ pub struct SimStats {
     pub specmem_copies: u64,
     /// Squash-reuse buffer hits (ci-iw mode).
     pub squash_reuse_hits: u64,
+    /// MBS entries cross-checked against the program at the end of the
+    /// run (static-oracle consistency check).
+    pub oracle_mbs_checked: u64,
+    /// MBS entries whose PC did not name a conditional branch — must
+    /// stay 0 with exact full-PC tags.
+    pub oracle_mbs_nonbranch: u64,
     /// Periodic samples (empty unless `SimConfig::interval_cycles` set).
     pub intervals: Vec<IntervalSample>,
     /// Per-static-branch CI-reuse scorecards.

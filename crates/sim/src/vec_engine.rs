@@ -1146,6 +1146,15 @@ impl Pipeline<'_> {
                 } else {
                     Some(bpc + 1) // naive: fall-through only (ablation)
                 };
+                // Static oracle: score whatever estimate the configured
+                // detector produced against the post-dominator truth
+                // seeded at pipeline build (the naive ablation is scored
+                // too — that is the point of the metric).
+                if let Some(truth) = self.stats.branch_prof.static_truth(bpc) {
+                    self.stats
+                        .branch_prof
+                        .note_rcp_check(bpc, rcp_est == truth.rcp);
+                }
                 if let Some(rcp) = rcp_est {
                     // The NRBQ OR (kept for the or_masks_from API and its
                     // tests) over-taints when the wrong path runs past the

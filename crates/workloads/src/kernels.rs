@@ -287,6 +287,8 @@ pub fn gzip(spec: WorkloadSpec) -> Workload {
     prologue(&mut b, &spec);
     b.li(20, 0);
     b.li(21, 0);
+    b.li(22, 0); // sum accumulator
+    b.li(23, 0); // xor accumulator
     let top = b.label_here();
     index_a(&mut b);
     b.ld(11, 10, 0);
@@ -432,7 +434,7 @@ pub fn perlbmk(spec: WorkloadSpec) -> Workload {
     }
     b.bind(start);
     prologue(&mut b, &spec);
-    for r in 20..=25 {
+    for r in 20..=26 {
         b.li(r, 0);
     }
     b.li(9, handler_base);

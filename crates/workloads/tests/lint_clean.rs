@@ -1,0 +1,57 @@
+//! Every shipped kernel must pass the static lint pass: no unreachable
+//! blocks, no fallthrough off the end of the program, no out-of-range
+//! branch targets, and no register read before it is written.
+//!
+//! This is the satellite gate from the cfir-analyze issue: kernels that
+//! trip a lint get *fixed*, not suppressed.
+
+use cfir_workloads::{by_name, custom, WorkloadSpec, NAMES};
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        iters: 64,
+        elems: 256,
+        seed: 7,
+    }
+}
+
+#[test]
+fn all_named_kernels_are_lint_clean() {
+    for name in NAMES {
+        let w = by_name(name, spec()).expect(name);
+        let a = cfir_analyze::analyze(&w.prog);
+        assert!(
+            a.lints.is_empty(),
+            "{name}: {:?}",
+            a.lints.iter().map(|l| l.to_string()).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn custom_default_is_lint_clean() {
+    let w = custom::build(custom::CustomParams::default(), spec());
+    let a = cfir_analyze::analyze(&w.prog);
+    assert!(
+        a.lints.is_empty(),
+        "custom: {:?}",
+        a.lints.iter().map(|l| l.to_string()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn custom_store_variant_is_lint_clean() {
+    let w = custom::build(
+        custom::CustomParams {
+            store_shift: Some(3),
+            ..Default::default()
+        },
+        spec(),
+    );
+    let a = cfir_analyze::analyze(&w.prog);
+    assert!(
+        a.lints.is_empty(),
+        "custom+store: {:?}",
+        a.lints.iter().map(|l| l.to_string()).collect::<Vec<_>>()
+    );
+}

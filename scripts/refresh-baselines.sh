@@ -21,5 +21,9 @@ mkdir -p results/baselines
 ./target/release/table1 --emit-json >/dev/null
 cp results/table1.json results/baselines/table1.json
 
+# Static-analysis reports for every kernel (lints + RCP agreement).
+# CI reruns `cfir-analyze --all --check --baseline` against this file.
+./target/release/cfir-analyze --all --emit-json results/baselines/analyze.json
+
 echo "baselines refreshed (CFIR_INSTS=$CFIR_INSTS):"
 ls -l results/baselines/

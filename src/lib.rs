@@ -11,6 +11,7 @@
 //! | [`mem`] | L1I/L1D/L2/L3 cache hierarchy, wide-bus geometry |
 //! | [`predict`] | gshare branch predictor, stride predictor |
 //! | [`core`] | the paper's mechanism: MBS, NRBQ, CRP, SRSMT, spec memory |
+//! | [`analyze`] | static CFG / post-dominator analysis, RCP oracle, lints |
 //! | [`sim`] | execution-driven out-of-order superscalar pipeline |
 //! | [`workloads`] | 12 synthetic SpecInt2000-like kernels |
 //! | [`obs`] | tracing, histograms, stall attribution, JSON telemetry |
@@ -59,6 +60,7 @@
 
 pub mod report;
 
+pub use cfir_analyze as analyze;
 pub use cfir_core as core;
 pub use cfir_emu as emu;
 pub use cfir_isa as isa;

@@ -1,0 +1,109 @@
+//! Static-oracle cross-checks: the dynamic reconvergence heuristic and
+//! the MBS contents validated against the post-dominator ground truth
+//! from `cfir-analyze`.
+
+use cfir::analyze::{analyze, Agreement};
+use cfir::prelude::*;
+use cfir_obs::json;
+
+/// Across the whole suite, `rcp::estimate` must agree with the static
+/// post-dominator RCP on at least 90% of hammock-class branches — the
+/// shapes the heuristic (paper §2.3.1) is built for. Every divergence
+/// is enumerated in the failure message, never hidden in an average.
+#[test]
+fn heuristic_matches_static_rcp_on_hammocks() {
+    let (mut checked, mut agree) = (0u64, 0u64);
+    let mut divergences: Vec<String> = Vec::new();
+    for w in suite(WorkloadSpec::default()) {
+        let a = analyze(&w.prog);
+        let agr = Agreement::compute(&w.prog, &a.branches);
+        checked += agr.hammock_checked;
+        agree += agr.hammock_agree;
+        for d in &agr.divergences {
+            divergences.push(format!(
+                "{}: pc {} ({}) static {:?} vs estimate {:?}",
+                w.name, d.pc, d.class, d.static_rcp, d.estimate
+            ));
+        }
+    }
+    assert!(checked >= 12, "suite must contain hammocks to check");
+    let frac = agree as f64 / checked as f64;
+    assert!(
+        frac >= 0.90,
+        "hammock RCP agreement {agree}/{checked} = {frac:.3} < 0.90; divergences:\n{}",
+        divergences.join("\n")
+    );
+}
+
+fn run_ci(name: &str, insts: u64) -> SimStats {
+    let w = by_name(
+        name,
+        WorkloadSpec {
+            iters: 1 << 30,
+            elems: 4096,
+            seed: 0xFEED,
+        },
+    )
+    .unwrap();
+    let c = SimConfig::paper_baseline()
+        .with_mode(Mode::Ci)
+        .with_max_insts(insts);
+    let mut pipe = Pipeline::new(&w.prog, w.mem.clone(), c);
+    pipe.run();
+    pipe.stats.clone()
+}
+
+/// The runtime oracle counts every `rcp::estimate` call at a
+/// mispredicted branch against the static truth seeded at pipeline
+/// construction; on the suite's hammock kernels they must agree.
+#[test]
+fn runtime_oracle_counters_agree_on_bzip2() {
+    let s = run_ci("bzip2", 40_000);
+    let (checks, agree) = s.branch_prof.rcp_totals();
+    assert!(checks > 0, "CI run must exercise the detector");
+    assert_eq!(
+        checks, agree,
+        "bzip2's hammock is exactly the shape the heuristic targets"
+    );
+    assert!((s.branch_prof.rcp_agreement() - 1.0).abs() < 1e-12);
+}
+
+/// Every valid MBS entry must tag a PC that really is a conditional
+/// branch — the oracle counts violations during finalize.
+#[test]
+fn mbs_holds_only_real_branches() {
+    for name in ["bzip2", "perlbmk", "gcc"] {
+        let s = run_ci(name, 40_000);
+        assert!(
+            s.oracle_mbs_checked > 0,
+            "{name}: MBS must fill under CI mode"
+        );
+        assert_eq!(s.oracle_mbs_nonbranch, 0, "{name}: non-branch PC in MBS");
+    }
+}
+
+/// The snapshot exposes the oracle block and per-branch static truth.
+#[test]
+fn snapshot_carries_oracle_fields() {
+    let s = run_ci("bzip2", 40_000);
+    let doc = json::parse(&run_json("bzip2", "ci", &s)).expect("valid json");
+    let orc = doc.get("oracle").expect("oracle object");
+    let checked = orc.get("rcp_checked").unwrap().as_u64().unwrap();
+    let agreed = orc.get("rcp_agreed").unwrap().as_u64().unwrap();
+    assert!(checked > 0);
+    assert_eq!(checked, agreed);
+    assert_eq!(orc.get("mbs_nonbranch").unwrap().as_u64(), Some(0));
+    let branches = doc
+        .get("branch_prof")
+        .unwrap()
+        .get("branches")
+        .unwrap()
+        .as_arr()
+        .unwrap();
+    assert!(
+        branches
+            .iter()
+            .any(|b| b.get("hammock_class").and_then(|c| c.as_str()) == Some("ifthenelse")),
+        "at least one profiled branch must carry its static class"
+    );
+}
