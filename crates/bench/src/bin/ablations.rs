@@ -7,110 +7,13 @@
 //! * **DAEC** (§2.4.2) — early release of dead replica registers at
 //!   thresholds 1/2/4/off;
 //! * **replica register headroom** — how many free registers the
-//!   replica engine must leave to scalar rename.
+//!   replica engine must leave to scalar rename;
+//! * plus replica issue priority, the §3.1 L1-budget comparison and the
+//!   mis-speculation blacklist.
 //!
+//! Thin wrapper over the `cfir_bench::experiments` matrix.
 //! Run: `cargo run --release -p cfir-bench --bin ablations`
 
-use cfir_bench::report::f3;
-use cfir_bench::{runner, Table};
-use cfir_sim::{harmonic_mean, Mode, RegFileSize, SimConfig};
-
-fn hmean_ipc(cfg: &SimConfig) -> f64 {
-    let ipcs: Vec<f64> = runner::run_mode(cfg, "abl")
-        .iter()
-        .map(|r| r.stats.ipc())
-        .collect();
-    harmonic_mean(&ipcs)
-}
-
 fn main() {
-    let base = runner::config(Mode::Ci, 1, RegFileSize::Finite(512));
-
-    let mut t = Table::new("Ablation: MBS hard-branch gating", &["variant", "HM IPC"]);
-    t.row(vec!["gated (paper)".into(), f3(hmean_ipc(&base))]);
-    let mut un = base.clone();
-    un.mech.mbs_gating = false;
-    t.row(vec![
-        "ungated (every mispredict)".into(),
-        f3(hmean_ipc(&un)),
-    ]);
-    cfir_bench::write_csv(&t, "abl_gating");
-
-    let mut t = Table::new(
-        "Ablation: re-convergence heuristics",
-        &["variant", "HM IPC"],
-    );
-    t.row(vec!["full Fig-2 heuristics".into(), f3(hmean_ipc(&base))]);
-    let mut naive = base.clone();
-    naive.mech.full_rcp_heuristic = false;
-    t.row(vec!["naive fall-through".into(), f3(hmean_ipc(&naive))]);
-    cfir_bench::write_csv(&t, "abl_rcp");
-
-    let mut t = Table::new(
-        "Ablation: DAEC threshold (256 registers, where pressure bites)",
-        &["threshold", "HM IPC"],
-    );
-    for thr in [1u8, 2, 4, u8::MAX] {
-        let mut c = runner::config(Mode::Ci, 1, RegFileSize::Finite(256));
-        c.mech.daec_threshold = thr;
-        let label = if thr == u8::MAX {
-            "off".to_string()
-        } else {
-            thr.to_string()
-        };
-        t.row(vec![label, f3(hmean_ipc(&c))]);
-    }
-    cfir_bench::write_csv(&t, "abl_daec");
-
-    let mut t = Table::new(
-        "Ablation: replica register headroom (256 registers)",
-        &["headroom", "HM IPC"],
-    );
-    for hr in [0usize, 8, 16, 64] {
-        let mut c = runner::config(Mode::Ci, 1, RegFileSize::Finite(256));
-        c.mech.replica_headroom = hr;
-        t.row(vec![hr.to_string(), f3(hmean_ipc(&c))]);
-    }
-    cfir_bench::write_csv(&t, "abl_headroom");
-
-    let mut t = Table::new(
-        "Ablation: replica issue priority (S2.4.1)",
-        &["variant", "HM IPC"],
-    );
-    t.row(vec!["replicas last (paper)".into(), f3(hmean_ipc(&base))]);
-    let mut first = base.clone();
-    first.mech.replicas_first = true;
-    t.row(vec!["replicas first".into(), f3(hmean_ipc(&first))]);
-    cfir_bench::write_csv(&t, "abl_priority");
-
-    // §3.1: "using this amount of extra hardware in, i.e., the L1 data
-    // cache only increases about 5% the performance" — spend the 39 KB
-    // on a bigger L1 instead of the mechanism.
-    let mut t = Table::new(
-        "Ablation: spend the mechanism's 39 KB on the L1D instead (S3.1)",
-        &["variant", "HM IPC"],
-    );
-    let wb = runner::config(Mode::WideBus, 1, RegFileSize::Finite(512));
-    t.row(vec!["wb, 64 KB L1D".into(), f3(hmean_ipc(&wb))]);
-    let mut big = wb.clone();
-    big.hierarchy.l1d.size_bytes = 128 * 1024; // nearest pow-2 >= 64+39 KB
-    t.row(vec!["wb, 128 KB L1D".into(), f3(hmean_ipc(&big))]);
-    t.row(vec!["ci, 64 KB L1D".into(), f3(hmean_ipc(&base))]);
-    cfir_bench::write_csv(&t, "abl_l1_budget");
-
-    let mut t = Table::new(
-        "Ablation: mis-speculation blacklist threshold",
-        &["threshold", "HM IPC"],
-    );
-    for thr in [4u8, 8, u8::MAX] {
-        let mut c = base.clone();
-        c.mech.misspec_blacklist = thr;
-        let label = if thr == u8::MAX {
-            "off (default)".to_string()
-        } else {
-            thr.to_string()
-        };
-        t.row(vec![label, f3(hmean_ipc(&c))]);
-    }
-    cfir_bench::write_csv(&t, "abl_blacklist");
+    cfir_bench::experiments::standalone_main("ablations")
 }

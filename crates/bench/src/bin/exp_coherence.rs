@@ -1,34 +1,7 @@
 //! §2.4.3 — fraction of committed stores whose address hits a
-//! speculatively-loaded range (the paper reports < 3%).
-
-use cfir_bench::report::pct;
-use cfir_bench::{runner, Table};
-use cfir_sim::{Mode, RegFileSize};
+//! speculatively-loaded range (the paper reports < 3%). Thin wrapper
+//! over the `cfir_bench::experiments` matrix.
 
 fn main() {
-    let mut t = Table::new(
-        "S2.4.3: store-coherence conflicts (ci)",
-        &["bench", "stores", "conflicts", "fraction"],
-    );
-    let cfg = runner::config(Mode::Ci, 1, RegFileSize::Finite(512));
-    let mut st = 0u64;
-    let mut cf = 0u64;
-    for r in runner::run_mode(&cfg, "ci") {
-        t.row(vec![
-            r.name.into(),
-            r.stats.stores.to_string(),
-            r.stats.store_conflicts.to_string(),
-            pct(r.stats.store_conflict_fraction()),
-        ]);
-        st += r.stats.stores;
-        cf += r.stats.store_conflicts;
-    }
-    t.row(vec![
-        "TOTAL".into(),
-        st.to_string(),
-        cf.to_string(),
-        pct(if st == 0 { 0.0 } else { cf as f64 / st as f64 }),
-    ]);
-    cfir_bench::write_csv(&t, "exp_coherence");
-    println!("paper: fewer than 3% of stores conflict");
+    cfir_bench::experiments::standalone_main("exp_coherence")
 }

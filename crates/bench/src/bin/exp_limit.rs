@@ -4,67 +4,8 @@
 //!
 //! Prints, per benchmark: baseline IPC, ci IPC, perfect-prediction IPC,
 //! and the fraction of the baseline→perfect gap that ci closes.
-
-use cfir_bench::report::f3;
-use cfir_bench::{runner, Table};
-use cfir_sim::{harmonic_mean, Mode, Pipeline, RegFileSize};
-use cfir_workloads::by_name;
+//! Thin wrapper over the `cfir_bench::experiments` matrix.
 
 fn main() {
-    let mut t = Table::new(
-        "Limit study: ci vs perfect branch prediction (512 regs, 1 port)",
-        &["bench", "wb", "ci", "perfect", "gap closed"],
-    );
-    let mut wbs = Vec::new();
-    let mut cis = Vec::new();
-    let mut perf = Vec::new();
-    for (name, spec) in runner::suite_specs() {
-        let w = by_name(name, spec).unwrap();
-        let wb = runner::run_one(
-            &w,
-            runner::config(Mode::WideBus, 1, RegFileSize::Finite(512)),
-        );
-        let ci = runner::run_one(&w, runner::config(Mode::Ci, 1, RegFileSize::Finite(512)));
-        let mut pcfg = runner::config(Mode::WideBus, 1, RegFileSize::Finite(512));
-        pcfg.perfect_branch_prediction = true;
-        pcfg.max_insts = runner::max_insts();
-        pcfg.cosim_check = false;
-        let mut pp = Pipeline::new(&w.prog, w.mem.clone(), pcfg);
-        pp.run();
-        let p = pp.stats.clone();
-        let closed = if p.ipc() > wb.ipc() {
-            (ci.ipc() - wb.ipc()) / (p.ipc() - wb.ipc())
-        } else {
-            0.0
-        };
-        t.row(vec![
-            name.into(),
-            f3(wb.ipc()),
-            f3(ci.ipc()),
-            f3(p.ipc()),
-            format!("{:4.0}%", closed * 100.0),
-        ]);
-        wbs.push(wb.ipc());
-        cis.push(ci.ipc());
-        perf.push(p.ipc());
-    }
-    let (hw, hc, hp) = (
-        harmonic_mean(&wbs),
-        harmonic_mean(&cis),
-        harmonic_mean(&perf),
-    );
-    t.row(vec![
-        "HMEAN".into(),
-        f3(hw),
-        f3(hc),
-        f3(hp),
-        format!("{:4.0}%", (hc - hw) / (hp - hw) * 100.0),
-    ]);
-    cfir_bench::write_csv(&t, "exp_limit");
-    println!(
-        "note: on store-heavy kernels (twolf, vortex) 'perfect' can trail the\n\
-         baselines — with no squashes the window fills with in-flight stores and\n\
-         the Table-1 conservative disambiguation (loads wait for all prior store\n\
-         addresses) throttles deep windows harder than shallow mispredicted ones."
-    );
+    cfir_bench::experiments::standalone_main("exp_limit")
 }

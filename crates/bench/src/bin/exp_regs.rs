@@ -1,134 +1,10 @@
 //! §2.4.2 — average physical registers in use with an unbounded
 //! register file, with and without the DAEC early-release rule
-//! (the paper reports 812 without vs 304 with).
-//!
-//! DAEC targets *dead associations*: replica registers of entries whose
-//! code stopped executing. Single-loop kernels never abandon their
-//! entries, so alongside the suite this binary runs a two-phase
-//! microbenchmark that alternates between two independent loops — each
-//! phase change strands the other phase's replica registers until DAEC
-//! (or nothing) reclaims them.
-
-use cfir_bench::{runner, Table};
-use cfir_isa::{AluOp, Cond, ProgramBuilder};
-use cfir_sim::{Mode, Pipeline, RegFileSize};
-use cfir_workloads::Workload;
-
-/// `NPHASES` independent strided-reduction loops with hard hammocks;
-/// the active loop switches every `phase_len` iterations. While one
-/// phase runs, the other phases' SRSMT entries sit idle holding replica
-/// registers — exactly the dead associations DAEC exists to reclaim.
-fn multi_phase(phase_len: i64) -> Workload {
-    const NPHASES: i64 = 16;
-    let mut mem = cfir_emu::MemImage::new();
-    let mut x = 0x9E3779B97F4A7C15u64;
-    for ph in 0..NPHASES as u64 {
-        for i in 0..2048u64 {
-            x ^= x << 13;
-            x ^= x >> 7;
-            x ^= x << 17;
-            mem.write(0x1_0000 + ph * 0x8000 + i * 8, x & 1);
-        }
-    }
-    let mut b = ProgramBuilder::new("multi-phase");
-    b.li(2, 0); // global iteration counter
-    b.li(3, 1 << 30);
-    b.li(4, 2047);
-    b.li(9, phase_len);
-    let top = b.label_here();
-    b.alu(AluOp::Div, 11, 2, 9);
-    b.alui(AluOp::And, 11, 11, NPHASES - 1);
-    // Wrapped element index, shared by all phases.
-    b.alu(AluOp::And, 1, 2, 4);
-    b.alui(AluOp::Mul, 10, 1, 8);
-    let done = b.label();
-    let mut next = b.label();
-    for ph in 0..NPHASES {
-        if ph > 0 {
-            b.bind(next);
-            next = b.label();
-        }
-        b.alui(AluOp::Seq, 12, 11, ph);
-        b.br(Cond::Eq, 12, 0, next);
-        // This phase's own strided load (distinct PC, distinct array).
-        b.li(13, 0x1_0000 + ph * 0x8000);
-        b.alu(AluOp::Add, 13, 13, 10);
-        b.ld(14, 13, 0);
-        let els = b.label();
-        let join = b.label();
-        b.br(Cond::Eq, 14, 0, els);
-        b.alui(AluOp::Add, 20, 20, 1);
-        b.jmp(join);
-        b.bind(els);
-        b.alui(AluOp::Add, 21, 21, 1);
-        b.bind(join);
-        b.alu(AluOp::Add, 22, 22, 14);
-        b.jmp(done);
-    }
-    b.bind(next); // unreachable fall-through
-    b.bind(done);
-    b.alui(AluOp::Add, 2, 2, 1);
-    b.br(Cond::Lt, 2, 3, top);
-    b.halt();
-    Workload {
-        name: "multi-phase",
-        prog: b.finish(),
-        mem,
-    }
-}
-
-fn occupancy(w: &Workload, daec: u8) -> (f64, u64) {
-    let mut cfg = runner::config(Mode::Ci, 1, RegFileSize::Infinite);
-    cfg.mech.daec_threshold = daec;
-    cfg.max_insts = runner::max_insts();
-    cfg.cosim_check = false;
-    let mut p = Pipeline::new(&w.prog, w.mem.clone(), cfg);
-    p.run();
-    (p.stats.avg_regs_in_use(), p.stats.reg_high_water)
-}
+//! (the paper reports 812 without vs 304 with). Runs the
+//! `cfir_workloads::micro::multi_phase` microbenchmark (whose phase
+//! changes strand replica registers) alongside the regular suite.
+//! Thin wrapper over the `cfir_bench::experiments` matrix.
 
 fn main() {
-    let mut t = Table::new(
-        "S2.4.2: physical registers in use (unbounded file, ci)",
-        &[
-            "workload",
-            "avg DAEC on",
-            "avg DAEC off",
-            "peak on",
-            "peak off",
-        ],
-    );
-    for phase in [256i64, 1024] {
-        let w = multi_phase(phase);
-        let (on_avg, on_peak) = occupancy(&w, 2);
-        let (off_avg, off_peak) = occupancy(&w, u8::MAX);
-        t.row(vec![
-            format!("multi-phase/{phase}"),
-            format!("{on_avg:.0}"),
-            format!("{off_avg:.0}"),
-            on_peak.to_string(),
-            off_peak.to_string(),
-        ]);
-    }
-    // The regular suite for context.
-    let on = runner::config(Mode::Ci, 1, RegFileSize::Infinite);
-    let mut off = on.clone();
-    off.mech.daec_threshold = u8::MAX;
-    let runs_on = runner::run_mode(&on, "daec-on");
-    let runs_off = runner::run_mode(&off, "daec-off");
-    let mut avg_on = 0.0;
-    let mut avg_off = 0.0;
-    for (a, b) in runs_on.iter().zip(&runs_off) {
-        avg_on += a.stats.avg_regs_in_use();
-        avg_off += b.stats.avg_regs_in_use();
-    }
-    t.row(vec![
-        "suite MEAN".into(),
-        format!("{:.0}", avg_on / runs_on.len() as f64),
-        format!("{:.0}", avg_off / runs_off.len() as f64),
-        String::new(),
-        String::new(),
-    ]);
-    cfir_bench::write_csv(&t, "exp_regs");
-    println!("paper: 812 registers without DAEC vs 304 with DAEC (whole-suite averages)");
+    cfir_bench::experiments::standalone_main("exp_regs")
 }

@@ -1,37 +1,9 @@
 //! Measurement-window stationarity check: do the statistics of
 //! interest (interval IPC, cumulative reuse fraction) stabilise within
 //! the 150k-instruction windows EXPERIMENTS.md records? Prints the
-//! interval time series for two contrasting benchmarks.
-
-use cfir_bench::{runner, Table};
-use cfir_sim::{Mode, Pipeline, RegFileSize};
-use cfir_workloads::by_name;
+//! interval time series for two contrasting benchmarks. Thin wrapper
+//! over the `cfir_bench::experiments` matrix.
 
 fn main() {
-    for name in ["bzip2", "gzip"] {
-        let w = by_name(name, runner::default_spec()).unwrap();
-        let mut cfg = runner::config(Mode::Ci, 1, RegFileSize::Finite(512));
-        cfg.max_insts = runner::max_insts();
-        cfg.interval_cycles = 10_000;
-        cfg.cosim_check = false;
-        let mut p = Pipeline::new(&w.prog, w.mem.clone(), cfg);
-        p.run();
-        let mut t = Table::new(
-            format!("warm-up: {name} (ci, 512 regs)"),
-            &["cycle", "committed", "interval IPC", "cum. reuse%"],
-        );
-        for s in &p.stats.intervals {
-            t.row(vec![
-                s.cycle.to_string(),
-                s.committed.to_string(),
-                format!("{:.3}", s.interval_ipc),
-                format!(
-                    "{:.1}%",
-                    100.0 * s.committed_reuse as f64 / s.committed.max(1) as f64
-                ),
-            ]);
-        }
-        cfir_bench::write_csv(&t, &format!("exp_warmup_{name}"));
-    }
-    println!("interval IPC should be flat after the first interval (cold caches).");
+    cfir_bench::experiments::standalone_main("exp_warmup")
 }

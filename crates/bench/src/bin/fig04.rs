@@ -1,47 +1,8 @@
 //! Figure 4 — IPC depending on the number of propagated stridedPCs per
 //! rename entry (1, 2, 4), per benchmark, plus the average PCs/entry
-//! statistic (the paper measures 1.7).
-
-use cfir_bench::report::f3;
-use cfir_bench::{runner, Table};
-use cfir_sim::{harmonic_mean, Mode, RegFileSize};
+//! statistic (the paper measures 1.7). Thin wrapper over the
+//! `cfir_bench::experiments` matrix; `cfir-suite` runs the same jobs.
 
 fn main() {
-    let mut t = Table::new(
-        "Figure 4: IPC vs propagated stridedPCs per rename entry",
-        &["bench", "1PC", "2PC", "4PC", "avg PCs/entry"],
-    );
-    let mut per_slots = vec![Vec::new(); 3];
-    let mut rows: Vec<Vec<String>> = runner::suite_specs()
-        .iter()
-        .map(|(n, _)| vec![n.to_string()])
-        .collect();
-    let mut avg_col = vec![String::new(); rows.len()];
-    for (si, slots) in [1usize, 2, 4].into_iter().enumerate() {
-        let mut cfg = runner::config(Mode::Ci, 1, RegFileSize::Finite(512));
-        cfg.mech.strided_pc_slots = slots;
-        for (bi, r) in runner::run_mode(&cfg, &format!("{slots}PC"))
-            .into_iter()
-            .enumerate()
-        {
-            per_slots[si].push(r.stats.ipc());
-            rows[bi].push(f3(r.stats.ipc()));
-            if slots == 4 {
-                avg_col[bi] = format!("{:.2}", r.stats.avg_strided_pcs());
-            }
-        }
-    }
-    for (bi, mut row) in rows.into_iter().enumerate() {
-        row.push(avg_col[bi].clone());
-        t.row(row);
-    }
-    t.row(vec![
-        "HMEAN".into(),
-        f3(harmonic_mean(&per_slots[0])),
-        f3(harmonic_mean(&per_slots[1])),
-        f3(harmonic_mean(&per_slots[2])),
-        String::new(),
-    ]);
-    cfir_bench::write_csv(&t, "fig04");
-    println!("paper: 1 vs 2 vs 4 PCs hardly changes IPC; ~1.7 PCs needed on average");
+    cfir_bench::experiments::standalone_main("fig04")
 }

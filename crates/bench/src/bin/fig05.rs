@@ -1,41 +1,8 @@
 //! Figure 5 — fraction of mispredicted branches for which the
 //! mechanism finds no CI instruction / selects CI instructions without
 //! reuse / successfully reuses at least one precomputed instance.
-
-use cfir_bench::report::pct;
-use cfir_bench::{runner, Table};
-use cfir_sim::{Mode, RegFileSize};
+//! Thin wrapper over the `cfir_bench::experiments` matrix.
 
 fn main() {
-    let mut t = Table::new(
-        "Figure 5: CI classification of mispredicted branches (ci)",
-        &["bench", "not found", "no reuse", ">=1 reuse", "mispredicts"],
-    );
-    let cfg = runner::config(Mode::Ci, 1, RegFileSize::Finite(512));
-    let mut sums = [0.0f64; 3];
-    let mut n = 0;
-    for r in runner::run_mode(&cfg, "ci") {
-        let (nf, sel, reu) = r.stats.events.fractions();
-        sums[0] += nf;
-        sums[1] += sel;
-        sums[2] += reu;
-        n += 1;
-        t.row(vec![
-            r.name.into(),
-            pct(nf),
-            pct(sel),
-            pct(reu),
-            r.stats.events.total_mispredictions.to_string(),
-        ]);
-    }
-    let n = n as f64;
-    t.row(vec![
-        "INT (avg)".into(),
-        pct(sums[0] / n),
-        pct(sums[1] / n),
-        pct(sums[2] / n),
-        String::new(),
-    ]);
-    cfir_bench::write_csv(&t, "fig05");
-    println!("paper: ~30% not found, ~21% selected w/o reuse, ~49% with reuse");
+    cfir_bench::experiments::standalone_main("fig05")
 }

@@ -1,30 +1,8 @@
 //! Figure 8 — number of accesses to the L1 data cache for the scalar
 //! baseline (scalxp), the wide bus (wbxp) and the CI mechanism (cixp),
-//! with 1 and 2 ports.
-
-use cfir_bench::{runner, Table};
-use cfir_sim::{Mode, RegFileSize};
+//! with 1 and 2 ports. Thin wrapper over the `cfir_bench::experiments`
+//! matrix.
 
 fn main() {
-    let mut t = Table::new(
-        "Figure 8: L1 D-cache accesses",
-        &["bench", "scal1p", "wb1p", "ci1p", "scal2p", "wb2p", "ci2p"],
-    );
-    let mut rows: Vec<Vec<String>> = runner::suite_specs()
-        .iter()
-        .map(|(n, _)| vec![n.to_string()])
-        .collect();
-    for ports in [1u32, 2] {
-        for mode in [Mode::Scalar, Mode::WideBus, Mode::Ci] {
-            let cfg = runner::config(mode, ports, RegFileSize::Finite(512));
-            for (bi, r) in runner::run_mode(&cfg, mode.label()).into_iter().enumerate() {
-                rows[bi].push(r.stats.l1d_accesses.to_string());
-            }
-        }
-    }
-    for row in rows {
-        t.row(row);
-    }
-    cfir_bench::write_csv(&t, "fig08");
-    println!("paper: wide bus cuts accesses; ci cuts further despite extra speculative loads");
+    cfir_bench::experiments::standalone_main("fig08")
 }

@@ -1,36 +1,7 @@
 //! Figure 9 — suite harmonic-mean IPC for scal/wb/ci with 1 and 2 L1
 //! ports across register-file sizes 128, 256, 512, 768 and infinite.
-
-use cfir_bench::report::f3;
-use cfir_bench::{runner, Table};
-use cfir_sim::{harmonic_mean, Mode, RegFileSize};
+//! Thin wrapper over the `cfir_bench::experiments` matrix.
 
 fn main() {
-    let regs = [
-        RegFileSize::Finite(128),
-        RegFileSize::Finite(256),
-        RegFileSize::Finite(512),
-        RegFileSize::Finite(768),
-        RegFileSize::Infinite,
-    ];
-    let mut t = Table::new(
-        "Figure 9: harmonic-mean IPC vs registers and L1 ports",
-        &["regs", "scal1p", "wb1p", "ci1p", "scal2p", "wb2p", "ci2p"],
-    );
-    for r in regs {
-        let mut row = vec![r.label()];
-        for ports in [1u32, 2] {
-            for mode in [Mode::Scalar, Mode::WideBus, Mode::Ci] {
-                let cfg = runner::config(mode, ports, r);
-                let ipcs: Vec<f64> = runner::run_mode(&cfg, mode.label())
-                    .iter()
-                    .map(|x| x.stats.ipc())
-                    .collect();
-                row.push(f3(harmonic_mean(&ipcs)));
-            }
-        }
-        t.row(row);
-    }
-    cfir_bench::write_csv(&t, "fig09");
-    println!("paper: ci needs >128 regs; beyond 256 regs ci pulls 14-17.8% ahead of wb");
+    cfir_bench::experiments::standalone_main("fig09")
 }

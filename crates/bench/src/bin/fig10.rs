@@ -1,45 +1,8 @@
 //! Figure 10 — per-benchmark IPC for the scalar baseline, wide bus,
 //! in-window-only control independence (squash reuse, ci-iw) and the
-//! proposed scheme (ci). One L1 port.
-
-use cfir_bench::report::f3;
-use cfir_bench::{runner, Table};
-use cfir_sim::{harmonic_mean, Mode, RegFileSize};
+//! proposed scheme (ci). One L1 port. Thin wrapper over the
+//! `cfir_bench::experiments` matrix.
 
 fn main() {
-    let mut t = Table::new(
-        "Figure 10: ci vs in-window-only squash reuse (1 port)",
-        &["bench", "scal", "wb", "ci-iw", "ci"],
-    );
-    let mut rows: Vec<Vec<String>> = runner::suite_specs()
-        .iter()
-        .map(|(n, _)| vec![n.to_string()])
-        .collect();
-    let mut per_mode = vec![Vec::new(); 4];
-    for (mi, mode) in [Mode::Scalar, Mode::WideBus, Mode::CiIw, Mode::Ci]
-        .into_iter()
-        .enumerate()
-    {
-        let cfg = runner::config(mode, 1, RegFileSize::Finite(512));
-        for (bi, r) in runner::run_mode(&cfg, mode.label()).into_iter().enumerate() {
-            rows[bi].push(f3(r.stats.ipc()));
-            per_mode[mi].push(r.stats.ipc());
-        }
-    }
-    for row in rows {
-        t.row(row);
-    }
-    let mut hm = vec!["HMEAN".to_string()];
-    for m in &per_mode {
-        hm.push(f3(harmonic_mean(m)));
-    }
-    t.row(hm);
-    cfir_bench::write_csv(&t, "fig10");
-    let base = harmonic_mean(&per_mode[0]);
-    println!(
-        "gains over scal: wb {:+.1}%  ci-iw {:+.1}%  ci {:+.1}%   (paper: ci-iw +9.1%, ci +17.8%)",
-        (harmonic_mean(&per_mode[1]) / base - 1.0) * 100.0,
-        (harmonic_mean(&per_mode[2]) / base - 1.0) * 100.0,
-        (harmonic_mean(&per_mode[3]) / base - 1.0) * 100.0,
-    );
+    cfir_bench::experiments::standalone_main("fig10")
 }

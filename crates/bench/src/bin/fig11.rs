@@ -1,43 +1,8 @@
 //! Figure 11 — suite harmonic-mean IPC depending on the number of
 //! replicas per vectorized instruction (1/2/4/8) and registers, against
-//! the scalar and wide-bus baselines.
-
-use cfir_bench::report::f3;
-use cfir_bench::{runner, Table};
-use cfir_sim::{harmonic_mean, Mode, RegFileSize};
+//! the scalar and wide-bus baselines. Thin wrapper over the
+//! `cfir_bench::experiments` matrix.
 
 fn main() {
-    let regs = [
-        RegFileSize::Finite(128),
-        RegFileSize::Finite(256),
-        RegFileSize::Finite(512),
-        RegFileSize::Finite(768),
-        RegFileSize::Infinite,
-    ];
-    let mut t = Table::new(
-        "Figure 11: IPC vs replicas per vectorized instruction",
-        &["regs", "sc", "wb", "1rep", "2rep", "4rep", "8rep"],
-    );
-    for r in regs {
-        let mut row = vec![r.label()];
-        for mode in [Mode::Scalar, Mode::WideBus] {
-            let cfg = runner::config(mode, 1, r);
-            let ipcs: Vec<f64> = runner::run_mode(&cfg, mode.label())
-                .iter()
-                .map(|x| x.stats.ipc())
-                .collect();
-            row.push(f3(harmonic_mean(&ipcs)));
-        }
-        for reps in [1u8, 2, 4, 8] {
-            let cfg = runner::config(Mode::Ci, 1, r).with_replicas(reps);
-            let ipcs: Vec<f64> = runner::run_mode(&cfg, "ci")
-                .iter()
-                .map(|x| x.stats.ipc())
-                .collect();
-            row.push(f3(harmonic_mean(&ipcs)));
-        }
-        t.row(row);
-    }
-    cfir_bench::write_csv(&t, "fig11");
-    println!("paper: 2 or 4 replicas are the sweet spot; 8 helps only with many registers");
+    cfir_bench::experiments::standalone_main("fig11")
 }

@@ -1,47 +1,9 @@
 //! Figure 12 — committed instructions that do not reuse (noR), that
 //! reuse (Reuse), wrong-path fetched-but-squashed (specBP), and
 //! speculative instructions created by the CI scheme (specCI), for 2
-//! and 4 replicas per vectorized instruction.
-
-use cfir_bench::report::pct;
-use cfir_bench::{runner, Table};
-use cfir_sim::{Mode, RegFileSize};
+//! and 4 replicas per vectorized instruction. Thin wrapper over the
+//! `cfir_bench::experiments` matrix.
 
 fn main() {
-    let mut t = Table::new(
-        "Figure 12: instruction breakdown for 2 (left) and 4 (right) replicas",
-        &[
-            "bench", "noR/2", "Reuse/2", "specBP/2", "specCI/2", "noR/4", "Reuse/4", "specBP/4",
-            "specCI/4",
-        ],
-    );
-    let mut rows: Vec<Vec<String>> = runner::suite_specs()
-        .iter()
-        .map(|(n, _)| vec![n.to_string()])
-        .collect();
-    let mut reuse_fraction = [0.0f64; 2];
-    for (ri, reps) in [2u8, 4].into_iter().enumerate() {
-        let cfg = runner::config(Mode::Ci, 1, RegFileSize::Finite(512)).with_replicas(reps);
-        let mut tot_committed = 0u64;
-        let mut tot_reuse = 0u64;
-        for (bi, r) in runner::run_mode(&cfg, "ci").into_iter().enumerate() {
-            let s = &r.stats;
-            rows[bi].push((s.committed - s.committed_reuse).to_string());
-            rows[bi].push(s.committed_reuse.to_string());
-            rows[bi].push(s.squashed.to_string());
-            rows[bi].push(s.replicas_created.to_string());
-            tot_committed += s.committed;
-            tot_reuse += s.committed_reuse;
-        }
-        reuse_fraction[ri] = tot_reuse as f64 / tot_committed as f64;
-    }
-    for row in rows {
-        t.row(row);
-    }
-    cfir_bench::write_csv(&t, "fig12");
-    println!(
-        "reuse fraction of committed: 2rep {}  4rep {}   (paper: 12.3% -> 14%)",
-        pct(reuse_fraction[0]),
-        pct(reuse_fraction[1])
-    );
+    cfir_bench::experiments::standalone_main("fig12")
 }

@@ -1,47 +1,8 @@
 //! Figure 13 — performance with the small speculative data memory
 //! (ci-h-128/256/512/768) against the scalar, wide-bus and monolithic
-//! ci machines, across register-file sizes.
-
-use cfir_bench::report::f3;
-use cfir_bench::{runner, Table};
-use cfir_core::MechConfig;
-use cfir_sim::{harmonic_mean, Mode, RegFileSize};
+//! ci machines, across register-file sizes. Thin wrapper over the
+//! `cfir_bench::experiments` matrix.
 
 fn main() {
-    let regs = [
-        RegFileSize::Finite(128),
-        RegFileSize::Finite(256),
-        RegFileSize::Finite(512),
-        RegFileSize::Finite(768),
-        RegFileSize::Infinite,
-    ];
-    let mut t = Table::new(
-        "Figure 13: speculative data memory (ci-h-N)",
-        &[
-            "regs", "scal", "wb", "ci", "ci-h-128", "ci-h-256", "ci-h-512", "ci-h-768",
-        ],
-    );
-    for r in regs {
-        let mut row = vec![r.label()];
-        for mode in [Mode::Scalar, Mode::WideBus, Mode::Ci] {
-            let cfg = runner::config(mode, 1, r);
-            let ipcs: Vec<f64> = runner::run_mode(&cfg, mode.label())
-                .iter()
-                .map(|x| x.stats.ipc())
-                .collect();
-            row.push(f3(harmonic_mean(&ipcs)));
-        }
-        for positions in [128usize, 256, 512, 768] {
-            let mut cfg = runner::config(Mode::Ci, 1, r);
-            cfg.mech = MechConfig::paper_with_specmem(positions);
-            let ipcs: Vec<f64> = runner::run_mode(&cfg, "ci-h")
-                .iter()
-                .map(|x| x.stats.ipc())
-                .collect();
-            row.push(f3(harmonic_mean(&ipcs)));
-        }
-        t.row(row);
-    }
-    cfir_bench::write_csv(&t, "fig13");
-    println!("paper: 256 regs + 768 spec positions ~= unbounded monolithic ci");
+    cfir_bench::experiments::standalone_main("fig13")
 }

@@ -2,54 +2,8 @@
 //! the full-blown speculative dynamic vectorization of reference [12]
 //! (vect), with 2 wide L1 ports, across register-file sizes. Also
 //! prints the S4 activity comparison (wrong-path work and reuse).
-
-use cfir_bench::report::{f3, pct};
-use cfir_bench::{runner, Table};
-use cfir_sim::{harmonic_mean, Mode, RegFileSize};
+//! Thin wrapper over the `cfir_bench::experiments` matrix.
 
 fn main() {
-    let regs = [
-        RegFileSize::Finite(128),
-        RegFileSize::Finite(256),
-        RegFileSize::Finite(512),
-        RegFileSize::Finite(768),
-        RegFileSize::Infinite,
-    ];
-    let mut t = Table::new(
-        "Figure 14: ci vs full-blown dynamic vectorization",
-        &["regs", "ci", "vect"],
-    );
-    let mut activity: Vec<String> = Vec::new();
-    for r in regs {
-        let mut row = vec![r.label()];
-        for mode in [Mode::Ci, Mode::Vect] {
-            let cfg = runner::config(mode, 2, r);
-            let runs = runner::run_mode(&cfg, mode.label());
-            let ipcs: Vec<f64> = runs.iter().map(|x| x.stats.ipc()).collect();
-            row.push(f3(harmonic_mean(&ipcs)));
-            if matches!(r, RegFileSize::Finite(512)) {
-                let wrong: f64 = runs
-                    .iter()
-                    .map(|x| x.stats.wrong_path_fraction())
-                    .sum::<f64>()
-                    / runs.len() as f64;
-                let reuse: f64 =
-                    runs.iter().map(|x| x.stats.reuse_fraction()).sum::<f64>() / runs.len() as f64;
-                activity.push(format!(
-                    "{}: wrong-path activity {} of executed work, reuse {} of committed",
-                    mode.label(),
-                    pct(wrong),
-                    pct(reuse)
-                ));
-            }
-        }
-        t.row(row);
-    }
-    cfir_bench::write_csv(&t, "fig14");
-    for a in activity {
-        println!("{a}");
-    }
-    println!(
-        "paper: ci wins below ~700 regs; vect only wins unbounded. ci wastes 29.6% vs vect 48.5%"
-    );
+    cfir_bench::experiments::standalone_main("fig14")
 }

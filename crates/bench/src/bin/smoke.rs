@@ -5,11 +5,14 @@
 //! statistics snapshot per mode, with the interval time series) is
 //! written to the given `.json` path — or printed to stdout, table
 //! suppressed, when no path follows the flag.
+//!
+//! The five simulation points come from the `cfir_bench::experiments`
+//! matrix (the same jobs `cfir-suite --profile smoke` schedules); this
+//! binary executes them serially to keep the legacy stdout contract.
 
-use cfir_bench::report::{emit_json_path, emit_json_requested, f3, pct, write_json_doc};
-use cfir_bench::{run_one, take_snapshots, Table};
-use cfir_sim::{Mode, RegFileSize, SimConfig};
-use cfir_workloads::by_name;
+use cfir_bench::experiments::{smoke_experiment, Params};
+use cfir_bench::report::{emit_json_path, emit_json_requested, write_json_doc};
+use cfir_harness::AggCtx;
 
 fn usage() -> ! {
     eprintln!(
@@ -32,60 +35,39 @@ fn main() {
         .find(|a| !a.starts_with('-') && Some(a.as_str()) != json_path.as_deref())
         .unwrap_or_else(|| "bzip2".into());
     let emit_json = emit_json_requested();
-    let w = by_name(&name, cfir_bench::default_spec()).expect("unknown benchmark");
-    let mut t = Table::new(
-        format!("smoke: {name}"),
-        &[
-            "mode",
-            "IPC",
-            "mispred%",
-            "reuse%",
-            "valfail",
-            "commitfail",
-            "replicas",
-            "squashed",
-            "l1dacc",
-            "l1dmiss",
-            "ev(nf/sel/reuse)",
-        ],
-    );
-    for mode in [
-        Mode::Scalar,
-        Mode::WideBus,
-        Mode::CiIw,
-        Mode::Ci,
-        Mode::Vect,
-    ] {
-        let cfg = SimConfig::paper_baseline()
-            .with_mode(mode)
-            .with_dports(1)
-            .with_regs(RegFileSize::Finite(512));
-        let s = run_one(&w, cfg);
-        let (nf, sel, reu) = s.events.counts();
-        t.row(vec![
-            mode.label().into(),
-            f3(s.ipc()),
-            pct(s.mispredict_rate()),
-            pct(s.reuse_fraction()),
-            s.validation_failures.to_string(),
-            s.commit_check_failures.to_string(),
-            s.replicas_executed.to_string(),
-            s.squashed.to_string(),
-            s.l1d_accesses.to_string(),
-            s.l1d_misses.to_string(),
-            format!("{nf}/{sel}/{reu}"),
-        ]);
-    }
-    if emit_json {
-        // `run_one` recorded a full snapshot per mode; write the bundle
-        // to the requested path, or print it as the sole stdout output
-        // so callers can pipe it to a parser.
-        let doc = cfir_bench::report::report_json(&t, &take_snapshots());
-        if json_path.is_some() {
-            print!("{}", t.render());
+
+    let exp = smoke_experiment(&Params::from_env(), &name);
+    let mut results = Vec::new();
+    for spec in &exp.jobs {
+        match spec.execute() {
+            Ok(r) => results.push(r),
+            Err(e) => {
+                eprintln!("smoke: job {} failed: {e}", spec.display_name());
+                std::process::exit(1);
+            }
         }
-        write_json_doc(json_path.as_deref(), &doc);
+    }
+    let refs: Vec<&cfir_harness::JobResult> = results.iter().collect();
+    let ctx = AggCtx { emit_json };
+    let out = match (exp.aggregate)(&ctx, &refs) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("smoke: {e}");
+            std::process::exit(1);
+        }
+    };
+    if emit_json {
+        let doc = out
+            .artifacts
+            .iter()
+            .find(|a| a.rel_path == "smoke.json")
+            .map(|a| a.contents.as_str())
+            .expect("smoke aggregator emits smoke.json under --emit-json");
+        if json_path.is_some() {
+            print!("{}", out.stdout);
+        }
+        write_json_doc(json_path.as_deref(), doc);
     } else {
-        print!("{}", t.render());
+        print!("{}", out.stdout);
     }
 }

@@ -1,17 +1,17 @@
 //! Generic design-space sweeper: cartesian product of modes × register
 //! sizes × ports × replica counts over the suite (or one benchmark),
-//! CSV out. The figure binaries cover the paper's specific plots; this
-//! is the "explore anything" tool.
+//! CSV out. The figure experiments cover the paper's specific plots;
+//! this is the "explore anything" tool. Points run through the
+//! `cfir-harness` pool, so `--jobs`/`--resume` work here too.
 //!
 //! ```sh
 //! sweep --modes scal,ci --regs 128,256,512 --ports 1,2 --replicas 4 \
-//!       [--bench crafty] [--insts 100000]
+//!       [--bench crafty] [--insts 100000] [--jobs 4] [--resume]
 //! ```
 
-use cfir_bench::report::f3;
-use cfir_bench::{runner, Table};
-use cfir_sim::{harmonic_mean, Mode, RegFileSize};
-use cfir_workloads::by_name;
+use cfir_bench::experiments::{sweep_experiment, Params};
+use cfir_harness::{run_suite, SuiteOptions};
+use cfir_sim::{Mode, RegFileSize};
 
 fn parse_list<T>(s: &str, f: impl Fn(&str) -> Option<T>) -> Vec<T> {
     s.split(',')
@@ -25,10 +25,19 @@ fn main() {
     let mut ports = vec![1u32];
     let mut replicas = vec![4u8];
     let mut bench: Option<String> = None;
+    let mut opts = SuiteOptions::default();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        if a == "--emit-json" {
-            continue; // valueless flag, handled inside write_csv
+        match a.as_str() {
+            "--emit-json" => {
+                opts.emit_json = true;
+                continue;
+            }
+            "--resume" => {
+                opts.resume = true;
+                continue;
+            }
+            _ => {}
         }
         let v = it.next().unwrap_or_default();
         match a.as_str() {
@@ -46,6 +55,12 @@ fn main() {
             "--replicas" => replicas = parse_list(&v, |r| r.parse().ok()),
             "--bench" => bench = Some(v),
             "--insts" => std::env::set_var("CFIR_INSTS", v),
+            "--jobs" => {
+                opts.jobs = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--jobs wants a number");
+                    std::process::exit(2);
+                })
+            }
             _ => {
                 eprintln!("unknown flag {a}");
                 std::process::exit(2);
@@ -53,45 +68,9 @@ fn main() {
         }
     }
 
-    let mut t = Table::new(
-        "sweep",
-        &[
-            "mode", "regs", "ports", "replicas", "IPC", "reuse%", "mispred%",
-        ],
-    );
-    for &mode in &modes {
-        for &r in &regs {
-            for &p in &ports {
-                for &reps in &replicas {
-                    let cfg = runner::config(mode, p, r).with_replicas(reps);
-                    let (ipc, reuse, mr) = match &bench {
-                        Some(name) => {
-                            let w = by_name(name, runner::default_spec()).expect("benchmark");
-                            let s = runner::run_one(&w, cfg);
-                            (s.ipc(), s.reuse_fraction(), s.mispredict_rate())
-                        }
-                        None => {
-                            let runs = runner::run_mode(&cfg, mode.label());
-                            let ipcs: Vec<f64> = runs.iter().map(|x| x.stats.ipc()).collect();
-                            let reuse = runs.iter().map(|x| x.stats.reuse_fraction()).sum::<f64>()
-                                / runs.len() as f64;
-                            let mr = runs.iter().map(|x| x.stats.mispredict_rate()).sum::<f64>()
-                                / runs.len() as f64;
-                            (harmonic_mean(&ipcs), reuse, mr)
-                        }
-                    };
-                    t.row(vec![
-                        mode.label().into(),
-                        r.label(),
-                        p.to_string(),
-                        reps.to_string(),
-                        f3(ipc),
-                        format!("{:.1}", reuse * 100.0),
-                        format!("{:.1}", mr * 100.0),
-                    ]);
-                }
-            }
-        }
-    }
-    cfir_bench::write_csv(&t, "sweep");
+    let p = Params::from_env();
+    let exp = sweep_experiment(&p, modes, regs, ports, replicas, bench);
+    let report = run_suite(vec![exp], &opts);
+    eprintln!("{}", report.summary_line());
+    std::process::exit(if report.all_ok() { 0 } else { 1 })
 }

@@ -1,82 +1,7 @@
 //! Table 1 — processor configuration — plus the §3.1 extra-storage
-//! accounting (the 39 KB figure).
-
-use cfir_bench::Table;
-use cfir_core::{storage, MechConfig};
-use cfir_sim::SimConfig;
+//! accounting of the mechanism. Thin wrapper over the
+//! `cfir_bench::experiments` matrix (this experiment runs no jobs).
 
 fn main() {
-    let c = SimConfig::paper_baseline();
-    let mut t = Table::new("Table 1: processor configuration", &["parameter", "value"]);
-    let rows: Vec<(&str, String)> = vec![
-        (
-            "Fetch width",
-            format!("{} instructions (up to 1 taken branch)", c.fetch_width),
-        ),
-        ("I-Cache", "64Kb, 2-way, 64B lines, 1 cycle hit".into()),
-        (
-            "Branch predictor",
-            format!("Gshare with {}K entries", c.gshare_entries / 1024),
-        ),
-        ("Inst. window size", format!("{} entries", c.window)),
-        (
-            "Int ALUs / mult-div",
-            format!("{} (1) / {} (2,12)", c.int_alu, c.int_muldiv),
-        ),
-        (
-            "FP ALUs / mult-div",
-            format!("{} (2) / {} (4,14)", c.fp_alu, c.fp_muldiv),
-        ),
-        (
-            "Load/store queue",
-            format!("{} entries, store-load forwarding", c.lsq),
-        ),
-        (
-            "Issue mechanism",
-            format!("{}-way out of order", c.issue_width),
-        ),
-        (
-            "D-cache",
-            "64Kb, 2-way, 32B lines, 1 cycle hit, write-back, 16 MSHRs".into(),
-        ),
-        ("L2 cache", "256Kb, 4-way, 32B lines, 6 cycle hit".into()),
-        (
-            "L3 cache",
-            "2Mb, 4-way, 64B lines, 18 cycle hit, 100 cycle memory".into(),
-        ),
-        ("Commit width", format!("{} instructions", c.commit_width)),
-        (
-            "Stride predictor",
-            format!("{}-way x {} sets", c.mech.stride_ways, c.mech.stride_sets),
-        ),
-        (
-            "SRSMT",
-            format!("{}-way x {} sets", c.mech.srsmt_ways, c.mech.srsmt_sets),
-        ),
-        (
-            "MBS",
-            format!("{}-way x {} sets", c.mech.mbs_ways, c.mech.mbs_sets),
-        ),
-    ];
-    for (k, v) in rows {
-        t.row(vec![k.into(), v]);
-    }
-    cfir_bench::write_csv(&t, "table1");
-
-    let r = storage::report(&MechConfig::paper());
-    let mut t = Table::new(
-        "S3.1: extra storage of the mechanism",
-        &["structure", "bytes"],
-    );
-    t.row(vec!["SRSMT".into(), r.srsmt.to_string()]);
-    t.row(vec!["stride predictor".into(), r.stride.to_string()]);
-    t.row(vec!["MBS".into(), r.mbs.to_string()]);
-    t.row(vec!["NRBQ".into(), r.nrbq.to_string()]);
-    t.row(vec!["CRP".into(), r.crp.to_string()]);
-    t.row(vec!["rename extension".into(), r.rename_ext.to_string()]);
-    t.row(vec![
-        "TOTAL".into(),
-        format!("{} ({} KB)", r.total(), r.total() / 1024),
-    ]);
-    cfir_bench::write_csv(&t, "table1_storage");
+    cfir_bench::experiments::standalone_main("table1")
 }

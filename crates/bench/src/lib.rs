@@ -1,15 +1,22 @@
 //! # cfir-bench
 //!
-//! The figure/table regeneration harness. One binary per experiment
-//! (`table1`, `fig04`, `fig05`, `fig08`–`fig14`, `exp_regs`,
-//! `exp_coherence`) prints the same rows/series the paper reports,
-//! both as an aligned text table and as CSV (written to `results/`).
+//! The figure/table regeneration library. Every experiment of the
+//! evaluation (`table1`, `fig04`, `fig05`, `fig08`–`fig14`, the
+//! ablations and the beyond-the-paper studies) is described as data in
+//! [`experiments`]: a job matrix plus an aggregator that renders the
+//! same rows/series the paper reports, as an aligned text table, CSV
+//! (written to `results/`), and optionally a JSON snapshot bundle.
+//!
+//! `cfir-suite` (the orchestrator binary at the workspace root) runs
+//! any subset of the matrix in parallel with caching and resume; the
+//! per-figure binaries in `src/bin` are thin wrappers that run their
+//! single experiment through the same harness.
 //!
 //! Run sizes are controlled by environment variables so the same
 //! binaries serve quick smoke runs and full reproductions:
 //!
 //! * `CFIR_INSTS` — committed instructions per benchmark per config
-//!   (default 300_000);
+//!   (default 150_000);
 //! * `CFIR_ELEMS` — data-array elements (default 16384);
 //! * `CFIR_SEED` — workload data seed (default 0xC0FFEE).
 //!
@@ -18,8 +25,9 @@
 //! full statistics snapshot per run), and `smoke` prints the JSON
 //! document to stdout instead of the table.
 
+pub mod experiments;
 pub mod report;
 pub mod runner;
 
-pub use report::{emit_json_requested, report_json, write_csv, Table};
-pub use runner::{default_spec, max_insts, run_mode, run_one, suite_specs, take_snapshots, RunRow};
+pub use report::{emit_json_requested, report_json, report_json_checked, write_csv, Table};
+pub use runner::{default_spec, max_insts, run_mode, run_one, suite_specs, RunRow};

@@ -108,10 +108,12 @@ impl Table {
     }
 }
 
-/// Print the table and also write it as `results/<name>.csv`. When the
-/// binary was invoked with `--emit-json`, additionally drain the
-/// per-run snapshots recorded by `run_one` and write them (plus the
-/// table itself) as `results/<name>.json`.
+/// Print the table and also write it as `results/<name>.csv`.
+///
+/// This is the ad-hoc path; the experiment matrix (`cfir-suite`)
+/// produces the same artifacts through each experiment's aggregator,
+/// which also bundles the per-run snapshots as `<name>.json` when
+/// `--emit-json` is in effect.
 pub fn write_csv(table: &Table, name: &str) {
     print!("{}", table.render());
     let dir = Path::new("results");
@@ -121,15 +123,6 @@ pub fn write_csv(table: &Table, name: &str) {
             eprintln!("(could not write {}: {e})", path.display());
         } else {
             println!("[csv written to {}]\n", path.display());
-        }
-        if emit_json_requested() {
-            let doc = report_json(table, &crate::runner::take_snapshots());
-            let jpath = dir.join(format!("{name}.json"));
-            if let Err(e) = fs::write(&jpath, doc) {
-                eprintln!("(could not write {}: {e})", jpath.display());
-            } else {
-                println!("[json written to {}]\n", jpath.display());
-            }
         }
     }
 }
@@ -213,6 +206,21 @@ pub fn report_json(table: &Table, runs: &[String]) -> String {
     out
 }
 
+/// Like [`report_json`], but each snapshot is validated before it is
+/// embedded: `runs` pairs a context label (benchmark/mode) with the
+/// snapshot document, and a malformed snapshot produces an error
+/// naming the offending run instead of a corrupt (or panicking)
+/// bundle. Used by the experiment aggregators so one bad snapshot
+/// fails one experiment, never the whole suite.
+pub fn report_json_checked(table: &Table, runs: &[(String, String)]) -> Result<String, String> {
+    for (ctx, doc) in runs {
+        cfir_obs::json::parse(doc)
+            .map_err(|e| format!("snapshot for run `{ctx}` is malformed: {e}"))?;
+    }
+    let docs: Vec<String> = runs.iter().map(|(_, d)| d.clone()).collect();
+    Ok(report_json(table, &docs))
+}
+
 /// Format a float with 3 decimals.
 pub fn f3(x: f64) -> String {
     format!("{x:.3}")
@@ -284,6 +292,25 @@ mod tests {
         let runs = v.get("runs").and_then(|r| r.as_arr()).unwrap();
         assert_eq!(runs.len(), 2);
         assert_eq!(runs[1].get("ipc").and_then(|x| x.as_f64()), Some(2.0));
+    }
+
+    #[test]
+    fn checked_report_names_the_offending_run() {
+        let mut t = Table::new("T", &["mode", "IPC"]);
+        t.row(vec!["ci".into(), "1.5".into()]);
+        let ok = report_json_checked(&t, &[("bzip2/ci".to_string(), "{\"ipc\":1.5}".to_string())])
+            .expect("valid snapshots pass");
+        assert!(cfir_obs::json::parse(&ok).is_ok());
+
+        let err = report_json_checked(
+            &t,
+            &[
+                ("bzip2/ci".to_string(), "{\"ipc\":1.5}".to_string()),
+                ("gzip/wb".to_string(), "{broken".to_string()),
+            ],
+        )
+        .unwrap_err();
+        assert!(err.contains("gzip/wb"), "must name the run: {err}");
     }
 
     #[test]

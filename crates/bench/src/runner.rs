@@ -1,19 +1,16 @@
-//! Shared simulation-running helpers for the figure binaries.
+//! Shared simulation-running helpers.
+//!
+//! The declarative experiment matrix in [`crate::experiments`] is the
+//! primary way the evaluation runs now (via `cfir-suite`); these
+//! helpers remain for ad-hoc runs and for building that matrix
+//! (environment-derived run sizes, the standard config constructor).
+//!
+//! Snapshots are threaded through return values — [`run_one`] returns
+//! the `run_json` document alongside the statistics — so concurrent
+//! callers never share mutable state.
 
 use cfir_sim::{Mode, Pipeline, RegFileSize, SimConfig, SimStats};
 use cfir_workloads::{by_name, Workload, WorkloadSpec, NAMES};
-use std::sync::Mutex;
-
-/// Per-run JSON snapshots accumulated while `--emit-json` is in effect
-/// (one [`cfir_sim::run_json`] document per `run_one` call). Drained by
-/// [`crate::report::write_csv`] into `results/<name>.json`, or directly
-/// via [`take_snapshots`].
-static SNAPSHOTS: Mutex<Vec<String>> = Mutex::new(Vec::new());
-
-/// Drain every snapshot recorded since the last call.
-pub fn take_snapshots() -> Vec<String> {
-    std::mem::take(&mut *SNAPSHOTS.lock().unwrap())
-}
 
 /// Committed-instruction budget per (benchmark, configuration) run.
 /// Override with `CFIR_INSTS`.
@@ -53,27 +50,20 @@ pub struct RunRow {
     pub label: String,
     /// Collected statistics.
     pub stats: SimStats,
+    /// The full `cfir_sim::run_json` snapshot for this run.
+    pub snapshot: String,
 }
 
-/// Run one workload under one configuration.
-pub fn run_one(w: &Workload, mut cfg: SimConfig) -> SimStats {
+/// Run one workload under one configuration; returns the statistics
+/// plus the per-run JSON snapshot (no shared accumulator).
+pub fn run_one(w: &Workload, mut cfg: SimConfig) -> (SimStats, String) {
     cfg.max_insts = max_insts();
     cfg.cosim_check = false; // benchmarking: the oracle is exercised in tests
-    if crate::report::emit_json_requested() && cfg.interval_cycles == 0 {
-        // Snapshots should carry the interval time series; callers that
-        // set their own cadence keep it.
-        cfg.interval_cycles = 10_000;
-    }
     let label = cfg.mode.label();
     let mut p = Pipeline::new(&w.prog, w.mem.clone(), cfg);
     p.run();
-    if crate::report::emit_json_requested() {
-        SNAPSHOTS
-            .lock()
-            .unwrap()
-            .push(cfir_sim::run_json(w.name, label, &p.stats));
-    }
-    p.stats.clone()
+    let snapshot = cfir_sim::run_json(w.name, label, &p.stats);
+    (p.stats.clone(), snapshot)
 }
 
 /// Run every benchmark in the suite under `cfg` (same config each).
@@ -82,10 +72,12 @@ pub fn run_mode(cfg: &SimConfig, label: &str) -> Vec<RunRow> {
         .into_iter()
         .map(|(name, spec)| {
             let w = by_name(name, spec).expect("known benchmark");
+            let (stats, snapshot) = run_one(&w, cfg.clone());
             RunRow {
                 name,
                 label: label.to_string(),
-                stats: run_one(&w, cfg.clone()),
+                stats,
+                snapshot,
             }
         })
         .collect()
@@ -104,7 +96,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn run_one_commits_the_budget() {
+    fn run_one_commits_the_budget_and_returns_a_snapshot() {
         std::env::remove_var("CFIR_INSTS");
         let w = by_name(
             "bzip2",
@@ -121,5 +113,12 @@ mod tests {
         p.run();
         assert!(p.stats.committed >= 20_000);
         assert!(p.stats.ipc() > 0.1);
+
+        // The snapshot comes back to the caller, not a global buffer.
+        let w2 = by_name("gzip", default_spec()).unwrap();
+        let (stats, snapshot) = run_one(&w2, config(Mode::Ci, 1, RegFileSize::Finite(512)));
+        assert!(stats.committed >= 20_000);
+        let v = cfir_obs::json::parse(&snapshot).expect("snapshot is valid JSON");
+        assert_eq!(v.get("name").and_then(|x| x.as_str()), Some("gzip"));
     }
 }

@@ -1,0 +1,351 @@
+//! Std-only work-stealing thread pool with per-job fault isolation.
+//!
+//! Jobs are dealt round-robin onto per-worker deques; a worker pops
+//! from the front of its own deque and steals from the back of the
+//! others when idle, so stragglers rebalance without a central lock on
+//! the hot path. Each job runs under `catch_unwind`: a panicking
+//! simulation marks that job failed and the suite continues. Failed
+//! jobs are retried up to a bound, and a wall-clock watchdog marks
+//! jobs that exceed a per-job budget as timed out (their worker thread
+//! is abandoned, not joined, so a wedged simulation cannot hang the
+//! suite).
+//!
+//! Completion order is **not** deterministic; callers that need
+//! determinism must reduce results by job index (as
+//! [`crate::suite::run_suite`] does), never by arrival order.
+
+use crate::job::{JobResult, JobSpec};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Execution knobs for one pool run.
+#[derive(Debug, Clone, Default)]
+pub struct PoolOptions {
+    /// Worker threads. 0 = available parallelism.
+    pub jobs: usize,
+    /// Extra attempts after a failed/panicked run.
+    pub retries: u32,
+    /// Per-job wall-clock budget (`None` = no watchdog).
+    pub timeout: Option<Duration>,
+}
+
+impl PoolOptions {
+    /// Resolved worker count (at least 1).
+    pub fn worker_count(&self) -> usize {
+        if self.jobs > 0 {
+            return self.jobs;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Terminal state of one job.
+#[derive(Debug, Clone)]
+pub enum JobOutcome {
+    /// The run completed and reduced to a result (boxed: a `JobResult`
+    /// is much larger than the other variants).
+    Done(Box<JobResult>),
+    /// Every attempt failed (error or panic); the message carries the
+    /// last failure.
+    Failed {
+        /// Last error or panic payload.
+        error: String,
+        /// Attempts consumed (1 + retries that ran).
+        attempts: u32,
+    },
+    /// The watchdog expired the job; its thread was abandoned.
+    TimedOut {
+        /// The budget that was exceeded.
+        limit: Duration,
+    },
+}
+
+impl JobOutcome {
+    /// Whether this outcome carries a usable result.
+    pub fn is_done(&self) -> bool {
+        matches!(self, JobOutcome::Done(_))
+    }
+}
+
+enum SlotState {
+    /// Waiting in some deque (attempt number of the *next* run).
+    Queued(u32),
+    /// Executing on a worker since the instant.
+    Running(Instant),
+    /// Outcome delivered (by the worker or the watchdog).
+    Decided,
+}
+
+struct Shared {
+    specs: Vec<JobSpec>,
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    slots: Vec<Mutex<SlotState>>,
+    undecided: AtomicUsize,
+    retries: u32,
+    tx: mpsc::Sender<(usize, JobOutcome)>,
+}
+
+impl Shared {
+    fn pop_task(&self, me: usize) -> Option<usize> {
+        if let Some(t) = self.queues[me].lock().unwrap().pop_front() {
+            return Some(t);
+        }
+        let n = self.queues.len();
+        for off in 1..n {
+            let q = &self.queues[(me + off) % n];
+            if let Some(t) = q.lock().unwrap().pop_back() {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Move a slot to Decided and report it, unless the watchdog got
+    /// there first. Returns whether *we* decided it.
+    fn decide(&self, idx: usize, outcome: JobOutcome) -> bool {
+        let mut st = self.slots[idx].lock().unwrap();
+        if matches!(*st, SlotState::Decided) {
+            return false; // watchdog already expired this job
+        }
+        *st = SlotState::Decided;
+        drop(st);
+        self.undecided.fetch_sub(1, Ordering::SeqCst);
+        let _ = self.tx.send((idx, outcome));
+        true
+    }
+
+    fn run_task(&self, me: usize, idx: usize) {
+        let attempt = {
+            let mut st = self.slots[idx].lock().unwrap();
+            match *st {
+                SlotState::Queued(a) => {
+                    *st = SlotState::Running(Instant::now());
+                    a
+                }
+                _ => return, // decided (or racing); nothing to do
+            }
+        };
+        let spec = &self.specs[idx];
+        let error = match catch_unwind(AssertUnwindSafe(|| spec.execute())) {
+            Ok(Ok(result)) => {
+                self.decide(idx, JobOutcome::Done(Box::new(result)));
+                return;
+            }
+            Ok(Err(e)) => e,
+            Err(payload) => format!("panicked: {}", panic_message(&*payload)),
+        };
+        if attempt < self.retries {
+            let mut st = self.slots[idx].lock().unwrap();
+            if matches!(*st, SlotState::Decided) {
+                return;
+            }
+            *st = SlotState::Queued(attempt + 1);
+            drop(st);
+            eprintln!(
+                "cfir-suite: job {} failed (attempt {}): {error}; retrying",
+                spec.display_name(),
+                attempt + 1
+            );
+            self.queues[me].lock().unwrap().push_front(idx);
+        } else {
+            self.decide(
+                idx,
+                JobOutcome::Failed {
+                    error,
+                    attempts: attempt + 1,
+                },
+            );
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run every spec to a terminal outcome, invoking `on_done(index,
+/// outcome)` on the **calling thread** as jobs finish (in completion
+/// order). Workers steal from each other; panics are isolated per
+/// job; `opts.timeout` bounds each job's wall clock.
+pub fn execute(
+    specs: Vec<JobSpec>,
+    opts: &PoolOptions,
+    mut on_done: impl FnMut(usize, JobOutcome),
+) {
+    let n = specs.len();
+    if n == 0 {
+        return;
+    }
+    let workers = opts.worker_count().min(n);
+    let (tx, rx) = mpsc::channel();
+    let shared = Arc::new(Shared {
+        queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        slots: (0..n).map(|_| Mutex::new(SlotState::Queued(0))).collect(),
+        undecided: AtomicUsize::new(n),
+        retries: opts.retries,
+        specs,
+        tx,
+    });
+    for (i, q) in (0..n).zip((0..workers).cycle()) {
+        shared.queues[q].lock().unwrap().push_back(i);
+    }
+
+    let mut handles = Vec::with_capacity(workers);
+    for me in 0..workers {
+        let sh = Arc::clone(&shared);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("cfir-suite-worker-{me}"))
+                .spawn(move || {
+                    while sh.undecided.load(Ordering::SeqCst) > 0 {
+                        match sh.pop_task(me) {
+                            Some(idx) => sh.run_task(me, idx),
+                            None => std::thread::park_timeout(Duration::from_millis(1)),
+                        }
+                    }
+                })
+                .expect("spawn worker"),
+        );
+    }
+
+    // The calling thread doubles as the watchdog: drain completions,
+    // and on every tick expire jobs that overran the budget.
+    let mut decided = 0usize;
+    let mut timed_out = false;
+    while decided < n {
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok((idx, outcome)) => {
+                decided += 1;
+                on_done(idx, outcome);
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if let Some(limit) = opts.timeout {
+                    for idx in 0..n {
+                        let mut st = shared.slots[idx].lock().unwrap();
+                        if let SlotState::Running(since) = *st {
+                            if since.elapsed() > limit {
+                                *st = SlotState::Decided;
+                                drop(st);
+                                shared.undecided.fetch_sub(1, Ordering::SeqCst);
+                                timed_out = true;
+                                decided += 1;
+                                on_done(idx, JobOutcome::TimedOut { limit });
+                            }
+                        }
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+
+    if !timed_out {
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+    // else: abandon workers — one of them may be wedged inside a
+    // timed-out simulation, and joining it would hang the suite.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::WorkloadRef;
+    use cfir_sim::SimConfig;
+
+    fn selftest(panic: bool, sleep_ms: u64) -> JobSpec {
+        JobSpec {
+            workload: WorkloadRef::SelfTest { panic, sleep_ms },
+            cfg: SimConfig::paper_baseline(),
+            max_insts: sleep_ms + panic as u64, // distinct fingerprints
+        }
+    }
+
+    fn run(specs: Vec<JobSpec>, opts: &PoolOptions) -> Vec<Option<JobOutcome>> {
+        let mut out: Vec<Option<JobOutcome>> = specs.iter().map(|_| None).collect();
+        execute(specs, opts, |i, o| out[i] = Some(o));
+        out
+    }
+
+    #[test]
+    fn all_jobs_reach_an_outcome() {
+        let specs: Vec<_> = (0..8).map(|i| selftest(false, i % 3)).collect();
+        let out = run(
+            specs,
+            &PoolOptions {
+                jobs: 4,
+                ..Default::default()
+            },
+        );
+        assert!(out.iter().all(|o| matches!(o, Some(JobOutcome::Done(_)))));
+    }
+
+    #[test]
+    fn panic_fails_alone() {
+        let specs = vec![selftest(false, 0), selftest(true, 0), selftest(false, 1)];
+        let out = run(
+            specs,
+            &PoolOptions {
+                jobs: 2,
+                ..Default::default()
+            },
+        );
+        assert!(out[0].as_ref().unwrap().is_done());
+        assert!(out[2].as_ref().unwrap().is_done());
+        match out[1].as_ref().unwrap() {
+            JobOutcome::Failed { error, attempts } => {
+                assert_eq!(*attempts, 1);
+                assert!(error.contains("panick"), "{error}");
+            }
+            o => panic!("expected Failed, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn retries_are_bounded() {
+        let out = run(
+            vec![selftest(true, 0)],
+            &PoolOptions {
+                jobs: 1,
+                retries: 2,
+                ..Default::default()
+            },
+        );
+        match out[0].as_ref().unwrap() {
+            JobOutcome::Failed { attempts, .. } => assert_eq!(*attempts, 3),
+            o => panic!("expected Failed, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_expires_overrunning_jobs() {
+        let specs = vec![selftest(false, 2_000), selftest(false, 0)];
+        let out = run(
+            specs,
+            &PoolOptions {
+                jobs: 2,
+                timeout: Some(Duration::from_millis(200)),
+                ..Default::default()
+            },
+        );
+        assert!(
+            matches!(out[0], Some(JobOutcome::TimedOut { .. })),
+            "sleeper must be expired, got {:?}",
+            out[0]
+        );
+        assert!(out[1].as_ref().unwrap().is_done());
+    }
+}

@@ -166,6 +166,29 @@ impl TraceFilter {
         Ok(f)
     }
 
+    /// A copy of this filter whose file sinks are suffixed with
+    /// `.<scope>` before the extension (`trace.jsonl` →
+    /// `trace.<scope>.jsonl`). Used by the suite harness so parallel
+    /// jobs sharing one `CFIR_TRACE` value write distinct files
+    /// instead of interleaving into one.
+    pub fn scoped(&self, scope: &str) -> TraceFilter {
+        fn suffix(path: &str, scope: &str) -> String {
+            match path.rsplit_once('.') {
+                // Only treat the final dot as an extension separator if
+                // it is inside the file name, not a parent directory.
+                Some((stem, ext)) if !ext.contains('/') => format!("{stem}.{scope}.{ext}"),
+                _ => format!("{path}.{scope}"),
+            }
+        }
+        let mut f = self.clone();
+        f.sink = match &self.sink {
+            SinkSpec::Text => SinkSpec::Text,
+            SinkSpec::Jsonl(p) => SinkSpec::Jsonl(suffix(p, scope)),
+            SinkSpec::Chrome(p) => SinkSpec::Chrome(suffix(p, scope)),
+        };
+        f
+    }
+
     /// Does an event at (`sub`, `pc`, `cycle`) pass the filter?
     #[inline]
     pub fn matches(&self, sub: Subsystem, pc: u64, cycle: u64) -> bool {
@@ -244,6 +267,28 @@ mod tests {
         );
         assert_eq!(TraceFilter::parse("cap=128").unwrap().cap, 128);
         assert!(TraceFilter::parse("sink=xml:out").is_err());
+    }
+
+    #[test]
+    fn scoped_suffixes_file_sinks_only() {
+        let f = TraceFilter::parse("sink=jsonl:/tmp/a.b/trace.jsonl").unwrap();
+        assert_eq!(
+            f.scoped("0042").sink,
+            SinkSpec::Jsonl("/tmp/a.b/trace.0042.jsonl".into())
+        );
+        let f = TraceFilter::parse("sink=chrome:trace.json").unwrap();
+        assert_eq!(f.scoped("x").sink, SinkSpec::Chrome("trace.x.json".into()));
+        // No extension: append the scope.
+        let f = TraceFilter::parse("sink=jsonl:/tmp/dir.d/trace").unwrap();
+        assert_eq!(
+            f.scoped("y").sink,
+            SinkSpec::Jsonl("/tmp/dir.d/trace.y".into())
+        );
+        // Text sink is untouched.
+        let f = TraceFilter::parse("sink=text pc=7").unwrap();
+        let g = f.scoped("z");
+        assert_eq!(g.sink, SinkSpec::Text);
+        assert_eq!(g.pc, Some(7));
     }
 
     #[test]

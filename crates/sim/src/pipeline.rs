@@ -281,6 +281,16 @@ impl<'a> Pipeline<'a> {
         pipe
     }
 
+    /// Rebuild the tracer (if any) with its file sinks suffixed by
+    /// `scope`, so concurrent pipelines sharing one `CFIR_TRACE` value
+    /// write distinct trace files instead of interleaving. No-op when
+    /// tracing is off; the text sink is unaffected.
+    pub fn scope_trace(&mut self, scope: &str) {
+        if let Some(t) = &self.tracer {
+            self.tracer = Some(Tracer::new(t.filter().scoped(scope)));
+        }
+    }
+
     /// Keep the last `n` committed instructions for inspection
     /// ([`Pipeline::commit_log`]).
     pub fn enable_commit_log(&mut self, n: usize) {

@@ -30,6 +30,7 @@
 
 pub mod custom;
 pub mod kernels;
+pub mod micro;
 
 use cfir_emu::MemImage;
 use cfir_isa::Program;

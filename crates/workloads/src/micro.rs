@@ -1,0 +1,101 @@
+//! Microbenchmarks that target one mechanism corner each.
+//!
+//! Unlike the SpecInt-shaped kernels, these exist to stress a single
+//! design rule; the first (and so far only) resident is the §2.4.2
+//! DAEC microbenchmark shared by the `exp_regs` experiment and the
+//! harness job matrix.
+
+use crate::Workload;
+use cfir_isa::{AluOp, Cond, ProgramBuilder};
+
+/// `NPHASES` independent strided-reduction loops with hard hammocks;
+/// the active loop switches every `phase_len` iterations. While one
+/// phase runs, the other phases' SRSMT entries sit idle holding
+/// replica registers — exactly the dead associations DAEC (§2.4.2)
+/// exists to reclaim.
+pub fn multi_phase(phase_len: i64) -> Workload {
+    const NPHASES: i64 = 16;
+    let mut mem = cfir_emu::MemImage::new();
+    let mut x = 0x9E3779B97F4A7C15u64;
+    for ph in 0..NPHASES as u64 {
+        for i in 0..2048u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            mem.write(0x1_0000 + ph * 0x8000 + i * 8, x & 1);
+        }
+    }
+    let mut b = ProgramBuilder::new("multi-phase");
+    b.li(2, 0); // global iteration counter
+    b.li(3, 1 << 30);
+    b.li(4, 2047);
+    b.li(9, phase_len);
+    let top = b.label_here();
+    b.alu(AluOp::Div, 11, 2, 9);
+    b.alui(AluOp::And, 11, 11, NPHASES - 1);
+    // Wrapped element index, shared by all phases.
+    b.alu(AluOp::And, 1, 2, 4);
+    b.alui(AluOp::Mul, 10, 1, 8);
+    let done = b.label();
+    let mut next = b.label();
+    for ph in 0..NPHASES {
+        if ph > 0 {
+            b.bind(next);
+            next = b.label();
+        }
+        b.alui(AluOp::Seq, 12, 11, ph);
+        b.br(Cond::Eq, 12, 0, next);
+        // This phase's own strided load (distinct PC, distinct array).
+        b.li(13, 0x1_0000 + ph * 0x8000);
+        b.alu(AluOp::Add, 13, 13, 10);
+        b.ld(14, 13, 0);
+        let els = b.label();
+        let join = b.label();
+        b.br(Cond::Eq, 14, 0, els);
+        b.alui(AluOp::Add, 20, 20, 1);
+        b.jmp(join);
+        b.bind(els);
+        b.alui(AluOp::Add, 21, 21, 1);
+        b.bind(join);
+        b.alu(AluOp::Add, 22, 22, 14);
+        b.jmp(done);
+    }
+    b.bind(next); // unreachable fall-through
+    b.bind(done);
+    b.alui(AluOp::Add, 2, 2, 1);
+    b.br(Cond::Lt, 2, 3, top);
+    b.halt();
+    Workload {
+        name: "multi-phase",
+        prog: b.finish(),
+        mem,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfir_emu::{Emulator, StopReason};
+
+    #[test]
+    fn multi_phase_is_valid_and_deterministic() {
+        let a = multi_phase(256);
+        assert!(a.prog.validate().is_ok());
+        let b = multi_phase(256);
+        assert_eq!(a.prog.insts, b.prog.insts);
+        assert_eq!(
+            a.mem.read_words(0x1_0000, 16),
+            b.mem.read_words(0x1_0000, 16)
+        );
+    }
+
+    #[test]
+    fn multi_phase_runs_functionally() {
+        let w = multi_phase(64);
+        let mut e = Emulator::new(w.mem.clone());
+        // Bounded run: the program loops 2^30 times, so stop on budget.
+        let r = e.run(&w.prog, 200_000);
+        assert_eq!(r, StopReason::Budget, "must still be looping");
+        assert!(e.retired >= 200_000);
+    }
+}

@@ -14,12 +14,19 @@ export CFIR_INSTS="${CFIR_INSTS:-20000}"
 cargo build --release --workspace
 mkdir -p results/baselines
 
-# Per-mode run snapshots of the smoke benchmark (schema v2 bundle).
-./target/release/smoke bzip2 --emit-json results/baselines/smoke.json
+# The smoke profile (per-mode run snapshots of the smoke benchmark +
+# the machine-configuration table) through the suite orchestrator; a
+# failed or timed-out job makes cfir-suite exit non-zero, which stops
+# this script before anything is copied over the committed baselines.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+./target/release/cfir-suite --profile smoke --jobs 2 --emit-json \
+  --out-dir "$tmp" --quiet
 
+# Schema v2 snapshot bundle: the perf gate.
+cp "$tmp/smoke.json" results/baselines/smoke.json
 # Machine-configuration table (a drift gate, not a perf gate).
-./target/release/table1 --emit-json >/dev/null
-cp results/table1.json results/baselines/table1.json
+cp "$tmp/table1.json" results/baselines/table1.json
 
 # Static-analysis reports for every kernel (lints + RCP agreement).
 # CI reruns `cfir-analyze --all --check --baseline` against this file.
