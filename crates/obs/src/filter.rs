@@ -62,6 +62,24 @@ impl Default for TraceFilter {
     }
 }
 
+/// The keyed-form keys `CFIR_TRACE` understands, quoted in parse
+/// errors so a typo tells you what would have worked.
+pub const VALID_KEYS: &str = "pc=, cycle=, sub=, sink=, cap=";
+
+/// Suffix `path` with `.<scope>` before its extension
+/// (`trace.jsonl` → `trace.<scope>.jsonl`; no extension → appended).
+/// Shared by [`TraceFilter::scoped`] and
+/// [`crate::PipeviewSpec::scoped`] so every per-job artifact scopes the
+/// same way.
+pub fn scope_path(path: &str, scope: &str) -> String {
+    match path.rsplit_once('.') {
+        // Only treat the final dot as an extension separator if it is
+        // inside the file name, not a parent directory.
+        Some((stem, ext)) if !ext.contains('/') => format!("{stem}.{scope}.{ext}"),
+        _ => format!("{path}.{scope}"),
+    }
+}
+
 fn parse_int(s: &str) -> Option<u64> {
     let s = s.trim();
     if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
@@ -112,9 +130,9 @@ impl TraceFilter {
 
         // Keyed form.
         for tok in spec.split_whitespace() {
-            let (key, val) = tok
-                .split_once('=')
-                .ok_or_else(|| format!("expected key=value, got `{tok}` in CFIR_TRACE"))?;
+            let (key, val) = tok.split_once('=').ok_or_else(|| {
+                format!("expected key=value, got `{tok}` in CFIR_TRACE (valid keys: {VALID_KEYS})")
+            })?;
             match key {
                 "pc" => {
                     f.pc = Some(
@@ -160,7 +178,11 @@ impl TraceFilter {
                 "cap" => {
                     f.cap = parse_int(val).ok_or_else(|| format!("bad cap `{val}`"))? as usize;
                 }
-                _ => return Err(format!("unknown CFIR_TRACE key `{key}`")),
+                _ => {
+                    return Err(format!(
+                        "unknown CFIR_TRACE key `{key}` in `{tok}` (valid keys: {VALID_KEYS})"
+                    ))
+                }
             }
         }
         Ok(f)
@@ -172,19 +194,11 @@ impl TraceFilter {
     /// jobs sharing one `CFIR_TRACE` value write distinct files
     /// instead of interleaving into one.
     pub fn scoped(&self, scope: &str) -> TraceFilter {
-        fn suffix(path: &str, scope: &str) -> String {
-            match path.rsplit_once('.') {
-                // Only treat the final dot as an extension separator if
-                // it is inside the file name, not a parent directory.
-                Some((stem, ext)) if !ext.contains('/') => format!("{stem}.{scope}.{ext}"),
-                _ => format!("{path}.{scope}"),
-            }
-        }
         let mut f = self.clone();
         f.sink = match &self.sink {
             SinkSpec::Text => SinkSpec::Text,
-            SinkSpec::Jsonl(p) => SinkSpec::Jsonl(suffix(p, scope)),
-            SinkSpec::Chrome(p) => SinkSpec::Chrome(suffix(p, scope)),
+            SinkSpec::Jsonl(p) => SinkSpec::Jsonl(scope_path(p, scope)),
+            SinkSpec::Chrome(p) => SinkSpec::Chrome(scope_path(p, scope)),
         };
         f
     }
@@ -297,5 +311,21 @@ mod tests {
         assert!(TraceFilter::parse("cycle=10").is_err());
         assert!(TraceFilter::parse("frequency=11").is_err());
         assert!(TraceFilter::parse("pc=zebra").is_err());
+    }
+
+    #[test]
+    fn errors_name_the_token_and_list_valid_keys() {
+        // Unknown key: names both the key and the full token, and
+        // lists what would have worked.
+        let err = TraceFilter::parse("frequency=11").unwrap_err();
+        assert!(err.contains("`frequency`"), "{err}");
+        assert!(err.contains("`frequency=11`"), "{err}");
+        for key in ["pc=", "cycle=", "sub=", "sink=", "cap="] {
+            assert!(err.contains(key), "missing {key} in: {err}");
+        }
+        // A bare word in keyed position names the offending token too.
+        let err = TraceFilter::parse("pc=7 loud").unwrap_err();
+        assert!(err.contains("`loud`"), "{err}");
+        assert!(err.contains("pc=") && err.contains("cap="), "{err}");
     }
 }

@@ -9,6 +9,7 @@
 //! | [`stall`] | per-cycle stall-attribution causes and breakdown |
 //! | [`event`] | typed trace events (vectorize/validate/flush/…) |
 //! | [`filter`] | `CFIR_TRACE` filter, parsed **once** at startup |
+//! | [`lifecycle`] | per-instruction lifecycle records, Konata pipeview, ASCII timeline |
 //! | [`sink`] | pluggable sinks: human text, JSONL, Chrome `trace_event` |
 //! | [`trace`] | the [`Tracer`](trace::Tracer) tying filter + sinks together |
 //! | [`json`] | hand-rolled JSON writer + minimal parser (no serde) |
@@ -26,6 +27,7 @@ pub mod event;
 pub mod filter;
 pub mod hist;
 pub mod json;
+pub mod lifecycle;
 pub mod rng;
 pub mod sink;
 pub mod stall;
@@ -35,6 +37,10 @@ pub use event::{EventKind, Subsystem, TraceEvent};
 pub use filter::TraceFilter;
 pub use hist::Hist;
 pub use json::{JsonValue, JsonWriter};
+pub use lifecycle::{
+    parse_konata, render_timeline, Fate, InstLane, InstRecord, LifecycleLog, ParsedTrace,
+    PipeviewSpec, TimelineOpts, WaitEdge, WaitEdgeKind,
+};
 pub use rng::Rng64;
 pub use stall::{StallBreakdown, StallCause};
 pub use trace::Tracer;

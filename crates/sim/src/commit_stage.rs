@@ -250,6 +250,9 @@ impl Pipeline<'_> {
             if let Some(fc) = self.last_flush_cycle.take() {
                 self.stats.h_flush_recovery.record(self.cycle - fc);
             }
+            if let Some(log) = &mut self.lifecycle {
+                log.note_commit(e.lid, self.cycle);
+            }
             self.stats.committed += 1;
             // The mis-speculation blacklist ages: bootstrap-phase
             // failures should not bar a PC forever, only chronic ones.
@@ -331,10 +334,18 @@ impl Pipeline<'_> {
             if let Some(p) = e.new_phys {
                 self.rf.free(p);
             }
+            if let Some(log) = &mut self.lifecycle {
+                log.note_squash(e.lid, self.cycle);
+            }
             self.kill_seed_waiter(e.seq);
             squashed += 1;
         }
         squashed += self.decode_q.len() as u64;
+        if let Some(log) = &mut self.lifecycle {
+            for f in &self.decode_q {
+                log.note_squash(f.lid, self.cycle);
+            }
+        }
         self.decode_q.clear();
         self.lsq.clear();
         self.stats.squashed += squashed;
@@ -376,8 +387,7 @@ impl Pipeline<'_> {
                         self.rf.free(id);
                     }
                 }
-                self.replicas
-                    .retain(|r| !(r.pc == ent.pc && r.gen == ent.gen));
+                self.reap_replicas(|r| r.pc == ent.pc && r.gen == ent.gen);
             }
             self.mech = Some(m);
         }

@@ -3,7 +3,7 @@
 use crate::pipeline::Pipeline;
 use crate::rob::RobState;
 use cfir_isa::{FuClass, Inst, Program};
-use cfir_obs::{trace_event, EventKind, Subsystem};
+use cfir_obs::{trace_event, EventKind, Subsystem, WaitEdgeKind};
 
 impl Pipeline<'_> {
     /// Whether a functional unit of `class` is free this cycle, and
@@ -81,6 +81,21 @@ impl Pipeline<'_> {
         Some(lat)
     }
 
+    /// Which hierarchy level served a data access of latency `lat`
+    /// (the lifecycle cache-miss wait-edge detail).
+    pub(crate) fn miss_level(&self, lat: u32) -> &'static str {
+        let h = &self.cfg.hierarchy;
+        if lat <= h.l1_hit {
+            "l1"
+        } else if lat <= h.l2_hit {
+            "l2"
+        } else if lat <= h.l3_hit {
+            "l3"
+        } else {
+            "mem"
+        }
+    }
+
     // ----------------------------------------------------------------
     // Issue
     // ----------------------------------------------------------------
@@ -109,7 +124,26 @@ impl Pipeline<'_> {
                     let seq = self.rob[i].seq;
                     self.lsq.set_addr(seq, addr);
                     match self.lsq.search_for_load(seq, addr) {
-                        crate::lsq::LoadSearch::Stall => continue,
+                        crate::lsq::LoadSearch::Stall => {
+                            if self.lifecycle.is_some() {
+                                let lid = self.rob[i].lid;
+                                let target =
+                                    self.lsq.blocking_store_for_load(seq, addr).and_then(|s| {
+                                        self.rob.iter().find(|e| e.seq == s).map(|e| e.lid)
+                                    });
+                                let cyc = self.cycle;
+                                if let Some(log) = &mut self.lifecycle {
+                                    log.edge(
+                                        lid,
+                                        WaitEdgeKind::StoreDisambiguation,
+                                        target,
+                                        "",
+                                        cyc,
+                                    );
+                                }
+                            }
+                            continue;
+                        }
                         crate::lsq::LoadSearch::Forwarded(v) => {
                             self.stats.h_load_to_use.record(1);
                             let e = &mut self.rob[i];
@@ -120,17 +154,30 @@ impl Pipeline<'_> {
                         }
                         crate::lsq::LoadSearch::CacheAccess => {
                             let Some(lat) = self.arbitrate_load(addr) else {
+                                if self.lifecycle.is_some() {
+                                    let (lid, cyc) = (self.rob[i].lid, self.cycle);
+                                    if let Some(log) = &mut self.lifecycle {
+                                        log.edge(lid, WaitEdgeKind::Port, None, "dports", cyc);
+                                    }
+                                }
                                 continue;
                             };
                             let v = self.mem.read(addr);
                             self.stats.h_load_to_use.record(lat as u64);
                             let miss = lat > self.cfg.hierarchy.l1_hit;
+                            let level = self.miss_level(lat);
                             let e = &mut self.rob[i];
                             e.addr = Some(addr);
                             e.value = v;
                             e.state = RobState::Executing;
                             e.done_at = self.cycle + lat as u64;
                             e.dcache_miss = miss;
+                            if miss {
+                                let (lid, cyc) = (e.lid, self.cycle);
+                                if let Some(log) = &mut self.lifecycle {
+                                    log.edge(lid, WaitEdgeKind::CacheMiss, None, level, cyc);
+                                }
+                            }
                         }
                     }
                     self.res.issue -= 1;
@@ -221,6 +268,15 @@ impl Pipeline<'_> {
                     // Completed at dispatch; nothing to issue.
                 }
             }
+            // Was `Dispatched` at the top of the iteration (all the
+            // resource-fail paths `continue` before this), so a state
+            // change means the instruction issued this cycle.
+            if self.rob[i].state == RobState::Executing {
+                let (lid, cyc) = (self.rob[i].lid, self.cycle);
+                if let Some(log) = &mut self.lifecycle {
+                    log.note_issue(lid, cyc);
+                }
+            }
         }
     }
 
@@ -240,6 +296,12 @@ impl Pipeline<'_> {
                 continue;
             }
             self.rob[i].state = RobState::Done;
+            {
+                let (lid, cyc) = (self.rob[i].lid, self.cycle);
+                if let Some(log) = &mut self.lifecycle {
+                    log.note_complete(lid, cyc);
+                }
+            }
             if let Some(pr) = self.rob[i].probe {
                 if !pr.verified {
                     if let Some(p) = &mut self.rob[i].probe {
@@ -333,10 +395,18 @@ impl Pipeline<'_> {
             if let Some(p) = e.new_phys {
                 self.rf.free(p);
             }
+            if let Some(log) = &mut self.lifecycle {
+                log.note_squash(e.lid, self.cycle);
+            }
             self.kill_seed_waiter(e.seq);
             squashed += 1;
         }
         squashed += self.decode_q.len() as u64;
+        if let Some(log) = &mut self.lifecycle {
+            for f in &self.decode_q {
+                log.note_squash(f.lid, self.cycle);
+            }
+        }
         self.decode_q.clear();
         self.stats.squashed += squashed;
         self.lsq.squash_younger(bseq);
@@ -452,6 +522,10 @@ impl Pipeline<'_> {
                         e.reuse = None;
                         e.state = RobState::Dispatched;
                         e.done_at = 0;
+                        let lid = e.lid;
+                        if let Some(log) = &mut self.lifecycle {
+                            log.set_reused(lid, false);
+                        }
                         let _ = &mut stuck;
                     }
                 }
@@ -470,6 +544,10 @@ impl Pipeline<'_> {
                         e.reuse = None;
                         e.state = RobState::Dispatched;
                         e.done_at = 0;
+                        let lid = e.lid;
+                        if let Some(log) = &mut self.lifecycle {
+                            log.set_reused(lid, false);
+                        }
                     }
                     if matches!(poll, Poll::Mismatch) {
                         let mut m = self.mech.take().unwrap();

@@ -141,6 +141,27 @@ impl Lsq {
         LoadSearch::CacheAccess
     }
 
+    /// The store that currently makes [`Lsq::search_for_load`] return
+    /// [`LoadSearch::Stall`] for the load `seq` at `addr`: the youngest
+    /// older store with an unknown address, or the matching store whose
+    /// data is not ready yet. `None` when nothing blocks (the
+    /// disambiguation side of the lifecycle wait-edge taxonomy).
+    pub fn blocking_store_for_load(&self, seq: u64, addr: u64) -> Option<u64> {
+        for e in self.q.iter().rev() {
+            if e.seq >= seq || !e.store {
+                continue;
+            }
+            match e.addr {
+                None => return Some(e.seq),
+                Some(a) if a == addr => {
+                    return if e.data.is_none() { Some(e.seq) } else { None };
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
     /// Remove the head entry when its instruction commits.
     pub fn pop_committed(&mut self, seq: u64) {
         if let Some(head) = self.q.front() {
@@ -239,6 +260,29 @@ mod tests {
         l.push(2, true); // unknown address between the match and the load
         l.push(3, false);
         assert_eq!(l.search_for_load(3, 1000), LoadSearch::Stall);
+    }
+
+    #[test]
+    fn blocking_store_mirrors_the_stall_verdict() {
+        let mut l = Lsq::new(8);
+        l.push(1, true); // unknown address
+        l.push(2, true);
+        l.set_addr(2, 1000); // matching, data missing
+        l.push(3, false);
+        // Youngest blocker first: store 2 matches but has no data.
+        assert_eq!(l.search_for_load(3, 1000), LoadSearch::Stall);
+        assert_eq!(l.blocking_store_for_load(3, 1000), Some(2));
+        l.set_data(2, 7);
+        // Now the match forwards; nothing blocks.
+        assert_eq!(l.search_for_load(3, 1000), LoadSearch::Forwarded(7));
+        assert_eq!(l.blocking_store_for_load(3, 1000), None);
+        // A different address is still behind store 1's unknown addr.
+        assert_eq!(l.search_for_load(3, 2000), LoadSearch::Stall);
+        assert_eq!(l.blocking_store_for_load(3, 2000), Some(1));
+        l.set_addr(1, 3000);
+        l.set_data(1, 0);
+        assert_eq!(l.blocking_store_for_load(3, 2000), None);
+        assert_eq!(l.search_for_load(3, 2000), LoadSearch::CacheAccess);
     }
 
     #[test]

@@ -59,6 +59,8 @@ pub enum RepState {
 /// One speculative replica in flight.
 #[derive(Debug, Clone, Copy)]
 pub struct Replica {
+    /// Lifecycle id (0 when lifecycle tracing is off).
+    pub lid: u64,
     /// PC of the owning vectorized instruction (identity check against
     /// the SRSMT entry, which may have been reallocated).
     pub pc: u64,

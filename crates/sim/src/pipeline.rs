@@ -28,7 +28,7 @@ use cfir_core::RenameExt;
 use cfir_emu::{Emulator, MemImage};
 use cfir_isa::{Inst, Program, NUM_LOGICAL_REGS};
 use cfir_mem::Hierarchy;
-use cfir_obs::Tracer;
+use cfir_obs::{LifecycleLog, PipeviewSpec, Tracer};
 use cfir_predict::Gshare;
 use std::collections::{HashMap, VecDeque};
 
@@ -45,6 +45,8 @@ pub(crate) struct Fetched {
     pub ghist: u64,
     /// Cycle at which the instruction reaches rename.
     pub ready_at: u64,
+    /// Lifecycle id (0 when lifecycle tracing is off).
+    pub lid: u64,
 }
 
 /// Per-cycle consumable resources.
@@ -189,6 +191,18 @@ pub struct Pipeline<'a> {
     /// Ring buffer of recent commits (enabled by
     /// [`Pipeline::enable_commit_log`]).
     pub(crate) commit_log: Option<(usize, std::collections::VecDeque<CommitRecord>)>,
+
+    /// Per-instruction lifecycle recorder (`cfir-viz`); `None` =
+    /// disabled, every hook is one branch. Boxed: the log is large and
+    /// cold relative to the pipeline state.
+    pub(crate) lifecycle: Option<Box<LifecycleLog>>,
+    /// Cycle at which lifecycle recording was enabled; the wait-sum
+    /// reconciliation against the stall breakdown is exact only from
+    /// cycle 0.
+    pub(crate) lifecycle_since: u64,
+    /// Where to write the Konata pipeview document at the end of the
+    /// run (`--pipeview` / `CFIR_PIPEVIEW`).
+    pub(crate) pipeview_path: Option<String>,
 }
 
 impl<'a> Pipeline<'a> {
@@ -261,8 +275,14 @@ impl<'a> Pipeline<'a> {
             dispatch_block: None,
             last_flush_cycle: None,
             commit_log: None,
+            lifecycle: None,
+            lifecycle_since: 0,
+            pipeview_path: None,
             cfg,
         };
+        if let Some(spec) = PipeviewSpec::from_env() {
+            pipe.enable_pipeview(&spec.path, spec.cap);
+        }
         // Seed the per-branch scorecards with static oracle truth: the
         // post-dominator reconvergence PC and hammock class of every
         // conditional branch, so the runtime detector's estimates can
@@ -289,6 +309,30 @@ impl<'a> Pipeline<'a> {
         if let Some(t) = &self.tracer {
             self.tracer = Some(Tracer::new(t.filter().scoped(scope)));
         }
+        if let Some(p) = &self.pipeview_path {
+            self.pipeview_path = Some(cfir_obs::filter::scope_path(p, scope));
+        }
+    }
+
+    /// Record a per-instruction lifecycle (stage-entry cycles + causal
+    /// wait-edges) for every dynamic instruction from now on, keeping
+    /// up to `cap` retired records (0 = unbounded). Enable before the
+    /// first cycle for the wait-sum reconciliation invariant to hold.
+    pub fn enable_lifecycle(&mut self, cap: usize) {
+        self.lifecycle_since = self.cycle;
+        self.lifecycle = Some(Box::new(LifecycleLog::new(cap)));
+    }
+
+    /// [`Pipeline::enable_lifecycle`] plus a Konata pipeview document
+    /// written to `path` when the run finishes.
+    pub fn enable_pipeview(&mut self, path: &str, cap: usize) {
+        self.pipeview_path = Some(path.to_string());
+        self.enable_lifecycle(cap);
+    }
+
+    /// The lifecycle recorder, when enabled.
+    pub fn lifecycle(&self) -> Option<&LifecycleLog> {
+        self.lifecycle.as_deref()
     }
 
     /// Keep the last `n` committed instructions for inspection
@@ -485,6 +529,23 @@ impl<'a> Pipeline<'a> {
         {
             panic!("stall attribution broken: {e}");
         }
+        if let Some(log) = &self.lifecycle {
+            self.stats.lifecycle_records = log.len() as u64 + log.dropped();
+            self.stats.lifecycle_dropped = log.dropped();
+            // Per-instruction wait sums must reconcile exactly with the
+            // aggregate stall attribution — same invariant, finer grain
+            // (only exact when the recorder saw the whole run).
+            if self.lifecycle_since == 0 {
+                if let Err(e) = log.reconcile(&self.stats.stall) {
+                    panic!("lifecycle attribution broken: {e}");
+                }
+            }
+            if let Some(path) = &self.pipeview_path {
+                if let Err(e) = std::fs::write(path, log.render_konata()) {
+                    eprintln!("cfir-sim: could not write pipeview {path}: {e}");
+                }
+            }
+        }
         if let Some(t) = &self.tracer {
             t.flush();
         }
@@ -543,13 +604,19 @@ impl<'a> Pipeline<'a> {
                     _ => (false, pc + 1),
                 }
             };
+            let ready_at = self.cycle + self.cfg.decode_delay as u64;
+            let lid = match &mut self.lifecycle {
+                Some(log) => log.begin_fetch(pc as u64, inst.to_string(), self.cycle, ready_at),
+                None => 0,
+            };
             self.decode_q.push_back(Fetched {
                 pc,
                 inst,
                 pred_taken,
                 pred_target,
                 ghist,
-                ready_at: self.cycle + self.cfg.decode_delay as u64,
+                ready_at,
+                lid,
             });
             self.stats.fetched += 1;
             if matches!(inst, Inst::Halt) {
@@ -598,10 +665,14 @@ impl<'a> Pipeline<'a> {
             let seq = self.next_seq;
             self.next_seq += 1;
             let mut e = RobEntry::new(seq, f.pc, f.inst);
+            e.lid = f.lid;
             e.pred_taken = f.pred_taken;
             e.pred_target = f.pred_target;
             e.ghist = f.ghist;
             e.dispatched_at = self.cycle;
+            if let Some(log) = &mut self.lifecycle {
+                log.note_dispatch(f.lid, seq, self.cycle);
+            }
 
             // Mechanism decode hooks (validation may deliver a reuse).
             let reuse = self.mech_decode(&mut e);
@@ -699,6 +770,9 @@ impl<'a> Pipeline<'a> {
         if let Some(r) = reuse {
             e.value = r.value;
             e.reuse = Some(r);
+            if let Some(log) = &mut self.lifecycle {
+                log.set_reused(e.lid, true);
+            }
             if r.pending {
                 // The replica is still executing; the validating
                 // instruction waits for the value (polled in writeback;
@@ -729,6 +803,11 @@ impl<'a> Pipeline<'a> {
             }
             _ => {}
         }
+        if e.state == RobState::Done {
+            if let Some(log) = &mut self.lifecycle {
+                log.note_complete(e.lid, self.cycle);
+            }
+        }
     }
 
     /// Hand a (now available) replica value to a validating
@@ -758,6 +837,9 @@ impl<'a> Pipeline<'a> {
                 self.rf.write(p, value);
             }
             e.state = RobState::Done;
+            if let Some(log) = &mut self.lifecycle {
+                log.note_complete(e.lid, self.cycle);
+            }
         }
     }
 }

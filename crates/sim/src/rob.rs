@@ -67,6 +67,9 @@ pub struct Checkpoint {
 /// One reorder-buffer entry.
 #[derive(Debug, Clone)]
 pub struct RobEntry {
+    /// Lifecycle id assigned at fetch (0 when lifecycle tracing is
+    /// off or the entry predates enabling it).
+    pub lid: u64,
     /// Dynamic sequence number (monotonic over the whole run).
     pub seq: u64,
     /// Static PC.
@@ -120,6 +123,7 @@ impl RobEntry {
     /// Fresh entry at dispatch.
     pub fn new(seq: u64, pc: u32, inst: Inst) -> Self {
         RobEntry {
+            lid: 0,
             seq,
             pc,
             inst,

@@ -25,7 +25,11 @@ use cfir_obs::{Hist, JsonWriter};
 ///   per-branch `rcp_checks`/`rcp_agree` counters and the optional
 ///   `static_rcp`/`hammock_class` keys (omitted when unknown). Every
 ///   v2 key is unchanged, so v2 consumers can read v3 documents.
-pub const SCHEMA_VERSION: u32 = 3;
+/// * **4** — additive: the `lifecycle` object (`records`/`dropped`
+///   counters from the per-instruction recorder; both 0 unless
+///   `--pipeview` was on). Every v3 key is unchanged, so v3 consumers
+///   can read v4 documents.
+pub const SCHEMA_VERSION: u32 = 4;
 
 fn write_hist(w: &mut JsonWriter, key: &str, h: &Hist) {
     w.key(key).begin_obj();
@@ -80,6 +84,13 @@ pub fn run_json(name: &str, label: &str, stats: &SimStats) -> String {
         .field_f64("wrong_path_fraction", stats.wrong_path_fraction())
         .field_f64("avg_regs_in_use", stats.avg_regs_in_use())
         .field_u64("reg_high_water", stats.reg_high_water);
+
+    // Lifecycle recorder bookkeeping (schema v4; zeros when the
+    // per-instruction recorder was off).
+    w.key("lifecycle").begin_obj();
+    w.field_u64("records", stats.lifecycle_records)
+        .field_u64("dropped", stats.lifecycle_dropped);
+    w.end_obj();
 
     w.key("valfail_reasons").begin_obj();
     for (k, label) in crate::vec_engine::VALFAIL_REASONS.iter().enumerate() {
@@ -240,10 +251,12 @@ mod tests {
         stats.branch_prof.note_rcp_check(0x40, true);
         stats.branch_prof.note_rcp_check(0x40, false);
         stats.oracle_mbs_checked = 7;
+        stats.lifecycle_records = 42;
+        stats.lifecycle_dropped = 2;
 
         let text = run_json("bzip2 \"quoted\"", "ci", &stats);
         let v = json::parse(&text).expect("snapshot parses");
-        assert_eq!(v.get("schema_version").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("schema_version").unwrap().as_u64(), Some(4));
         assert_eq!(v.get("name").unwrap().as_str(), Some("bzip2 \"quoted\""));
         assert_eq!(v.get("mode").unwrap().as_str(), Some("ci"));
         assert_eq!(v.get("cycles").unwrap().as_u64(), Some(1000));
@@ -286,6 +299,10 @@ mod tests {
         assert!((oracle.get("rcp_agreement").unwrap().as_f64().unwrap() - 0.5).abs() < 1e-12);
         assert_eq!(oracle.get("mbs_checked").unwrap().as_u64(), Some(7));
         assert_eq!(oracle.get("mbs_nonbranch").unwrap().as_u64(), Some(0));
+        // Schema v4: lifecycle recorder bookkeeping.
+        let lc = v.get("lifecycle").unwrap();
+        assert_eq!(lc.get("records").unwrap().as_u64(), Some(42));
+        assert_eq!(lc.get("dropped").unwrap().as_u64(), Some(2));
     }
 
     #[test]

@@ -136,6 +136,11 @@ pub struct SimStats {
     /// Cycles from a pipeline flush (branch recovery or repair) to the
     /// next committed instruction.
     pub h_flush_recovery: Hist,
+    /// Lifecycle records created by the per-instruction recorder
+    /// (0 unless `--pipeview` / lifecycle tracing was enabled).
+    pub lifecycle_records: u64,
+    /// Retired lifecycle records dropped by the ring cap.
+    pub lifecycle_dropped: u64,
     /// Per-cycle commit-slot attribution; buckets sum to
     /// `cycles × commit_width` (checked in `finalize_stats`).
     pub stall: StallBreakdown,

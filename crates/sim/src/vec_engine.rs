@@ -8,7 +8,7 @@ use crate::pipeline::Pipeline;
 use crate::rob::{ReuseInfo, RobEntry, RobState};
 use cfir_core::srsmt::{AllocOutcome, SeqId, SrsmtEntry, StorageId, VecKind};
 use cfir_isa::{Inst, Program};
-use cfir_obs::{trace_event, EventKind, Subsystem};
+use cfir_obs::{trace_event, EventKind, Subsystem, WaitEdgeKind};
 use std::collections::HashMap;
 
 /// Human-readable labels for the `valfail_reasons` buckets (§2.3.4
@@ -265,11 +265,11 @@ impl Pipeline<'_> {
                                         };
                                         self.free_storage(m, &freed);
                                         let gen = m.srsmt.get(idx).unwrap().gen;
-                                        self.replicas.retain(|r| {
-                                            !(r.pc == bpc
+                                        self.reap_replicas(|r| {
+                                            r.pc == bpc
                                                 && r.gen == gen
                                                 && r.idx >= from
-                                                && r.idx < k)
+                                                && r.idx < k
                                         });
                                         self.teardown_consumers_of(m, bpc);
                                         if let Some(ent) = m.srsmt.get_mut(idx) {
@@ -619,8 +619,27 @@ impl Pipeline<'_> {
             }
         );
         self.free_storage(m, &storage);
-        self.replicas
-            .retain(|r| !(r.srsmt_idx == idx && r.pc == ent.pc && r.gen == ent.gen));
+        self.reap_replicas(|r| r.srsmt_idx == idx && r.pc == ent.pc && r.gen == ent.gen);
+    }
+
+    /// Drop every replica matching `pred`, closing its lifecycle record
+    /// (if tracing is on) as squashed-undelivered.
+    pub(crate) fn reap_replicas(&mut self, pred: impl Fn(&Replica) -> bool) {
+        let mut killed: Vec<u64> = Vec::new();
+        self.replicas.retain(|r| {
+            if pred(r) {
+                killed.push(r.lid);
+                false
+            } else {
+                true
+            }
+        });
+        let cyc = self.cycle;
+        if let Some(log) = &mut self.lifecycle {
+            for lid in killed {
+                log.finish_replica(lid, cyc, false);
+            }
+        }
     }
 
     /// Whether the PC has mis-speculated at commit too often to be
@@ -668,8 +687,7 @@ impl Pipeline<'_> {
                 if let Some(old) = evicted {
                     let s = old.unconsumed_storage();
                     self.free_storage(m, &s);
-                    self.replicas
-                        .retain(|r| !(r.pc == old.pc && r.gen == old.gen));
+                    self.reap_replicas(|r| r.pc == old.pc && r.gen == old.gen);
                 }
                 self.stats.vectorizations += 1;
                 trace_event!(
@@ -769,8 +787,7 @@ impl Pipeline<'_> {
                 if let Some(old) = evicted {
                     let s = old.unconsumed_storage();
                     self.free_storage(m, &s);
-                    self.replicas
-                        .retain(|r| !(r.pc == old.pc && r.gen == old.gen));
+                    self.reap_replicas(|r| r.pc == old.pc && r.gen == old.gen);
                 }
                 if wants_seed {
                     let gen = m.srsmt.get(idx).unwrap().gen;
@@ -882,7 +899,13 @@ impl Pipeline<'_> {
                 RepKind::Op { inst, srcs }
             }
         };
+        // SRSMT stores byte PCs; the lifecycle view uses word PCs.
+        let lid = match &mut self.lifecycle {
+            Some(log) => log.begin_replica(pc / 4, inst.to_string(), self.cycle),
+            None => 0,
+        };
         self.replicas.push(Replica {
+            lid,
             pc,
             srsmt_idx: idx,
             gen,
@@ -1053,6 +1076,18 @@ impl Pipeline<'_> {
             self.stats.replicas_executed += 1;
             let event = m.srsmt.get(rep.srsmt_idx).and_then(|e| e.event);
             self.stats.branch_prof.note_replica_executed(event);
+            // Lifecycle: the replica issued this cycle; a load that ran
+            // longer than an L1 hit also gets a cache-miss wait-edge.
+            let lat = done_at.saturating_sub(self.cycle) as u32;
+            let miss = addr.is_some() && lat > self.cfg.hierarchy.l1_hit;
+            let level = if miss { self.miss_level(lat) } else { "" };
+            let (lid, cyc) = (rep.lid, self.cycle);
+            if let Some(log) = &mut self.lifecycle {
+                log.note_issue(lid, cyc);
+                if miss {
+                    log.edge(lid, WaitEdgeKind::CacheMiss, None, level, cyc);
+                }
+            }
         }
     }
 
@@ -1091,6 +1126,9 @@ impl Pipeline<'_> {
             if !alive {
                 // Entry gone: drop the record (storage already freed).
                 self.replicas.swap_remove(i);
+                if let Some(log) = &mut self.lifecycle {
+                    log.finish_replica(rep.lid, cycle, false);
+                }
                 continue;
             }
             if done {
@@ -1099,6 +1137,9 @@ impl Pipeline<'_> {
                     // Slot recycled/skipped while executing.
                     ent.issue = ent.issue.saturating_sub(1);
                     self.replicas.swap_remove(i);
+                    if let Some(log) = &mut self.lifecycle {
+                        log.finish_replica(rep.lid, cycle, false);
+                    }
                     continue;
                 }
                 ent.complete_replica(rep.idx, rep.value, rep.addr);
@@ -1111,6 +1152,9 @@ impl Pipeline<'_> {
                     self.rf.write(storage, rep.value);
                 }
                 self.replicas.swap_remove(i);
+                if let Some(log) = &mut self.lifecycle {
+                    log.finish_replica(rep.lid, cycle, true);
+                }
                 continue;
             }
             i += 1;
@@ -1181,8 +1225,7 @@ impl Pipeline<'_> {
         for ent in released {
             let storage = ent.unconsumed_storage();
             self.free_storage(&mut m, &storage);
-            self.replicas
-                .retain(|r| !(r.pc == ent.pc && r.gen == ent.gen));
+            self.reap_replicas(|r| r.pc == ent.pc && r.gen == ent.gen);
         }
         self.mech = Some(m);
     }

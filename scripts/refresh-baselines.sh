@@ -21,9 +21,9 @@ mkdir -p results/baselines
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 ./target/release/cfir-suite --profile smoke --jobs 2 --emit-json \
-  --out-dir "$tmp" --quiet
+  --bench-json BENCH_6.json --out-dir "$tmp" --quiet
 
-# Schema v2 snapshot bundle: the perf gate.
+# Snapshot bundle (current schema): the perf gate.
 cp "$tmp/smoke.json" results/baselines/smoke.json
 # Machine-configuration table (a drift gate, not a perf gate).
 cp "$tmp/table1.json" results/baselines/table1.json

@@ -11,12 +11,21 @@
 //!
 //! # Same, phrased as a regression gate (CI uses this):
 //! cfir-report check results/baselines/smoke.json results/smoke.json --tolerance 2%
+//!
+//! # Render a Konata pipeview trace (from `cfir-run --pipeview t.kanata`)
+//! # as an ASCII timeline, zoomed on the first misprediction flush:
+//! cfir-report timeline t.kanata --around-mispredict 1
 //! ```
 //!
 //! `--tolerance` accepts `2%` or `0.02` (default `2%`); it is the
 //! relative move a gating metric may make in the bad direction before
 //! the check fails. Exit codes: 0 ok, 1 regression, 2 usage/IO error.
+//!
+//! `timeline` filters: `--pc N` (only that static instruction),
+//! `--cycle-range LO..HI`, `--around-mispredict N` (window on the Nth
+//! squash cluster, 1-based), `--width N` (columns, default 96).
 
+use cfir::obs::{parse_konata, render_timeline, TimelineOpts};
 use cfir::report;
 use std::process::exit;
 
@@ -24,9 +33,70 @@ fn usage() -> ! {
     eprintln!(
         "usage: cfir-report <snapshot.json>\n\
          \x20      cfir-report diff  <old.json> <new.json> [--tolerance P%]\n\
-         \x20      cfir-report check <baseline.json> <run.json> [--tolerance P%]"
+         \x20      cfir-report check <baseline.json> <run.json> [--tolerance P%]\n\
+         \x20      cfir-report timeline <trace.kanata> [--pc N] [--cycle-range LO..HI]\n\
+         \x20                  [--around-mispredict N] [--width N]"
     );
     exit(2)
+}
+
+fn parse_num(s: &str) -> Option<u64> {
+    if let Some(h) = s.strip_prefix("0x") {
+        u64::from_str_radix(h, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn timeline(args: &[&str]) -> ! {
+    let mut path: Option<&str> = None;
+    let mut opts = TimelineOpts::default();
+    let mut it = args.iter().copied();
+    while let Some(a) = it.next() {
+        match a {
+            "--pc" => opts.pc = Some(it.next().and_then(parse_num).unwrap_or_else(|| usage())),
+            "--cycle-range" => {
+                let r = it.next().unwrap_or_else(|| usage());
+                let (lo, hi) = r.split_once("..").unwrap_or_else(|| usage());
+                opts.cycle_range = Some((
+                    parse_num(lo).unwrap_or_else(|| usage()),
+                    parse_num(hi).unwrap_or_else(|| usage()),
+                ));
+            }
+            "--around-mispredict" => {
+                opts.around_mispredict =
+                    Some(it.next().and_then(parse_num).unwrap_or_else(|| usage()) as usize)
+            }
+            "--width" => {
+                opts.max_cols = it
+                    .next()
+                    .and_then(parse_num)
+                    .filter(|&n| n >= 24)
+                    .unwrap_or_else(|| usage()) as usize
+            }
+            _ if !a.starts_with('-') && path.is_none() => path = Some(a),
+            _ => usage(),
+        }
+    }
+    let path = path.unwrap_or_else(|| usage());
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cfir-report: cannot read {path}: {e}");
+        exit(2)
+    });
+    let trace = parse_konata(&text).unwrap_or_else(|e| {
+        eprintln!("cfir-report: {path}: {e}");
+        exit(2)
+    });
+    match render_timeline(&trace, &opts) {
+        Ok(out) => {
+            print!("{out}");
+            exit(0)
+        }
+        Err(e) => {
+            eprintln!("cfir-report: {e}");
+            exit(2)
+        }
+    }
 }
 
 fn load(path: &str) -> cfir::obs::json::JsonValue {
@@ -42,6 +112,10 @@ fn load(path: &str) -> cfir::obs::json::JsonValue {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(|s| s.as_str()) == Some("timeline") {
+        let rest: Vec<&str> = args[1..].iter().map(|s| s.as_str()).collect();
+        timeline(&rest);
+    }
     let mut files: Vec<&str> = Vec::new();
     let mut sub: Option<&str> = None;
     let mut tolerance = 0.02;

@@ -17,6 +17,12 @@
 //! * `--trace N` — print the last N committed instructions;
 //! * `--pipeview N` — print per-cycle pipeline occupancy for the first
 //!   N cycles;
+//! * `--pipeview <path>` — record every dynamic instruction's pipeline
+//!   lifecycle (stages, wait-edges, replica/reuse/wrong-path fate) and
+//!   write a Konata-compatible trace to `path` at the end of the run
+//!   (render it with `cfir-report timeline <path>`);
+//! * `--pipeview-cap N` — retain at most N retired lifecycle records
+//!   (ring buffer; default 1M, 0 = unbounded);
 //! * `--emit-json [path.json]` — emit the versioned run-statistics
 //!   snapshot as a JSON document (with interval time series) instead of
 //!   the human-readable summary; when the next argument ends in
@@ -37,6 +43,8 @@ struct Args {
     replicas: u8,
     trace: usize,
     pipeview: u64,
+    pipeview_path: Option<String>,
+    pipeview_cap: usize,
     emit_json: bool,
     emit_json_path: Option<String>,
     data: Vec<(u64, u64)>,
@@ -46,11 +54,15 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: cfir-run <prog.asm> [--mode scal|wb|ci-iw|ci|vect] [--emu] [--insts N]\n\
-         \x20             [--regs N|inf] [--ports N] [--replicas N] [--trace N] [--pipeview N]\n\
+         \x20             [--regs N|inf] [--ports N] [--replicas N] [--trace N]\n\
+         \x20             [--pipeview N|path] [--pipeview-cap N]\n\
          \x20             [--emit-json [path.json]] [--data ADDR=VAL,...] [--dump LO..HI]\n\
          --emit-json emits the versioned statistics snapshot (JSON) instead of the\n\
          text summary; give a path ending in .json to write it to a file\n\
-         (e.g. results/run.json) rather than stdout"
+         (e.g. results/run.json) rather than stdout\n\
+         --pipeview takes either a cycle count (print occupancy for the first N\n\
+         cycles) or a file path (record per-instruction lifecycles and write a\n\
+         Konata trace there; view with `cfir-report timeline <path>`)"
     );
     exit(2)
 }
@@ -66,6 +78,8 @@ fn parse_args() -> Args {
         replicas: 4,
         trace: 0,
         pipeview: 0,
+        pipeview_path: None,
+        pipeview_cap: cfir::obs::lifecycle::DEFAULT_PIPEVIEW_CAP,
         emit_json: false,
         emit_json_path: None,
         data: Vec::new(),
@@ -114,7 +128,16 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| usage())
             }
             "--pipeview" => {
-                a.pipeview = it
+                // A number keeps the legacy occupancy view; anything
+                // else is a Konata trace output path.
+                let v = it.next().unwrap_or_else(|| usage());
+                match v.parse() {
+                    Ok(n) => a.pipeview = n,
+                    Err(_) => a.pipeview_path = Some(v),
+                }
+            }
+            "--pipeview-cap" => {
+                a.pipeview_cap = it
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
@@ -205,6 +228,9 @@ fn main() {
     if a.trace > 0 {
         pipe.enable_commit_log(a.trace);
     }
+    if let Some(p) = &a.pipeview_path {
+        pipe.enable_pipeview(p, a.pipeview_cap);
+    }
     if a.pipeview > 0 {
         println!("cycle  fetch-pc  decq  rob(done)  lsq  regs  replicas  srsmt  committed");
         for _ in 0..a.pipeview {
@@ -228,6 +254,12 @@ fn main() {
     }
     let exit_reason = pipe.run();
     let s = &pipe.stats;
+    if let Some(p) = &a.pipeview_path {
+        eprintln!(
+            "[pipeview trace written to {p}: {} records, {} dropped]",
+            s.lifecycle_records, s.lifecycle_dropped
+        );
+    }
     if a.emit_json {
         let doc = run_json(&a.path, a.mode.label(), s);
         match &a.emit_json_path {

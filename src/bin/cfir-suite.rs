@@ -37,6 +37,8 @@ fn usage() -> ! {
          \x20 --cache-dir PATH  result cache (default target/cfir-suite-cache)\n\
          \x20 --out-dir PATH    artifact directory (default results/)\n\
          \x20 --emit-json       also write JSON snapshot bundles\n\
+         \x20 --bench-json [P]  write a wall-clock benchmark summary JSON\n\
+         \x20                   (default path BENCH_6.json)\n\
          \x20 --insts N         committed-instruction budget (= CFIR_INSTS)\n\
          \x20 --quiet           suppress per-experiment tables\n\
          \x20 --list            list experiments and profiles, run nothing\n\
@@ -95,8 +97,9 @@ fn main() {
     let mut names: Vec<String> = Vec::new();
     let mut all = false;
     let mut do_list = false;
+    let mut bench_json: Option<String> = None;
     let mut opts = SuiteOptions::default();
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(a) = args.next() {
         let mut value = || {
             args.next().unwrap_or_else(|| {
@@ -140,6 +143,14 @@ fn main() {
             "--cache-dir" => opts.cache_dir = Some(PathBuf::from(value())),
             "--out-dir" => opts.out_dir = PathBuf::from(value()),
             "--emit-json" => opts.emit_json = true,
+            "--bench-json" => {
+                // An optional output path follows iff it looks like one
+                // (so experiment names are never swallowed).
+                bench_json = Some(match args.peek() {
+                    Some(n) if n.ends_with(".json") => args.next().unwrap(),
+                    _ => "BENCH_6.json".to_string(),
+                });
+            }
             "--resume" => opts.resume = true,
             "--quiet" => opts.quiet = true,
             "--insts" => std::env::set_var("CFIR_INSTS", value()),
@@ -186,5 +197,20 @@ fn main() {
         }
     }
     println!("{}", report.summary_line());
+    if let Some(path) = &bench_json {
+        let doc = format!(
+            "{{\"suite_wall_s\": {:.3}, \"jobs\": {}, \"cache_hits\": {}}}\n",
+            report.wall.as_secs_f64(),
+            report.executed,
+            report.cached
+        );
+        match std::fs::write(path, doc) {
+            Ok(()) => println!("[bench summary written to {path}]"),
+            Err(e) => {
+                eprintln!("cfir-suite: could not write {path}: {e}");
+                std::process::exit(1)
+            }
+        }
+    }
     std::process::exit(if report.all_ok() { 0 } else { 1 })
 }
