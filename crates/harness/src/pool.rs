@@ -89,6 +89,10 @@ struct Shared {
     undecided: AtomicUsize,
     retries: u32,
     tx: mpsc::Sender<(usize, JobOutcome)>,
+    /// Jobs executing right now / the high-water mark of that count
+    /// (reported as [`PoolStats::peak_workers`]).
+    running: AtomicUsize,
+    peak: AtomicUsize,
 }
 
 impl Shared {
@@ -132,7 +136,11 @@ impl Shared {
             }
         };
         let spec = &self.specs[idx];
-        let error = match catch_unwind(AssertUnwindSafe(|| spec.execute())) {
+        let cur = self.running.fetch_add(1, Ordering::SeqCst) + 1;
+        self.peak.fetch_max(cur, Ordering::SeqCst);
+        let outcome = catch_unwind(AssertUnwindSafe(|| spec.execute()));
+        self.running.fetch_sub(1, Ordering::SeqCst);
+        let error = match outcome {
             Ok(Ok(result)) => {
                 self.decide(idx, JobOutcome::Done(Box::new(result)));
                 return;
@@ -175,6 +183,14 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Occupancy bookkeeping of one pool run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolStats {
+    /// Most jobs observed executing simultaneously (the pool's actual
+    /// high-water occupancy, ≤ the worker-thread count).
+    pub peak_workers: usize,
+}
+
 /// Run every spec to a terminal outcome, invoking `on_done(index,
 /// outcome)` on the **calling thread** as jobs finish (in completion
 /// order). Workers steal from each other; panics are isolated per
@@ -183,10 +199,10 @@ pub fn execute(
     specs: Vec<JobSpec>,
     opts: &PoolOptions,
     mut on_done: impl FnMut(usize, JobOutcome),
-) {
+) -> PoolStats {
     let n = specs.len();
     if n == 0 {
-        return;
+        return PoolStats::default();
     }
     let workers = opts.worker_count().min(n);
     let (tx, rx) = mpsc::channel();
@@ -197,6 +213,8 @@ pub fn execute(
         retries: opts.retries,
         specs,
         tx,
+        running: AtomicUsize::new(0),
+        peak: AtomicUsize::new(0),
     });
     for (i, q) in (0..n).zip((0..workers).cycle()) {
         shared.queues[q].lock().unwrap().push_back(i);
@@ -258,6 +276,9 @@ pub fn execute(
     }
     // else: abandon workers — one of them may be wedged inside a
     // timed-out simulation, and joining it would hang the suite.
+    PoolStats {
+        peak_workers: shared.peak.load(Ordering::SeqCst),
+    }
 }
 
 #[cfg(test)]
@@ -328,6 +349,24 @@ mod tests {
             JobOutcome::Failed { attempts, .. } => assert_eq!(*attempts, 3),
             o => panic!("expected Failed, got {o:?}"),
         }
+    }
+
+    #[test]
+    fn peak_occupancy_is_observed_and_bounded() {
+        let specs: Vec<_> = (0..6).map(|_| selftest(false, 30)).collect();
+        let stats = execute(
+            specs,
+            &PoolOptions {
+                jobs: 3,
+                ..Default::default()
+            },
+            |_, _| {},
+        );
+        assert!(
+            (1..=3).contains(&stats.peak_workers),
+            "peak {} outside 1..=3",
+            stats.peak_workers
+        );
     }
 
     #[test]

@@ -116,6 +116,14 @@ pub struct ExperimentStatus {
     pub error: Option<String>,
     /// Files written (relative to `out_dir`).
     pub artifacts: Vec<String>,
+    /// Suite time elapsed when this experiment's last point landed and
+    /// it aggregated (experiments stream, so these overlap; they do
+    /// not sum to the suite wall clock).
+    pub wall: Duration,
+    /// Of this experiment's unique points, how many were simulated.
+    pub executed: usize,
+    /// Of this experiment's unique points, how many came from cache.
+    pub cached: usize,
 }
 
 impl ExperimentStatus {
@@ -144,6 +152,8 @@ pub struct SuiteReport {
     pub experiments: Vec<ExperimentStatus>,
     /// Wall-clock time of the whole run.
     pub wall: Duration,
+    /// High-water mark of jobs executing simultaneously on the pool.
+    pub peak_workers: usize,
 }
 
 impl SuiteReport {
@@ -152,17 +162,19 @@ impl SuiteReport {
         self.failed == 0 && self.timed_out == 0 && self.experiments.iter().all(|e| e.ok())
     }
 
-    /// The one-line machine-greppable summary.
+    /// The one-line machine-greppable summary. New fields are only
+    /// ever appended, so existing greps on the prefix keep matching.
     pub fn summary_line(&self) -> String {
         format!(
-            "suite: {} jobs ({} unique) — {} executed, {} cached, {} failed, {} timed out in {:.2}s",
+            "suite: {} jobs ({} unique) — {} executed, {} cached, {} failed, {} timed out in {:.2}s (peak {} workers)",
             self.total_jobs,
             self.unique_jobs,
             self.executed,
             self.cached,
             self.failed,
             self.timed_out,
-            self.wall.as_secs_f64()
+            self.wall.as_secs_f64(),
+            self.peak_workers
         )
     }
 }
@@ -202,11 +214,13 @@ pub fn run_suite(experiments: Vec<Experiment>, opts: &SuiteOptions) -> SuiteRepo
 
     // Cache pass: resolve what we can without simulating.
     let mut outcomes: Vec<Option<JobOutcome>> = vec![None; unique.len()];
+    let mut from_cache: Vec<bool> = vec![false; unique.len()];
     if opts.resume {
         for (i, spec) in unique.iter().enumerate() {
             match cache.get(spec) {
                 Ok(Some(result)) => {
                     outcomes[i] = Some(JobOutcome::Done(Box::new(result)));
+                    from_cache[i] = true;
                     report.cached += 1;
                 }
                 Ok(None) => {}
@@ -214,6 +228,7 @@ pub fn run_suite(experiments: Vec<Experiment>, opts: &SuiteOptions) -> SuiteRepo
             }
         }
     }
+    let from_cache = from_cache; // frozen: the pool only executes misses
 
     // Experiments whose every point is already resolved aggregate now;
     // the rest stream in as the pool completes their last point.
@@ -232,7 +247,19 @@ pub fn run_suite(experiments: Vec<Experiment>, opts: &SuiteOptions) -> SuiteRepo
                     outcomes: &[Option<JobOutcome>],
                     statuses: &mut Vec<Option<ExperimentStatus>>| {
         let exp = &experiments[e];
-        let (status, stdout_block) = finalize_experiment(exp, &exp_jobs[e], outcomes, &ctx, opts);
+        let (mut status, stdout_block) =
+            finalize_experiment(exp, &exp_jobs[e], outcomes, &ctx, opts);
+        status.wall = t0.elapsed();
+        let mut seen = std::collections::HashSet::new();
+        for &i in &exp_jobs[e] {
+            if seen.insert(i) {
+                if from_cache[i] {
+                    status.cached += 1;
+                } else {
+                    status.executed += 1;
+                }
+            }
+        }
         if !opts.quiet {
             match &status.error {
                 None => print!("{stdout_block}"),
@@ -266,7 +293,7 @@ pub fn run_suite(experiments: Vec<Experiment>, opts: &SuiteOptions) -> SuiteRepo
         retries: opts.retries,
         timeout: opts.timeout,
     };
-    pool::execute(specs, &pool_opts, |k, outcome| {
+    let pool_stats = pool::execute(specs, &pool_opts, |k, outcome| {
         let i = to_run[k];
         match &outcome {
             JobOutcome::Done(result) => {
@@ -305,6 +332,7 @@ pub fn run_suite(experiments: Vec<Experiment>, opts: &SuiteOptions) -> SuiteRepo
         .map(|s| s.expect("every experiment finalized"))
         .collect();
     report.wall = t0.elapsed();
+    report.peak_workers = pool_stats.peak_workers;
     report
 }
 
@@ -315,12 +343,17 @@ fn finalize_experiment(
     ctx: &AggCtx,
     opts: &SuiteOptions,
 ) -> (ExperimentStatus, String) {
+    // `wall`/`executed`/`cached` are filled in by the caller, which
+    // owns the suite clock and the cache bookkeeping.
     let fail = |error: String| {
         (
             ExperimentStatus {
                 name: exp.name,
                 error: Some(error),
                 artifacts: Vec::new(),
+                wall: Duration::ZERO,
+                executed: 0,
+                cached: 0,
             },
             String::new(),
         )
@@ -365,6 +398,9 @@ fn finalize_experiment(
             name: exp.name,
             error: None,
             artifacts: written,
+            wall: Duration::ZERO,
+            executed: 0,
+            cached: 0,
         },
         stdout_block,
     )

@@ -1,0 +1,815 @@
+//! Causal critical-path / bottleneck analysis over a [`LifecycleLog`].
+//!
+//! Three views, all derived from data the recorder already captures:
+//!
+//! 1. **Hierarchical CPI stack** ([`CpiStack`]): the twelve per-slot
+//!    [`StallCause`] buckets regrouped top-down into six classes (base,
+//!    reuse-recovered, frontend, bad-speculation, backend-memory,
+//!    backend-core). The regrouping is a *partition*, so the six groups
+//!    sum to exactly `cycles × commit_width` whenever the underlying
+//!    breakdown does — the PR-1 invariant survives the hierarchy.
+//!
+//! 2. **Critical path** ([`critical_path`]): a backward walk over the
+//!    per-instruction causal DAG (stage timestamps + wait-edges) from
+//!    the last retiring record to the start of recording. Every step
+//!    covers a half-open cycle range and attributes it to one
+//!    [`EdgeClass`]; the ranges tile `[start, end]`, so the per-class
+//!    attribution sums to the path span *exactly* — no cycle is counted
+//!    twice and none is lost.
+//!
+//! 3. **What-if projections** ([`project`]): a forward re-walk of the
+//!    same DAG computing each record's projected completion time with
+//!    selected edge classes zeroed (perfect branch prediction, perfect
+//!    CI reuse, infinite replica buffer). The projection replays only
+//!    *observed* latencies and zeroing only removes them, so two
+//!    properties hold by construction:
+//!
+//!    * **bounding** — every projection is ≤ the measured cycle count
+//!      (the un-zeroed replay reproduces timestamps ≤ the observed
+//!      ones, by induction over the DAG);
+//!    * **monotonicity** — a superset zero-set never projects more
+//!      cycles, so `perfect-everything ≥ perfect-BP ≥ measured` in
+//!      speedup terms.
+//!
+//! The projections are *speed limits* (optimistic limit-study bounds),
+//! not predictions: zeroing refetch gaps keeps the pollution-induced
+//! cache misses of the measured run, while a real oracle-BP machine
+//! re-times everything. `exp_bottleneck` validates the perfect-BP
+//! projection against an actual oracle-BP simulation run.
+
+use crate::lifecycle::{Fate, InstLane, InstRecord, LifecycleLog, WaitEdgeKind};
+use crate::stall::{StallBreakdown, StallCause};
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// Hierarchical CPI stack
+// ---------------------------------------------------------------------------
+
+/// The six top-down groups, in display order. A partition of the twelve
+/// [`StallCause`] buckets (with `reuse_recovered` carved out of
+/// `useful`), so the groups reconcile exactly with the per-slot
+/// attribution.
+pub const CPI_GROUPS: [&str; 6] = [
+    "base",
+    "reuse_recovered",
+    "frontend",
+    "bad_speculation",
+    "backend_memory",
+    "backend_core",
+];
+
+/// Commit-slot counts per top-down group.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpiStack {
+    /// Useful slots filled by normally-executed instructions.
+    pub base: u64,
+    /// Useful slots filled by instructions that reused a CI replica
+    /// value — work the mechanism recovered instead of re-executing.
+    pub reuse_recovered: u64,
+    /// Fetch-starved + in-order-dispatch-window slots.
+    pub frontend: u64,
+    /// Flush/repair slots (branch mispredictions, validation failures).
+    pub bad_speculation: u64,
+    /// D-cache-miss + LSQ-full slots.
+    pub backend_memory: u64,
+    /// Execution-core slots: FU/issue contention, data dependencies,
+    /// rename/ROB pressure, commit bandwidth, replica arbitration.
+    pub backend_core: u64,
+}
+
+impl CpiStack {
+    /// Regroup a per-slot breakdown. `committed_reuse` (≤ the `useful`
+    /// bucket) is carved out as the reuse-recovered segment.
+    pub fn from_breakdown(stall: &StallBreakdown, committed_reuse: u64) -> CpiStack {
+        let g = |c: StallCause| stall.get(c);
+        let useful = g(StallCause::Useful);
+        let reuse = committed_reuse.min(useful);
+        CpiStack {
+            base: useful - reuse,
+            reuse_recovered: reuse,
+            frontend: g(StallCause::FetchStarved) + g(StallCause::IqFull),
+            bad_speculation: g(StallCause::RepairFlush),
+            backend_memory: g(StallCause::DCacheMiss) + g(StallCause::LsqFull),
+            backend_core: g(StallCause::FuContention)
+                + g(StallCause::DataDependency)
+                + g(StallCause::RenameRegs)
+                + g(StallCause::RobFull)
+                + g(StallCause::CommitBandwidth)
+                + g(StallCause::ReplicaArbitration),
+        }
+    }
+
+    /// `(group key, slots)` in [`CPI_GROUPS`] order.
+    pub fn iter(&self) -> [(&'static str, u64); 6] {
+        [
+            ("base", self.base),
+            ("reuse_recovered", self.reuse_recovered),
+            ("frontend", self.frontend),
+            ("bad_speculation", self.bad_speculation),
+            ("backend_memory", self.backend_memory),
+            ("backend_core", self.backend_core),
+        ]
+    }
+
+    /// Total slots across the six groups.
+    pub fn total(&self) -> u64 {
+        self.iter().iter().map(|&(_, n)| n).sum()
+    }
+
+    /// The hierarchy must preserve the per-slot invariant: groups sum
+    /// to `cycles × width`.
+    pub fn check_sum(&self, cycles: u64, width: u64) -> Result<(), String> {
+        let want = cycles * width;
+        let got = self.total();
+        if got == want {
+            Ok(())
+        } else {
+            Err(format!(
+                "CPI-stack groups sum to {got}, expected cycles*width = {want}"
+            ))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Critical path
+// ---------------------------------------------------------------------------
+
+/// What a critical-path segment's cycles were spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum EdgeClass {
+    /// Waiting for an older in-flight producer of a source operand.
+    Producer = 0,
+    /// A load served by the L2.
+    CacheL2,
+    /// A load served by the L3.
+    CacheL3,
+    /// A load served by main memory.
+    CacheMem,
+    /// Port/bank contention on the D-cache.
+    Port,
+    /// Waiting for an older store's address/data.
+    StoreDisambiguation,
+    /// A validated reuse waiting for its replica value.
+    ReplicaValue,
+    /// Refetch after a squash: the gap between a flushed record's death
+    /// and the next correct-path fetch.
+    MispredictRefetch,
+    /// Fetch/decode/rename pipeline depth and fetch-chain gaps.
+    Frontend,
+    /// Execution latency on a functional unit (hit loads included).
+    Execute,
+    /// Completed but waiting for in-order commit.
+    Commit,
+    /// Dispatched and waiting with no identifiable causal edge
+    /// (issue-bandwidth / scheduler occupancy).
+    Schedule,
+    /// The walk could not continue (dropped records truncate the DAG).
+    Unresolved,
+}
+
+/// Number of edge classes.
+pub const NUM_CLASSES: usize = 13;
+
+/// All classes, in bucket order.
+pub const ALL_CLASSES: [EdgeClass; NUM_CLASSES] = [
+    EdgeClass::Producer,
+    EdgeClass::CacheL2,
+    EdgeClass::CacheL3,
+    EdgeClass::CacheMem,
+    EdgeClass::Port,
+    EdgeClass::StoreDisambiguation,
+    EdgeClass::ReplicaValue,
+    EdgeClass::MispredictRefetch,
+    EdgeClass::Frontend,
+    EdgeClass::Execute,
+    EdgeClass::Commit,
+    EdgeClass::Schedule,
+    EdgeClass::Unresolved,
+];
+
+impl EdgeClass {
+    /// Stable snake_case key (used in JSON snapshots).
+    pub fn key(self) -> &'static str {
+        match self {
+            EdgeClass::Producer => "producer",
+            EdgeClass::CacheL2 => "cache_l2",
+            EdgeClass::CacheL3 => "cache_l3",
+            EdgeClass::CacheMem => "cache_mem",
+            EdgeClass::Port => "port",
+            EdgeClass::StoreDisambiguation => "store_disambiguation",
+            EdgeClass::ReplicaValue => "replica_value",
+            EdgeClass::MispredictRefetch => "mispredict_refetch",
+            EdgeClass::Frontend => "frontend",
+            EdgeClass::Execute => "execute",
+            EdgeClass::Commit => "commit",
+            EdgeClass::Schedule => "schedule",
+            EdgeClass::Unresolved => "unresolved",
+        }
+    }
+
+    fn from_wait(kind: WaitEdgeKind, detail: &str) -> EdgeClass {
+        match kind {
+            WaitEdgeKind::Producer => EdgeClass::Producer,
+            WaitEdgeKind::CacheMiss => match detail {
+                "l2" => EdgeClass::CacheL2,
+                "l3" => EdgeClass::CacheL3,
+                _ => EdgeClass::CacheMem,
+            },
+            WaitEdgeKind::Port => EdgeClass::Port,
+            WaitEdgeKind::StoreDisambiguation => EdgeClass::StoreDisambiguation,
+            WaitEdgeKind::ReplicaValue => EdgeClass::ReplicaValue,
+        }
+    }
+}
+
+/// One (pc, class) aggregate along the critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathSeg {
+    /// Static word PC the cycles are anchored to (the waiting
+    /// instruction; for refetch segments, the squashed instruction).
+    pub pc: u64,
+    /// What the cycles were spent on.
+    pub class: EdgeClass,
+    /// Cycles attributed.
+    pub cycles: u64,
+}
+
+/// The critical path through one run's causal DAG.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CritPath {
+    /// Cycles covered: last retirement − start of recording. The
+    /// per-class attribution sums to exactly this.
+    pub span: u64,
+    /// Cycle recording started (reconciliation with the run's cycle
+    /// count is exact only when this is 0).
+    pub start_cycle: u64,
+    /// Cycles per [`EdgeClass`], `classes[class as usize]`.
+    pub classes: [u64; NUM_CLASSES],
+    /// Heaviest (pc, class) aggregates, descending, capped.
+    pub top: Vec<PathSeg>,
+    /// Per static branch: mispredict-refetch cycles on the critical
+    /// path, descending — the per-branch CI-reuse headroom signal.
+    pub branch_refetch: Vec<(u64, u64)>,
+    /// Records visited by the walk.
+    pub steps: usize,
+}
+
+/// How many (pc, class) aggregates [`CritPath::top`] retains.
+pub const TOP_SEGMENTS: usize = 16;
+
+/// End-of-life event time of a record: when its value (or death)
+/// became visible downstream.
+fn end_time(r: &InstRecord) -> Option<u64> {
+    r.retire
+        .or(r.complete)
+        .or(r.issue)
+        .or(r.dispatch)
+        .or(r.fetch)
+}
+
+/// Value-availability time of a record (for dependence edges).
+fn value_time(r: &InstRecord) -> Option<u64> {
+    r.complete
+        .or(r.retire)
+        .or(r.issue)
+        .or(r.dispatch)
+        .or(r.fetch)
+}
+
+struct Walk {
+    attributed: [u64; NUM_CLASSES],
+    segs: HashMap<(u64, EdgeClass), u64>,
+    refetch: HashMap<u64, u64>,
+}
+
+impl Walk {
+    fn add(&mut self, pc: u64, class: EdgeClass, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        self.attributed[class as usize] += cycles;
+        *self.segs.entry((pc, class)).or_insert(0) += cycles;
+        if class == EdgeClass::MispredictRefetch {
+            *self.refetch.entry(pc).or_insert(0) += cycles;
+        }
+    }
+}
+
+/// Compute the critical path of a recorded run. Returns a default
+/// (zero-span) path when the log holds no records.
+pub fn critical_path(log: &LifecycleLog) -> CritPath {
+    let mut recs: Vec<&InstRecord> = log.records().collect();
+    recs.sort_by_key(|r| r.lid);
+    let by_lid: HashMap<u64, usize> = recs.iter().enumerate().map(|(i, r)| (r.lid, i)).collect();
+    // Previous fetched record, per record, for the in-order fetch chain.
+    let mut prev_fetch: Vec<Option<usize>> = vec![None; recs.len()];
+    let mut last_fetched: Option<usize> = None;
+    for (i, r) in recs.iter().enumerate() {
+        prev_fetch[i] = last_fetched;
+        if r.fetch.is_some() {
+            last_fetched = Some(i);
+        }
+    }
+    // Squashed records by retirement cycle, for refetch attribution.
+    let mut squashes: Vec<(u64, usize)> = recs
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.fate == Fate::Squashed && r.lane == InstLane::Normal)
+        .filter_map(|(i, r)| r.retire.map(|c| (c, i)))
+        .collect();
+    squashes.sort_unstable();
+
+    let start = log.start_cycle();
+    // Start from the committed record that retired last (any record as
+    // a fallback, so a squash-only window still walks).
+    let end_rec = recs
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.fate == Fate::Committed)
+        .filter_map(|(i, r)| end_time(r).map(|t| (t, r.lid, i)))
+        .max()
+        .or_else(|| {
+            recs.iter()
+                .enumerate()
+                .filter_map(|(i, r)| end_time(r).map(|t| (t, r.lid, i)))
+                .max()
+        });
+    let Some((t_end, _, mut cur)) = end_rec else {
+        return CritPath::default();
+    };
+
+    let mut w = Walk {
+        attributed: [0; NUM_CLASSES],
+        segs: HashMap::new(),
+        refetch: HashMap::new(),
+    };
+    let mut t = t_end;
+    let mut steps = 0usize;
+    let limit = recs.len().saturating_mul(4) + 64;
+    while t > start && steps < limit {
+        steps += 1;
+        let r = recs[cur];
+        // A squashed record's entire residency is speculation-window
+        // time: every span it contributes is mispredict-caused (perfect
+        // branch prediction would remove it).
+        let cls = |c: EdgeClass| {
+            if r.fate == Fate::Squashed && r.lane == InstLane::Normal {
+                EdgeClass::MispredictRefetch
+            } else {
+                c
+            }
+        };
+        // Completed-to-retired: waiting for in-order commit.
+        if let Some(c) = r.complete.filter(|&c| c < t) {
+            w.add(r.pc, cls(EdgeClass::Commit), t - c);
+            t = c;
+        }
+        // Issue-to-complete: execution latency, with the record's own
+        // memory/port wait-edges carved out of the span first.
+        if let Some(i) = r.issue.filter(|&i| i < t) {
+            let mut span = t - i;
+            for e in &r.edges {
+                if span == 0 {
+                    break;
+                }
+                if matches!(e.kind, WaitEdgeKind::CacheMiss | WaitEdgeKind::Port) {
+                    let take = e.cycles.min(span);
+                    w.add(r.pc, cls(EdgeClass::from_wait(e.kind, e.detail)), take);
+                    span -= take;
+                }
+            }
+            w.add(r.pc, cls(EdgeClass::Execute), span);
+            t = i;
+        }
+        // Dispatch-to-issue: follow the binding (latest-arriving)
+        // causal edge to an older record when one explains the wait.
+        let d = r.dispatch.or(r.decode).or(r.fetch).unwrap_or(start);
+        let binding = r
+            .edges
+            .iter()
+            .filter_map(|e| {
+                let j = *by_lid.get(&e.target?)?;
+                let te = value_time(recs[j])?;
+                (te < t && te > d).then_some((te, recs[j].lid, j, e.kind, e.detail))
+            })
+            .max_by_key(|&(te, lid, ..)| (te, lid));
+        if let Some((te, _, j, kind, detail)) = binding {
+            w.add(r.pc, cls(EdgeClass::from_wait(kind, detail)), t - te);
+            t = te;
+            cur = j;
+            continue;
+        }
+        if d < t {
+            w.add(r.pc, cls(EdgeClass::Schedule), t - d);
+            t = d;
+        }
+        // Frontend depth down to the fetch cycle.
+        if let Some(f) = r.fetch.filter(|&f| f < t) {
+            w.add(r.pc, cls(EdgeClass::Frontend), t - f);
+            t = f;
+        }
+        // Fetch chain: either a refetch after a squash (attribute the
+        // repair gap to the squashed instruction) or the in-order
+        // fetch stream.
+        let Some(p) = prev_fetch[cur] else {
+            break;
+        };
+        let pf = recs[p].fetch.unwrap_or(start);
+        // Latest squash retirement in (pf, t], by binary search
+        // (`squashes` is sorted by retire cycle).
+        let flush = squashes
+            .partition_point(|&(c, _)| c <= t)
+            .checked_sub(1)
+            .map(|i| squashes[i])
+            .filter(|&(c, _)| c > pf);
+        if let Some((c, si)) = flush {
+            w.add(recs[si].pc, EdgeClass::MispredictRefetch, t - c);
+            t = c;
+            cur = si;
+            continue;
+        }
+        if pf < t {
+            w.add(r.pc, cls(EdgeClass::Frontend), t - pf);
+            t = pf;
+        }
+        cur = p;
+    }
+    if t > start {
+        // Chain truncated (dropped records or the walk limit).
+        w.add(0, EdgeClass::Unresolved, t - start);
+    }
+    let mut top: Vec<PathSeg> = w
+        .segs
+        .into_iter()
+        .map(|((pc, class), cycles)| PathSeg { pc, class, cycles })
+        .collect();
+    top.sort_by_key(|s| (std::cmp::Reverse(s.cycles), s.pc, s.class as usize));
+    top.truncate(TOP_SEGMENTS);
+    let mut branch_refetch: Vec<(u64, u64)> = w.refetch.into_iter().collect();
+    branch_refetch.sort_by_key(|&(pc, c)| (std::cmp::Reverse(c), pc));
+    branch_refetch.truncate(TOP_SEGMENTS);
+    CritPath {
+        span: t_end - start,
+        start_cycle: start,
+        classes: w.attributed,
+        top,
+        branch_refetch,
+        steps,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// What-if projections
+// ---------------------------------------------------------------------------
+
+/// Which edge classes a what-if projection zeroes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ZeroSet {
+    /// Perfect branch prediction: squashed work vanishes and
+    /// flush-crossing fetch gaps (refetch penalties) collapse to 0.
+    pub branch_repair: bool,
+    /// Replica values are always ready: `ReplicaValue` edges cost 0
+    /// (infinite replica buffer — no arbitration/creation backlog).
+    pub replica_value: bool,
+    /// Perfect CI reuse: reused instructions also skip their execution
+    /// latency (the replica did the work).
+    pub reused_exec: bool,
+}
+
+/// The standard speed-limit scenarios, in reporting order. Each later
+/// compound scenario zeroes a superset of the earlier ones it contains,
+/// so speedups are monotone within the chains documented on
+/// [`project`].
+pub const SCENARIOS: [(&str, ZeroSet); 4] = [
+    (
+        "perfect_bp",
+        ZeroSet {
+            branch_repair: true,
+            replica_value: false,
+            reused_exec: false,
+        },
+    ),
+    (
+        "infinite_replica_buffer",
+        ZeroSet {
+            branch_repair: false,
+            replica_value: true,
+            reused_exec: false,
+        },
+    ),
+    (
+        "perfect_ci_reuse",
+        ZeroSet {
+            branch_repair: false,
+            replica_value: true,
+            reused_exec: true,
+        },
+    ),
+    (
+        "perfect_everything",
+        ZeroSet {
+            branch_repair: true,
+            replica_value: true,
+            reused_exec: true,
+        },
+    ),
+];
+
+/// One what-if row of the speed-limit table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WhatIfRow {
+    /// Scenario key (see [`SCENARIOS`]).
+    pub scenario: &'static str,
+    /// Projected cycles for the recorded span under the zero-set.
+    pub projected_cycles: u64,
+}
+
+/// Forward re-walk of the causal DAG with `zero`ed edge classes.
+///
+/// Replays each record's *observed* latencies (fetch-stream gaps,
+/// front-end depth, dependence arrivals, execution time) in lifecycle
+/// order and returns the projected cycle count for the recorded span:
+/// the latest projected completion among committed records, floored by
+/// the commit-bandwidth bound `ceil(committed / width)`.
+///
+/// Two structural machine limits are modelled alongside the observed
+/// latencies, because without them a memory-bound run projects absurd
+/// overlap: the instruction `window` (a record cannot dispatch until
+/// the record `window` dispatch-slots ahead of it has completed — the
+/// real machine frees the slot even later, at in-order retire) and the
+/// commit-width floor. `window == 0` disables the window model.
+///
+/// Guarantees (see module docs for the argument): the projection never
+/// exceeds the measured span, and zeroing more classes never increases
+/// it. The first guarantee is enforced by construction: the re-walk is
+/// an approximation (fetch gaps and the window front can over-serialize
+/// by a few percent), but the measured run is itself an upper bound on
+/// any speed limit — removing constraints cannot slow the machine down
+/// — so the result is clamped to the recorded span.
+pub fn project(log: &LifecycleLog, zero: ZeroSet, width: u64, window: usize) -> u64 {
+    let mut recs: Vec<&InstRecord> = log.records().collect();
+    recs.sort_by_key(|r| r.lid);
+    let by_lid: HashMap<u64, usize> = recs.iter().enumerate().map(|(i, r)| (r.lid, i)).collect();
+    let start = log.start_cycle();
+    let mut squash_retires: Vec<u64> = recs
+        .iter()
+        .filter(|r| r.fate == Fate::Squashed && r.lane == InstLane::Normal)
+        .filter_map(|r| r.retire)
+        .collect();
+    squash_retires.sort_unstable();
+    let crossed_flush = |lo: u64, hi: u64| {
+        let i = squash_retires.partition_point(|&c| c <= lo);
+        squash_retires.get(i).is_some_and(|&c| c <= hi)
+    };
+
+    // Projected value-availability per record, in cycles after `start`.
+    let mut proj: Vec<u64> = vec![0; recs.len()];
+    let mut skipped: Vec<bool> = vec![false; recs.len()];
+    let mut last_fetch_obs: Option<u64> = None;
+    let mut last_fetch_proj: u64 = 0;
+    let mut committed = 0u64;
+    let mut depth = 0u64;
+    // The finite-window constraint: the machine retires in order, so a
+    // record cannot dispatch before the *in-order completion front* of
+    // the record `window` slots ahead of it. The deque holds that
+    // running front, one entry per dispatched normal-lane record.
+    let mut occupancy: std::collections::VecDeque<u64> =
+        std::collections::VecDeque::with_capacity(window);
+    let mut inorder_front = 0u64;
+    for (i, r) in recs.iter().enumerate() {
+        // Under perfect BP the wrong path is never fetched.
+        if zero.branch_repair && r.fate == Fate::Squashed && r.lane == InstLane::Normal {
+            skipped[i] = true;
+            continue;
+        }
+        let mut t = match r.fetch {
+            Some(f) => {
+                let (gap_lo, mut delta) = match last_fetch_obs {
+                    Some(pf) => (pf, f - pf),
+                    None => (start, f - start),
+                };
+                if zero.branch_repair && crossed_flush(gap_lo, f) {
+                    delta = 0; // the refetch penalty vanishes
+                }
+                last_fetch_proj += delta;
+                last_fetch_obs = Some(f);
+                // Front-end depth (decode/rename) at its observed cost.
+                let depth_fe = r.dispatch.or(r.decode).unwrap_or(f).saturating_sub(f);
+                last_fetch_proj + depth_fe
+            }
+            // Replicas are injected by the engine, not fetched; keep
+            // their observed creation time.
+            None => r
+                .dispatch
+                .or(end_time(r))
+                .unwrap_or(start)
+                .saturating_sub(start),
+        };
+        // Dependence arrivals (projected).
+        for e in &r.edges {
+            let Some(tgt) = e.target else { continue };
+            let Some(&j) = by_lid.get(&tgt) else {
+                continue;
+            };
+            if j >= i || skipped[j] {
+                continue;
+            }
+            let zeroed = matches!(e.kind, WaitEdgeKind::ReplicaValue) && zero.replica_value;
+            if !zeroed {
+                t = t.max(proj[j]);
+            }
+        }
+        // Finite window: this record cannot dispatch before the record
+        // `window` slots ahead of it has drained.
+        let occupies = window > 0 && r.lane == InstLane::Normal && r.dispatch.is_some();
+        if occupies && occupancy.len() == window {
+            let freed = occupancy.pop_front().unwrap_or(0);
+            t = t.max(freed);
+        }
+        // Execution latency at its observed cost.
+        let exec = match (r.issue, r.complete) {
+            (Some(i_), Some(c)) => c.saturating_sub(i_),
+            _ => 0,
+        };
+        let exec = if zero.reused_exec && r.reused {
+            0
+        } else {
+            exec
+        };
+        proj[i] = t + exec;
+        if occupies {
+            inorder_front = inorder_front.max(proj[i]);
+            occupancy.push_back(inorder_front);
+        }
+        if r.fate == Fate::Committed && r.lane == InstLane::Normal {
+            committed += 1;
+            depth = depth.max(proj[i]);
+        }
+    }
+    let projected = depth.max(committed.div_ceil(width.max(1)));
+    // Clamp to the recorded span (last committed retire): a speed
+    // limit can never exceed the run it was measured from.
+    let measured = recs
+        .iter()
+        .filter(|r| r.fate == Fate::Committed)
+        .filter_map(|r| r.retire.or_else(|| end_time(r)))
+        .max()
+        .unwrap_or(0)
+        .saturating_sub(start);
+    if measured > 0 {
+        projected.min(measured)
+    } else {
+        projected
+    }
+}
+
+/// All standard scenarios projected for one log.
+pub fn whatif_table(log: &LifecycleLog, width: u64, window: usize) -> Vec<WhatIfRow> {
+    SCENARIOS
+        .iter()
+        .map(|&(scenario, zero)| WhatIfRow {
+            scenario,
+            projected_cycles: project(log, zero, width, window),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// The combined report
+// ---------------------------------------------------------------------------
+
+/// Everything the bottleneck layer derives from one recorded run
+/// (stored on `SimStats`, serialized into the snapshot's `bottleneck`
+/// object).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BottleneckReport {
+    /// The critical path and its attribution.
+    pub crit: CritPath,
+    /// The speed-limit table.
+    pub whatif: Vec<WhatIfRow>,
+}
+
+/// Run the full analysis over a finished log. `window` is the machine's
+/// instruction-window size (the what-if re-walk models it; 0 = off).
+pub fn analyze(log: &LifecycleLog, width: u64, window: usize) -> BottleneckReport {
+    BottleneckReport {
+        crit: critical_path(log),
+        whatif: whatif_table(log, width, window),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifecycle::LifecycleLog;
+    use crate::stall::ALL_CAUSES;
+
+    #[test]
+    fn cpi_groups_partition_every_cause() {
+        // Charge each cause a distinct prime so any double-count or
+        // omission breaks the sum.
+        let mut b = StallBreakdown::new();
+        let primes = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
+        for (c, p) in ALL_CAUSES.into_iter().zip(primes) {
+            b.charge(c, p);
+        }
+        let stack = CpiStack::from_breakdown(&b, 1);
+        assert_eq!(stack.total(), b.total());
+        assert_eq!(stack.base + stack.reuse_recovered, 2);
+        assert_eq!(stack.reuse_recovered, 1);
+    }
+
+    #[test]
+    fn cpi_stack_check_sum_mirrors_breakdown() {
+        let mut b = StallBreakdown::new();
+        b.charge(StallCause::Useful, 10);
+        b.charge(StallCause::FetchStarved, 6);
+        let stack = CpiStack::from_breakdown(&b, 4);
+        assert!(stack.check_sum(2, 8).is_ok());
+        assert!(stack.check_sum(3, 8).is_err());
+    }
+
+    /// A three-instruction chain: load misses to memory, consumer
+    /// waits on it, branch squash forces a refetch gap before the
+    /// final instruction.
+    fn chain_log() -> LifecycleLog {
+        let mut log = LifecycleLog::new(0);
+        // lid 1: load, fetched at 0, issues at 3, completes at 103.
+        let l1 = log.begin_fetch(0x10, "ld".into(), 0, 2);
+        log.note_dispatch(l1, 1, 2);
+        log.note_issue(l1, 3);
+        log.edge(l1, WaitEdgeKind::CacheMiss, None, "mem", 4);
+        log.note_complete(l1, 103);
+        // lid 2: consumer, waits on the load's value.
+        let l2 = log.begin_fetch(0x18, "add".into(), 1, 3);
+        log.note_dispatch(l2, 2, 3);
+        log.edge(l2, WaitEdgeKind::Producer, Some(l1), "", 10);
+        log.note_issue(l2, 104);
+        log.note_complete(l2, 105);
+        // lid 3: mispredicted branch, squashed path dies at 110.
+        let l3 = log.begin_fetch(0x20, "beq".into(), 2, 4);
+        log.note_dispatch(l3, 3, 4);
+        log.note_issue(l3, 105);
+        log.note_complete(l3, 106);
+        let wrong = log.begin_fetch(0x28, "wrong".into(), 3, 5);
+        log.note_squash(wrong, 110);
+        // lid 5: refetched correct path at 112.
+        let l5 = log.begin_fetch(0x30, "sub".into(), 112, 114);
+        log.note_dispatch(l5, 4, 114);
+        log.note_issue(l5, 115);
+        log.note_complete(l5, 116);
+        log.note_commit(l1, 104);
+        log.note_commit(l2, 106);
+        log.note_commit(l3, 107);
+        log.note_commit(l5, 118);
+        log
+    }
+
+    #[test]
+    fn critical_path_tiles_the_span_exactly() {
+        let log = chain_log();
+        let cp = critical_path(&log);
+        assert_eq!(cp.span, 118, "last retire at 118, start at 0");
+        let total: u64 = cp.classes.iter().sum();
+        assert_eq!(total, cp.span, "attribution must tile the span");
+        assert!(cp.classes[EdgeClass::MispredictRefetch as usize] > 0);
+        assert!(!cp.top.is_empty());
+        // The refetch segment is anchored to the squashed pc.
+        assert!(cp.branch_refetch.iter().any(|&(pc, _)| pc == 0x28));
+    }
+
+    #[test]
+    fn projection_bounds_and_orders() {
+        let log = chain_log();
+        let width = 8;
+        let measured = 118;
+        let baseline = project(&log, ZeroSet::default(), width, 256);
+        assert!(baseline <= measured, "un-zeroed replay must bound");
+        let rows = whatif_table(&log, width, 256);
+        let get = |k: &str| {
+            rows.iter()
+                .find(|r| r.scenario == k)
+                .unwrap()
+                .projected_cycles
+        };
+        for r in &rows {
+            assert!(r.projected_cycles <= measured, "{}", r.scenario);
+            assert!(r.projected_cycles >= 1);
+        }
+        assert!(get("perfect_everything") <= get("perfect_bp"));
+        assert!(get("perfect_everything") <= get("perfect_ci_reuse"));
+        assert!(get("perfect_ci_reuse") <= get("infinite_replica_buffer"));
+        // Perfect BP erases the refetch gap, so it beats the baseline.
+        assert!(get("perfect_bp") < baseline);
+    }
+
+    #[test]
+    fn empty_log_yields_default_report() {
+        let log = LifecycleLog::new(0);
+        let rep = analyze(&log, 8, 256);
+        assert_eq!(rep.crit.span, 0);
+        assert!(rep.whatif.iter().all(|r| r.projected_cycles == 0));
+    }
+}

@@ -10,6 +10,7 @@
 //! | [`event`] | typed trace events (vectorize/validate/flush/…) |
 //! | [`filter`] | `CFIR_TRACE` filter, parsed **once** at startup |
 //! | [`lifecycle`] | per-instruction lifecycle records, Konata pipeview, ASCII timeline |
+//! | [`critpath`] | causal critical path, hierarchical CPI stack, what-if projections |
 //! | [`sink`] | pluggable sinks: human text, JSONL, Chrome `trace_event` |
 //! | [`trace`] | the [`Tracer`](trace::Tracer) tying filter + sinks together |
 //! | [`json`] | hand-rolled JSON writer + minimal parser (no serde) |
@@ -23,6 +24,7 @@
 //! `env::var`, no allocation. Event payloads are built lazily, only
 //! after the parse-once filter has matched.
 
+pub mod critpath;
 pub mod event;
 pub mod filter;
 pub mod hist;
@@ -33,6 +35,7 @@ pub mod sink;
 pub mod stall;
 pub mod trace;
 
+pub use critpath::{BottleneckReport, CpiStack, CritPath, EdgeClass, PathSeg, WhatIfRow, ZeroSet};
 pub use event::{EventKind, Subsystem, TraceEvent};
 pub use filter::TraceFilter;
 pub use hist::Hist;

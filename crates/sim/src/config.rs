@@ -142,6 +142,13 @@ pub struct SimConfig {
     /// much of the misprediction penalty the CI mechanism recovers
     /// relative to the upper bound.
     pub perfect_branch_prediction: bool,
+    /// Record per-instruction lifecycle data for the whole run
+    /// (unbounded ring, so `lifecycle.dropped` stays 0) and derive the
+    /// bottleneck report — critical path, CPI stack, what-if
+    /// projections — in `finalize_stats`. Costs memory proportional to
+    /// the instruction budget; `CFIR_PIPEVIEW` takes precedence when
+    /// both are set.
+    pub record_lifecycle: bool,
 }
 
 impl SimConfig {
@@ -172,6 +179,7 @@ impl SimConfig {
             cosim_check: cfg!(debug_assertions),
             interval_cycles: 0,
             perfect_branch_prediction: false,
+            record_lifecycle: false,
         }
     }
 
@@ -208,6 +216,13 @@ impl SimConfig {
     /// Builder-style: replicas per vectorized instruction (Figure 11).
     pub fn with_replicas(mut self, r: u8) -> Self {
         self.mech.replicas_per_inst = r;
+        self
+    }
+
+    /// Builder-style: enable full-run lifecycle recording and the
+    /// bottleneck (critical-path / what-if) analysis.
+    pub fn with_lifecycle(mut self) -> Self {
+        self.record_lifecycle = true;
         self
     }
 }

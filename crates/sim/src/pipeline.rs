@@ -28,7 +28,7 @@ use cfir_core::RenameExt;
 use cfir_emu::{Emulator, MemImage};
 use cfir_isa::{Inst, Program, NUM_LOGICAL_REGS};
 use cfir_mem::Hierarchy;
-use cfir_obs::{LifecycleLog, PipeviewSpec, Tracer};
+use cfir_obs::{LifecycleLog, PipeviewSpec, Tracer, WaitEdgeKind};
 use cfir_predict::Gshare;
 use std::collections::{HashMap, VecDeque};
 
@@ -200,6 +200,12 @@ pub struct Pipeline<'a> {
     /// reconciliation against the stall breakdown is exact only from
     /// cycle 0.
     pub(crate) lifecycle_since: u64,
+    /// Physical register → lid of the instruction that produces it.
+    /// Maintained only while lifecycle recording is on; gives every
+    /// dispatched instruction true dataflow (`Producer`) wait-edges so
+    /// the bottleneck DAG re-walk respects dependence chains even when
+    /// the per-cycle stall cascade never blamed them.
+    pub(crate) prod_lid: HashMap<PhysId, u64>,
     /// Where to write the Konata pipeview document at the end of the
     /// run (`--pipeview` / `CFIR_PIPEVIEW`).
     pub(crate) pipeview_path: Option<String>,
@@ -275,6 +281,7 @@ impl<'a> Pipeline<'a> {
             dispatch_block: None,
             last_flush_cycle: None,
             commit_log: None,
+            prod_lid: HashMap::new(),
             lifecycle: None,
             lifecycle_since: 0,
             pipeview_path: None,
@@ -282,6 +289,10 @@ impl<'a> Pipeline<'a> {
         };
         if let Some(spec) = PipeviewSpec::from_env() {
             pipe.enable_pipeview(&spec.path, spec.cap);
+        } else if pipe.cfg.record_lifecycle {
+            // Unbounded ring: the bottleneck analysis needs the whole
+            // causal DAG (`dropped > 0` would truncate it).
+            pipe.enable_lifecycle(0);
         }
         // Seed the per-branch scorecards with static oracle truth: the
         // post-dominator reconvergence PC and hammock class of every
@@ -539,6 +550,13 @@ impl<'a> Pipeline<'a> {
                 if let Err(e) = log.reconcile(&self.stats.stall) {
                     panic!("lifecycle attribution broken: {e}");
                 }
+                // Whole-run causal DAG available: derive the critical
+                // path and the what-if speed-limit projections.
+                self.stats.bottleneck = Some(cfir_obs::critpath::analyze(
+                    log,
+                    self.cfg.commit_width as u64,
+                    self.cfg.window as usize,
+                ));
             }
             if let Some(path) = &self.pipeview_path {
                 if let Err(e) = std::fs::write(path, log.render_konata()) {
@@ -677,11 +695,21 @@ impl<'a> Pipeline<'a> {
             // Mechanism decode hooks (validation may deliver a reuse).
             let reuse = self.mech_decode(&mut e);
 
-            // Rename sources.
+            // Rename sources. With lifecycle recording on, each source
+            // also records a true dataflow `Producer` edge (the stall
+            // cascade only blames the window head, which misses chains
+            // of back-to-back misses; the bottleneck re-walk needs the
+            // full dependence DAG).
             let srcs = f.inst.sources();
             for (i, s) in srcs.iter().enumerate() {
                 if let Some(r) = s {
-                    e.src_phys[i] = Some(self.rmap[*r as usize]);
+                    let p = self.rmap[*r as usize];
+                    e.src_phys[i] = Some(p);
+                    if let Some(log) = &mut self.lifecycle {
+                        if let Some(&plid) = self.prod_lid.get(&p) {
+                            log.edge(f.lid, WaitEdgeKind::Producer, Some(plid), "", self.cycle);
+                        }
+                    }
                 }
             }
             // Checkpoint for everything that can redirect (Br, Jr).
@@ -699,6 +727,9 @@ impl<'a> Pipeline<'a> {
                 e.new_phys = Some(p);
                 e.ldest = Some(d);
                 self.rmap[d as usize] = p;
+                if self.lifecycle.is_some() {
+                    self.prod_lid.insert(p, f.lid);
+                }
             }
             // Memory instructions enter the LSQ.
             if is_mem {

@@ -8,6 +8,7 @@
 
 use crate::prof::BranchScore;
 use crate::stats::SimStats;
+use cfir_obs::critpath::{CpiStack, ALL_CLASSES};
 use cfir_obs::stall::ALL_CAUSES;
 use cfir_obs::{Hist, JsonWriter};
 
@@ -29,7 +30,15 @@ use cfir_obs::{Hist, JsonWriter};
 ///   counters from the per-instruction recorder; both 0 unless
 ///   `--pipeview` was on). Every v3 key is unchanged, so v3 consumers
 ///   can read v4 documents.
-pub const SCHEMA_VERSION: u32 = 4;
+/// * **5** — additive: the `bottleneck` object. `bottleneck.cpi_stack`
+///   (the six top-down groups; always present, groups sum to
+///   `cycles × commit_width`) plus — only when lifecycle recording
+///   covered the whole run — `bottleneck.critical_path` (per-class
+///   cycle attribution summing exactly to `span`, top segments with
+///   PCs, per-branch refetch cycles) and `bottleneck.whatif` (the
+///   speed-limit rows; every `projected_cycles` ≤ `cycles`). Every v4
+///   key is unchanged, so v4 consumers can read v5 documents.
+pub const SCHEMA_VERSION: u32 = 5;
 
 fn write_hist(w: &mut JsonWriter, key: &str, h: &Hist) {
     w.key(key).begin_obj();
@@ -183,6 +192,62 @@ pub fn run_json(name: &str, label: &str, stats: &SimStats) -> String {
         .field_u64("mbs_nonbranch", stats.oracle_mbs_nonbranch);
     w.end_obj();
 
+    // Bottleneck analysis (schema v5). The hierarchical CPI stack is
+    // always computable (it regroups the stall breakdown); the
+    // critical path and what-if projections need the whole-run
+    // lifecycle DAG and are omitted when it was not recorded.
+    let cpi = CpiStack::from_breakdown(&stats.stall, stats.committed_reuse);
+    w.key("bottleneck").begin_obj();
+    w.key("cpi_stack").begin_obj();
+    for (key, slots) in cpi.iter() {
+        w.field_u64(key, slots);
+    }
+    w.end_obj();
+    if let Some(b) = &stats.bottleneck {
+        w.key("critical_path").begin_obj();
+        w.field_u64("span", b.crit.span)
+            .field_u64("start_cycle", b.crit.start_cycle)
+            .field_u64("steps", b.crit.steps as u64);
+        w.key("classes").begin_obj();
+        for class in ALL_CLASSES {
+            w.field_u64(class.key(), b.crit.classes[class as usize]);
+        }
+        w.end_obj();
+        w.key("edges").begin_arr();
+        for seg in &b.crit.top {
+            w.begin_obj()
+                .field_u64("pc", seg.pc)
+                .field_str("class", seg.class.key())
+                .field_u64("cycles", seg.cycles)
+                .end_obj();
+        }
+        w.end_arr();
+        w.key("branches").begin_arr();
+        for &(pc, cycles) in &b.crit.branch_refetch {
+            w.begin_obj()
+                .field_u64("pc", pc)
+                .field_u64("refetch_cycles", cycles)
+                .end_obj();
+        }
+        w.end_arr();
+        w.end_obj();
+        w.key("whatif").begin_arr();
+        for row in &b.whatif {
+            let speedup = if row.projected_cycles == 0 {
+                1.0
+            } else {
+                stats.cycles as f64 / row.projected_cycles as f64
+            };
+            w.begin_obj()
+                .field_str("scenario", row.scenario)
+                .field_u64("projected_cycles", row.projected_cycles)
+                .field_f64("speedup", speedup)
+                .end_obj();
+        }
+        w.end_arr();
+    }
+    w.end_obj();
+
     w.end_obj();
     w.finish()
 }
@@ -254,9 +319,34 @@ mod tests {
         stats.lifecycle_records = 42;
         stats.lifecycle_dropped = 2;
 
+        // Attach a bottleneck report so the v5 object is exercised.
+        stats.bottleneck = Some(cfir_obs::BottleneckReport {
+            crit: cfir_obs::CritPath {
+                span: 1000,
+                start_cycle: 0,
+                classes: {
+                    let mut c = [0u64; cfir_obs::critpath::NUM_CLASSES];
+                    c[cfir_obs::EdgeClass::CacheMem as usize] = 600;
+                    c[cfir_obs::EdgeClass::MispredictRefetch as usize] = 400;
+                    c
+                },
+                top: vec![cfir_obs::PathSeg {
+                    pc: 0x40,
+                    class: cfir_obs::EdgeClass::CacheMem,
+                    cycles: 600,
+                }],
+                branch_refetch: vec![(0x40, 400)],
+                steps: 5,
+            },
+            whatif: vec![cfir_obs::WhatIfRow {
+                scenario: "perfect_bp",
+                projected_cycles: 500,
+            }],
+        });
+
         let text = run_json("bzip2 \"quoted\"", "ci", &stats);
         let v = json::parse(&text).expect("snapshot parses");
-        assert_eq!(v.get("schema_version").unwrap().as_u64(), Some(4));
+        assert_eq!(v.get("schema_version").unwrap().as_u64(), Some(5));
         assert_eq!(v.get("name").unwrap().as_str(), Some("bzip2 \"quoted\""));
         assert_eq!(v.get("mode").unwrap().as_str(), Some("ci"));
         assert_eq!(v.get("cycles").unwrap().as_u64(), Some(1000));
@@ -303,6 +393,40 @@ mod tests {
         let lc = v.get("lifecycle").unwrap();
         assert_eq!(lc.get("records").unwrap().as_u64(), Some(42));
         assert_eq!(lc.get("dropped").unwrap().as_u64(), Some(2));
+        // Schema v5: the bottleneck object.
+        let b = v.get("bottleneck").unwrap();
+        let cpi = b.get("cpi_stack").unwrap();
+        assert_eq!(cpi.get("reuse_recovered").unwrap().as_u64(), Some(300));
+        assert_eq!(cpi.get("base").unwrap().as_u64(), Some(2200));
+        assert_eq!(cpi.get("frontend").unwrap().as_u64(), Some(5500));
+        let total: u64 = cfir_obs::critpath::CPI_GROUPS
+            .iter()
+            .map(|g| cpi.get(g).unwrap().as_u64().unwrap())
+            .sum();
+        assert_eq!(total, 8000, "groups preserve the slot invariant");
+        let cp = b.get("critical_path").unwrap();
+        assert_eq!(cp.get("span").unwrap().as_u64(), Some(1000));
+        let classes = cp.get("classes").unwrap();
+        assert_eq!(classes.get("cache_mem").unwrap().as_u64(), Some(600));
+        let edges = cp.get("edges").unwrap().as_arr().unwrap();
+        assert_eq!(edges[0].get("pc").unwrap().as_u64(), Some(0x40));
+        assert_eq!(edges[0].get("class").unwrap().as_str(), Some("cache_mem"));
+        let brs = cp.get("branches").unwrap().as_arr().unwrap();
+        assert_eq!(brs[0].get("refetch_cycles").unwrap().as_u64(), Some(400));
+        let wi = b.get("whatif").unwrap().as_arr().unwrap();
+        assert_eq!(wi[0].get("scenario").unwrap().as_str(), Some("perfect_bp"));
+        assert_eq!(wi[0].get("projected_cycles").unwrap().as_u64(), Some(500));
+        assert!((wi[0].get("speedup").unwrap().as_f64().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpi_stack_present_without_lifecycle_critical_path_absent() {
+        let text = run_json("x", "scal", &SimStats::default());
+        let v = json::parse(&text).unwrap();
+        let b = v.get("bottleneck").unwrap();
+        assert!(b.get("cpi_stack").is_some());
+        assert!(b.get("critical_path").is_none());
+        assert!(b.get("whatif").is_none());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use crate::prof::BranchProf;
 use cfir_core::srsmt::SrsmtStats;
 use cfir_core::EventStats;
-use cfir_obs::{Hist, StallBreakdown};
+use cfir_obs::{BottleneckReport, Hist, StallBreakdown};
 
 /// One point of the interval time series (see
 /// `SimConfig::interval_cycles`). Cumulative counters plus the rates
@@ -144,6 +144,10 @@ pub struct SimStats {
     /// Per-cycle commit-slot attribution; buckets sum to
     /// `cycles × commit_width` (checked in `finalize_stats`).
     pub stall: StallBreakdown,
+    /// Critical-path and what-if analysis (`None` unless lifecycle
+    /// recording covered the whole run — `SimConfig::record_lifecycle`
+    /// or `CFIR_PIPEVIEW` from cycle 0).
+    pub bottleneck: Option<BottleneckReport>,
 }
 
 impl SimStats {

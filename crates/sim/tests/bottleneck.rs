@@ -1,0 +1,142 @@
+//! Integration tests for the bottleneck subsystem: the critical path
+//! must tile its span exactly, the what-if projections must bound the
+//! measured run and order correctly, and — the validation hook — the
+//! perfect-branch-prediction projection must land within a documented
+//! tolerance of an *actual* oracle-BP simulation of the same workload.
+
+use cfir_sim::{Mode, Pipeline, RegFileSize, SimConfig, SimStats};
+use cfir_workloads::{by_name, WorkloadSpec};
+
+const WIDTH: u64 = 8;
+
+/// The documented validation tolerance: the perfect-BP *projection*
+/// (a DAG re-walk that keeps every observed latency except squash
+/// windows and refetch gaps) and the *oracle-BP machine* (which
+/// re-times the whole run: no pollution, different cache interleaving,
+/// same window limits) measure the same limit two different ways.
+/// The gate `LOW <= projected / oracle <= HIGH` is asymmetric:
+/// exceeding HIGH would falsify the speed limit (the real oracle
+/// machine beat it), while undershooting LOW only means the projection
+/// is optimistic — it replays observed latencies from the polluted
+/// run, where wrong-path execution prefetched right-path cache lines.
+/// See DESIGN.md ("Bottleneck analysis") for the measured per-kernel
+/// ratios behind both bounds (this matches the suite-level gate in
+/// `crates/bench/src/experiments.rs`).
+const ORACLE_RATIO_HIGH: f64 = 1.25;
+const ORACLE_RATIO_LOW: f64 = 0.125;
+
+fn run_cfg(bench: &str, mode: Mode, lifecycle: bool, oracle_bp: bool) -> SimStats {
+    let spec = WorkloadSpec {
+        iters: 1 << 30,
+        elems: 1024,
+        seed: 5,
+    };
+    let w = by_name(bench, spec).expect("known benchmark");
+    let mut cfg = SimConfig::paper_baseline()
+        .with_mode(mode)
+        .with_regs(RegFileSize::Finite(512))
+        .with_max_insts(30_000);
+    cfg.cosim_check = false;
+    cfg.record_lifecycle = lifecycle;
+    cfg.perfect_branch_prediction = oracle_bp;
+    let mut p = Pipeline::new(&w.prog, w.mem.clone(), cfg);
+    p.run();
+    p.stats.clone()
+}
+
+#[test]
+fn critical_path_tiles_and_projections_bound_the_run() {
+    for (bench, mode) in [
+        ("bzip2", Mode::WideBus),
+        ("bzip2", Mode::Ci),
+        ("mcf", Mode::Ci),
+        ("twolf", Mode::Vect),
+    ] {
+        let s = run_cfg(bench, mode, true, false);
+        let b = s
+            .bottleneck
+            .as_ref()
+            .unwrap_or_else(|| panic!("{bench} {mode:?}: lifecycle run must yield a report"));
+        assert_eq!(s.lifecycle_dropped, 0, "{bench} {mode:?}: unbounded ring");
+        assert!(s.lifecycle_records > 0, "{bench} {mode:?}");
+
+        // Exact tiling: the per-class attribution sums to the span.
+        let attributed: u64 = b.crit.classes.iter().sum();
+        assert_eq!(attributed, b.crit.span, "{bench} {mode:?}: tiling");
+        assert!(b.crit.span <= s.cycles, "{bench} {mode:?}");
+        assert!(!b.crit.top.is_empty(), "{bench} {mode:?}");
+
+        // Every projection bounds the measured run; zero-set supersets
+        // are monotone.
+        let get = |k: &str| {
+            b.whatif
+                .iter()
+                .find(|r| r.scenario == k)
+                .unwrap_or_else(|| panic!("{bench} {mode:?}: missing scenario {k}"))
+                .projected_cycles
+        };
+        for row in &b.whatif {
+            assert!(
+                row.projected_cycles <= s.cycles,
+                "{bench} {mode:?} {}: {} > measured {}",
+                row.scenario,
+                row.projected_cycles,
+                s.cycles
+            );
+            // The commit-bandwidth floor keeps projections physical.
+            assert!(
+                row.projected_cycles >= s.committed / WIDTH,
+                "{bench} {mode:?} {}",
+                row.scenario
+            );
+        }
+        assert!(
+            get("perfect_everything") <= get("perfect_bp"),
+            "{bench} {mode:?}"
+        );
+        assert!(
+            get("perfect_everything") <= get("perfect_ci_reuse"),
+            "{bench} {mode:?}"
+        );
+        assert!(
+            get("perfect_ci_reuse") <= get("infinite_replica_buffer"),
+            "{bench} {mode:?}"
+        );
+    }
+}
+
+#[test]
+fn perfect_bp_projection_validates_against_a_real_oracle_run() {
+    for bench in ["bzip2", "mcf"] {
+        let measured = run_cfg(bench, Mode::WideBus, true, false);
+        let projected = measured
+            .bottleneck
+            .as_ref()
+            .expect("lifecycle run yields a report")
+            .whatif
+            .iter()
+            .find(|r| r.scenario == "perfect_bp")
+            .expect("perfect_bp scenario present")
+            .projected_cycles;
+        let oracle = run_cfg(bench, Mode::WideBus, false, true);
+        eprintln!(
+            "[validate] {bench}: measured={} projected_bp={} oracle_bp={} ratio={:.3}",
+            measured.cycles,
+            projected,
+            oracle.cycles,
+            projected as f64 / oracle.cycles as f64
+        );
+        // The projection is a speed limit: it must bound the run it
+        // came from...
+        assert!(projected <= measured.cycles, "{bench}");
+        // ...and land within the documented tolerance of the machine
+        // that actually has perfect branch prediction.
+        let ratio = projected as f64 / oracle.cycles as f64;
+        assert!(
+            (ORACLE_RATIO_LOW..=ORACLE_RATIO_HIGH).contains(&ratio),
+            "{bench}: projection {projected} vs oracle {} (ratio {ratio:.3}) \
+             outside documented tolerance [{ORACLE_RATIO_LOW}, {ORACLE_RATIO_HIGH}]",
+            oracle.cycles
+        );
+    }
+}

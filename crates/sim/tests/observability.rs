@@ -4,14 +4,15 @@
 //! JSON snapshot must round-trip through the parser with the same
 //! numbers the simulator reported.
 
+use cfir_obs::critpath::CpiStack;
 use cfir_obs::json;
 use cfir_obs::stall::{StallCause, ALL_CAUSES};
 use cfir_sim::{run_json, Mode, Pipeline, RegFileSize, SimConfig, SimStats};
-use cfir_workloads::{by_name, WorkloadSpec};
+use cfir_workloads::{by_name, WorkloadSpec, NAMES};
 
 const WIDTH: u64 = 8; // paper_baseline commit width
 
-fn run(bench: &str, mode: Mode, interval_cycles: u64) -> SimStats {
+fn run_insts(bench: &str, mode: Mode, interval_cycles: u64, max_insts: u64) -> SimStats {
     let spec = WorkloadSpec {
         iters: 1 << 30,
         elems: 1024,
@@ -21,12 +22,16 @@ fn run(bench: &str, mode: Mode, interval_cycles: u64) -> SimStats {
     let mut cfg = SimConfig::paper_baseline()
         .with_mode(mode)
         .with_regs(RegFileSize::Finite(512))
-        .with_max_insts(30_000);
+        .with_max_insts(max_insts);
     cfg.cosim_check = false;
     cfg.interval_cycles = interval_cycles;
     let mut p = Pipeline::new(&w.prog, w.mem.clone(), cfg);
     p.run();
     p.stats.clone()
+}
+
+fn run(bench: &str, mode: Mode, interval_cycles: u64) -> SimStats {
+    run_insts(bench, mode, interval_cycles, 30_000)
 }
 
 #[test]
@@ -54,6 +59,39 @@ fn stall_attribution_accounts_for_every_commit_slot() {
                 "{bench} {mode:?}"
             );
             assert!(s.stall.get(StallCause::Useful) > 0, "{bench} {mode:?}");
+        }
+    }
+}
+
+#[test]
+fn stall_invariant_and_cpi_stack_hold_on_every_kernel_and_mode() {
+    // The whole suite: all 12 paper kernels x the four paper machine
+    // modes. Both the flat invariant (buckets sum to cycles x width)
+    // and the hierarchical CPI stack regrouping (the six top-down
+    // groups preserve that sum exactly) must hold everywhere. A
+    // reduced instruction budget keeps the 48-run matrix fast.
+    for bench in NAMES {
+        for mode in [Mode::Scalar, Mode::WideBus, Mode::Ci, Mode::Vect] {
+            let s = run_insts(bench, mode, 0, 10_000);
+            s.stall
+                .check_sum(s.cycles, WIDTH)
+                .unwrap_or_else(|e| panic!("{bench} {mode:?}: {e}"));
+            let stack = CpiStack::from_breakdown(&s.stall, s.committed_reuse);
+            stack
+                .check_sum(s.cycles, WIDTH)
+                .unwrap_or_else(|e| panic!("{bench} {mode:?}: {e}"));
+            // The reuse-recovered group is carved out of useful slots,
+            // so base + reuse_recovered == committed.
+            assert_eq!(
+                stack.base + stack.reuse_recovered,
+                s.committed,
+                "{bench} {mode:?}"
+            );
+            if mode.vectorizes() {
+                assert_eq!(stack.reuse_recovered, s.committed_reuse, "{bench} {mode:?}");
+            } else {
+                assert_eq!(stack.reuse_recovered, 0, "{bench} {mode:?}");
+            }
         }
     }
 }
@@ -123,7 +161,7 @@ fn snapshot_json_matches_the_stats_it_came_from() {
     let s = run("bzip2", Mode::Vect, 2_000);
     let doc = run_json("bzip2", "vect", &s);
     let v = json::parse(&doc).expect("snapshot must parse");
-    assert_eq!(v.get("schema_version").and_then(|x| x.as_u64()), Some(4));
+    assert_eq!(v.get("schema_version").and_then(|x| x.as_u64()), Some(5));
     assert_eq!(v.get("name").and_then(|x| x.as_str()), Some("bzip2"));
     assert_eq!(v.get("cycles").and_then(|x| x.as_u64()), Some(s.cycles));
     assert_eq!(

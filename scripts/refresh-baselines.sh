@@ -28,6 +28,16 @@ cp "$tmp/smoke.json" results/baselines/smoke.json
 # Machine-configuration table (a drift gate, not a perf gate).
 cp "$tmp/table1.json" results/baselines/table1.json
 
+# The bottleneck experiment: 12 kernels x 4 paper modes with lifecycle
+# recording, plus the 12 oracle-BP validation runs. Its aggregator
+# already gates dropped records, projection bounds and oracle ratios,
+# so reaching this cp means the analysis is self-consistent.
+./target/release/cfir-suite exp_bottleneck --jobs 2 --emit-json \
+  --out-dir "$tmp" --quiet
+cp "$tmp/exp_bottleneck.json" results/baselines/bottleneck.json
+cp "$tmp/exp_bottleneck_validation.csv" \
+  results/baselines/bottleneck_validation.csv
+
 # Static-analysis reports for every kernel (lints + RCP agreement).
 # CI reruns `cfir-analyze --all --check --baseline` against this file.
 ./target/release/cfir-analyze --all --emit-json results/baselines/analyze.json

@@ -34,6 +34,7 @@ fn usage() -> ! {
         "usage: cfir-report <snapshot.json>\n\
          \x20      cfir-report diff  <old.json> <new.json> [--tolerance P%]\n\
          \x20      cfir-report check <baseline.json> <run.json> [--tolerance P%]\n\
+         \x20      cfir-report bottleneck <run.json> [<baseline.json>]\n\
          \x20      cfir-report timeline <trace.kanata> [--pc N] [--cycle-range LO..HI]\n\
          \x20                  [--around-mispredict N] [--width N]"
     );
@@ -110,6 +111,20 @@ fn load(path: &str) -> cfir::obs::json::JsonValue {
     })
 }
 
+/// Warn (loudly) when any run of the document recorded dropped
+/// lifecycle records; returns the count so `check` can gate on it.
+fn warn_dropped(path: &str, doc: &cfir::obs::json::JsonValue) -> u64 {
+    let dropped = report::lifecycle_dropped(doc);
+    if dropped > 0 {
+        eprintln!(
+            "cfir-report: WARNING: {path}: {dropped} lifecycle records were dropped — \
+             the bottleneck DAG (critical path, what-if projections) is incomplete; \
+             re-run with an unbounded ring (record_lifecycle) to trust these numbers"
+        );
+    }
+    dropped
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(|s| s.as_str()) == Some("timeline") {
@@ -122,7 +137,7 @@ fn main() {
     let mut it = args.iter().map(|s| s.as_str()).peekable();
     while let Some(a) = it.next() {
         match a {
-            "diff" | "check" | "--check" if sub.is_none() && files.is_empty() => {
+            "diff" | "check" | "--check" | "bottleneck" if sub.is_none() && files.is_empty() => {
                 sub = Some(a.trim_start_matches("--"));
             }
             "--tolerance" => {
@@ -139,10 +154,28 @@ fn main() {
 
     match (sub, files.as_slice()) {
         (None, [path]) => {
-            print!("{}", report::render(&load(path)));
+            let doc = load(path);
+            warn_dropped(path, &doc);
+            print!("{}", report::render(&doc));
         }
-        (Some(_), [old, new]) => {
-            let outcome = report::diff(&load(old), &load(new), tolerance).unwrap_or_else(|e| {
+        (Some("bottleneck"), [new]) | (Some("bottleneck"), [new, _]) => {
+            let new_doc = load(new);
+            warn_dropped(new, &new_doc);
+            let old_doc = match files.as_slice() {
+                [_, old] => Some(load(old)),
+                _ => None,
+            };
+            let out = report::render_bottleneck(&new_doc, old_doc.as_ref()).unwrap_or_else(|e| {
+                eprintln!("cfir-report: {e}");
+                exit(2)
+            });
+            print!("{out}");
+        }
+        (Some(sub), [old, new]) => {
+            let (old_doc, new_doc) = (load(old), load(new));
+            warn_dropped(old, &old_doc);
+            let dropped = warn_dropped(new, &new_doc);
+            let outcome = report::diff(&old_doc, &new_doc, tolerance).unwrap_or_else(|e| {
                 eprintln!("cfir-report: {e}");
                 exit(2)
             });
@@ -152,6 +185,10 @@ fn main() {
                     "cfir-report: regression beyond {:.2}% tolerance",
                     tolerance * 100.0
                 );
+                exit(1)
+            }
+            if sub == "check" && dropped > 0 {
+                eprintln!("cfir-report: failing --check: the run dropped lifecycle records");
                 exit(1)
             }
             println!("ok (tolerance {:.2}%)", tolerance * 100.0);

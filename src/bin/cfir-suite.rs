@@ -198,12 +198,29 @@ fn main() {
     }
     println!("{}", report.summary_line());
     if let Some(path) = &bench_json {
-        let doc = format!(
-            "{{\"suite_wall_s\": {:.3}, \"jobs\": {}, \"cache_hits\": {}}}\n",
+        // Key order and the original three keys are stable; newer
+        // fields only ever append (downstream tooling greps these).
+        use std::fmt::Write as _;
+        let mut doc = format!(
+            "{{\"suite_wall_s\": {:.3}, \"jobs\": {}, \"cache_hits\": {}, \"peak_workers\": {}, \"experiments\": [",
             report.wall.as_secs_f64(),
             report.executed,
-            report.cached
+            report.cached,
+            report.peak_workers
         );
+        for (i, e) in report.experiments.iter().enumerate() {
+            let _ = write!(
+                doc,
+                "{}{{\"name\": \"{}\", \"wall_s\": {:.3}, \"executed\": {}, \"cached\": {}, \"ok\": {}}}",
+                if i > 0 { ", " } else { "" },
+                e.name,
+                e.wall.as_secs_f64(),
+                e.executed,
+                e.cached,
+                e.ok()
+            );
+        }
+        doc.push_str("]}\n");
         match std::fs::write(path, doc) {
             Ok(()) => println!("[bench summary written to {path}]"),
             Err(e) => {

@@ -299,6 +299,260 @@ pub fn diff(old: &JsonValue, new: &JsonValue, tolerance: f64) -> Result<DiffOutc
     Ok(DiffOutcome { report, regressed })
 }
 
+/// Total `lifecycle.dropped` across every run of a document. A nonzero
+/// count means the per-instruction recorder overflowed its ring and
+/// the bottleneck DAG (critical path, what-if projections) is built
+/// from an incomplete record set — `cfir-report` warns loudly, and
+/// `check` treats it as a failure.
+pub fn lifecycle_dropped(doc: &JsonValue) -> u64 {
+    let runs: Vec<&JsonValue> = match doc.get("runs").and_then(|r| r.as_arr()) {
+        Some(rs) => rs.iter().collect(),
+        None => vec![doc],
+    };
+    runs.iter()
+        .filter_map(|r| r.get("lifecycle"))
+        .filter_map(|lc| lc.get("dropped"))
+        .filter_map(|d| d.as_u64())
+        .sum()
+}
+
+const BAR_COLS: f64 = 40.0;
+
+fn bar(frac: f64) -> String {
+    let n = (frac.clamp(0.0, 1.0) * BAR_COLS).round() as usize;
+    "#".repeat(n)
+}
+
+/// Render one run's `bottleneck` object: the hierarchical CPI stack as
+/// bars, the critical-path class attribution and top edges, and the
+/// what-if speed-limit table.
+fn render_bottleneck_run(out: &mut String, run: &JsonValue) {
+    let s = |k: &str| run.get(k).and_then(|x| x.as_str()).unwrap_or("?");
+    let _ = writeln!(out, "\n{} / {}", s("name"), s("mode"));
+    let Some(b) = run.get("bottleneck") else {
+        let _ = writeln!(out, "  (no bottleneck object: pre-v5 snapshot)");
+        return;
+    };
+    if let Some(stack) = b.get("cpi_stack") {
+        let total: u64 = cfir_obs::critpath::CPI_GROUPS
+            .iter()
+            .filter_map(|k| stack.get(k).and_then(|x| x.as_u64()))
+            .sum();
+        let _ = writeln!(out, "  CPI stack ({total} commit slots):");
+        for key in cfir_obs::critpath::CPI_GROUPS {
+            let n = stack.get(key).and_then(|x| x.as_u64()).unwrap_or(0);
+            let frac = if total > 0 {
+                n as f64 / total as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "    {key:16} {:>10}  {:>6.2}%  {}",
+                n,
+                frac * 100.0,
+                bar(frac)
+            );
+        }
+    }
+    if let Some(cp) = b.get("critical_path") {
+        let g = |k: &str| cp.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+        let span = g("span");
+        let _ = writeln!(
+            out,
+            "  critical path: span={span} cycles (start {}, {} steps)",
+            g("start_cycle"),
+            g("steps")
+        );
+        if let Some(classes) = cp.get("classes") {
+            let mut rows: Vec<(&str, u64)> = cfir_obs::critpath::ALL_CLASSES
+                .iter()
+                .map(|c| c.key())
+                .filter_map(|k| {
+                    classes
+                        .get(k)
+                        .and_then(|x| x.as_u64())
+                        .filter(|&n| n > 0)
+                        .map(|n| (k, n))
+                })
+                .collect();
+            rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+            for (k, n) in rows {
+                let frac = if span > 0 {
+                    n as f64 / span as f64
+                } else {
+                    0.0
+                };
+                let _ = writeln!(
+                    out,
+                    "    {k:20} {n:>10}  {:>6.2}%  {}",
+                    frac * 100.0,
+                    bar(frac)
+                );
+            }
+        }
+        if let Some(edges) = cp.get("edges").and_then(|e| e.as_arr()) {
+            let _ = writeln!(out, "  top critical-path segments:");
+            for e in edges.iter().take(10) {
+                let gu = |k: &str| e.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "    pc {:>#8x}  {:20} {:>8} cycles",
+                    gu("pc"),
+                    e.get("class").and_then(|x| x.as_str()).unwrap_or("?"),
+                    gu("cycles")
+                );
+            }
+        }
+        if let Some(brs) = cp.get("branches").and_then(|e| e.as_arr()) {
+            if !brs.is_empty() {
+                // Join against the PR-2 scorecard rows of the same run:
+                // refetch cycles are the remaining per-branch headroom,
+                // reuse commits / cycles saved what the CI mechanism
+                // already recovered at that site.
+                let scorecard = run
+                    .get("branch_prof")
+                    .and_then(|bp| bp.get("branches"))
+                    .and_then(|b| b.as_arr());
+                let prof = |pc: u64, key: &str| -> u64 {
+                    scorecard
+                        .and_then(|rows| {
+                            rows.iter()
+                                .find(|r| r.get("pc").and_then(|x| x.as_u64()) == Some(pc))
+                        })
+                        .and_then(|r| r.get(key))
+                        .and_then(|x| x.as_u64())
+                        .unwrap_or(0)
+                };
+                let _ = writeln!(
+                    out,
+                    "  per-branch headroom (critical-path refetch vs scorecard recovery):\n    \
+                     {:>10} {:>14} {:>13} {:>13}",
+                    "pc", "refetch_cycles", "reuse_commits", "cycles_saved"
+                );
+                for e in brs.iter().take(10) {
+                    let gu = |k: &str| e.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+                    let pc = gu("pc");
+                    let _ = writeln!(
+                        out,
+                        "    {pc:>#10x} {:>14} {:>13} {:>13}",
+                        gu("refetch_cycles"),
+                        prof(pc, "reuse_commits"),
+                        prof(pc, "cycles_saved")
+                    );
+                }
+            }
+        }
+    }
+    if let Some(rows) = b.get("whatif").and_then(|x| x.as_arr()) {
+        let _ = writeln!(
+            out,
+            "  what-if speed limits:\n    {:24} {:>12} {:>9}",
+            "scenario", "cycles", "speedup"
+        );
+        for r in rows {
+            let _ = writeln!(
+                out,
+                "    {:24} {:>12} {:>8.2}x",
+                r.get("scenario").and_then(|x| x.as_str()).unwrap_or("?"),
+                r.get("projected_cycles")
+                    .and_then(|x| x.as_u64())
+                    .unwrap_or(0),
+                r.get("speedup").and_then(|x| x.as_f64()).unwrap_or(1.0)
+            );
+        }
+    }
+}
+
+/// Pretty-print the bottleneck analysis of a document (every run of a
+/// bundle), or — with `old` present — the cross-run diff: CPI-group
+/// share deltas and what-if speedup movement per `(name, mode)`.
+pub fn render_bottleneck(doc: &JsonValue, old: Option<&JsonValue>) -> Result<String, String> {
+    let runs = |d: &JsonValue| -> Vec<JsonValue> {
+        match d.get("runs").and_then(|r| r.as_arr()) {
+            Some(rs) => rs.to_vec(),
+            None => vec![d.clone()],
+        }
+    };
+    let mut out = String::new();
+    let new_runs = runs(doc);
+    if new_runs.iter().all(|r| r.get("bottleneck").is_none()) {
+        return Err("document carries no bottleneck objects (pre-v5 snapshot?)".into());
+    }
+    let Some(old) = old else {
+        for run in &new_runs {
+            render_bottleneck_run(&mut out, run);
+        }
+        return Ok(out);
+    };
+    // Diff mode: per-run CPI-group shares and what-if speedups.
+    let old_runs = runs(old);
+    let id = |r: &JsonValue| {
+        (
+            r.get("name")
+                .and_then(|x| x.as_str())
+                .unwrap_or("?")
+                .to_string(),
+            r.get("mode")
+                .and_then(|x| x.as_str())
+                .unwrap_or("?")
+                .to_string(),
+        )
+    };
+    for n in &new_runs {
+        let Some(o) = old_runs.iter().find(|o| id(o) == id(n)) else {
+            let _ = writeln!(out, "{}/{}: new run (no baseline)", id(n).0, id(n).1);
+            continue;
+        };
+        let _ = writeln!(out, "{}/{}:", id(n).0, id(n).1);
+        let stack = |r: &JsonValue, k: &str| {
+            r.get("bottleneck")
+                .and_then(|b| b.get("cpi_stack"))
+                .and_then(|s| s.get(k))
+                .and_then(|x| x.as_u64())
+                .unwrap_or(0)
+        };
+        let total = |r: &JsonValue| -> u64 {
+            cfir_obs::critpath::CPI_GROUPS
+                .iter()
+                .map(|k| stack(r, k))
+                .sum()
+        };
+        let (ot, nt) = (total(o).max(1), total(n).max(1));
+        for key in cfir_obs::critpath::CPI_GROUPS {
+            let of = stack(o, key) as f64 / ot as f64 * 100.0;
+            let nf = stack(n, key) as f64 / nt as f64 * 100.0;
+            let _ = writeln!(
+                out,
+                "  {key:16} {of:>6.2}% -> {nf:>6.2}%  ({:+.2}pp)",
+                nf - of
+            );
+        }
+        let speedup = |r: &JsonValue, scen: &str| {
+            r.get("bottleneck")
+                .and_then(|b| b.get("whatif"))
+                .and_then(|w| w.as_arr())
+                .and_then(|rows| {
+                    rows.iter()
+                        .find(|x| x.get("scenario").and_then(|s| s.as_str()) == Some(scen))
+                })
+                .and_then(|x| x.get("speedup"))
+                .and_then(|x| x.as_f64())
+        };
+        for scen in [
+            "perfect_bp",
+            "infinite_replica_buffer",
+            "perfect_ci_reuse",
+            "perfect_everything",
+        ] {
+            if let (Some(os), Some(ns)) = (speedup(o, scen), speedup(n, scen)) {
+                let _ = writeln!(out, "  whatif {scen:24} {os:>6.2}x -> {ns:>6.2}x");
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// Pretty-print a snapshot document: headline metrics per run, the
 /// top of the per-branch scorecard, and histogram percentiles.
 pub fn render(doc: &JsonValue) -> String {
@@ -546,6 +800,76 @@ mod tests {
         assert!(drift.report.contains("CHANGED"));
         // Pretty-printing a table-only doc shows the rows.
         assert!(render(&a).contains("Fetch width"));
+    }
+
+    fn bsnap(name: &str, mode: &str, dropped: u64, base: u64, mem: u64, bp_speedup: f64) -> String {
+        format!(
+            r#"{{"schema_version":5,"name":"{name}","mode":"{mode}","ipc":1.0,
+               "cycles":1000,"committed":2500,
+               "lifecycle":{{"records":10,"dropped":{dropped}}},
+               "branch_prof":{{"static_branches":1,"ci_exploited_fraction":0.5,
+                 "totals":{{}},"unattributed":{{}},
+                 "branches":[{{"pc":40,"reuse_commits":12,"cycles_saved":34}}]}},
+               "bottleneck":{{
+                 "cpi_stack":{{"base":{base},"reuse_recovered":0,"frontend":100,
+                   "bad_speculation":200,"backend_memory":{mem},"backend_core":100}},
+                 "critical_path":{{"span":900,"start_cycle":0,"steps":40,
+                   "classes":{{"cache_mem":500,"mispredict_refetch":300,"commit":100}},
+                   "edges":[{{"pc":64,"class":"cache_mem","cycles":500}}],
+                   "branches":[{{"pc":40,"refetch_cycles":300}}]}},
+                 "whatif":[
+                   {{"scenario":"perfect_bp","projected_cycles":700,"speedup":{bp_speedup}}},
+                   {{"scenario":"perfect_everything","projected_cycles":500,"speedup":2.0}}]}}}}"#
+        )
+    }
+
+    #[test]
+    fn dropped_lifecycle_records_are_detected() {
+        let clean = parse_doc(&bsnap("b", "ci", 0, 2000, 500, 1.4)).unwrap();
+        assert_eq!(lifecycle_dropped(&clean), 0);
+        let dirty = parse_doc(&bsnap("b", "ci", 7, 2000, 500, 1.4)).unwrap();
+        assert_eq!(lifecycle_dropped(&dirty), 7);
+        // Pre-v4 documents without a lifecycle object count as zero.
+        let v1 = parse_doc(r#"{"schema_version":1,"ipc":1.0}"#).unwrap();
+        assert_eq!(lifecycle_dropped(&v1), 0);
+    }
+
+    #[test]
+    fn bottleneck_render_shows_stack_path_and_whatif() {
+        let d = parse_doc(&bsnap("bzip2", "ci", 0, 2000, 500, 1.4)).unwrap();
+        let out = render_bottleneck(&d, None).unwrap();
+        assert!(out.contains("bzip2 / ci"), "{out}");
+        assert!(out.contains("CPI stack"), "{out}");
+        assert!(out.contains("backend_memory"), "{out}");
+        assert!(out.contains("span=900"), "{out}");
+        assert!(out.contains("cache_mem"), "{out}");
+        assert!(out.contains("perfect_bp"), "{out}");
+        assert!(out.contains("1.40x"), "{out}");
+        // The per-branch table joins refetch cycles against the PR-2
+        // scorecard row of the same pc.
+        assert!(out.contains("per-branch headroom"), "{out}");
+        let br = out
+            .lines()
+            .find(|l| l.trim_start().starts_with("0x28"))
+            .unwrap_or_else(|| panic!("no joined branch row in {out}"));
+        assert!(br.contains("300"), "{br}");
+        assert!(br.contains("12"), "{br}");
+        assert!(br.contains("34"), "{br}");
+        // A document with no bottleneck objects at all is an error.
+        let v1 = parse_doc(r#"{"schema_version":1,"ipc":1.0}"#).unwrap();
+        assert!(render_bottleneck(&v1, None).is_err());
+    }
+
+    #[test]
+    fn bottleneck_diff_reports_share_and_speedup_movement() {
+        let old = parse_doc(&bsnap("b", "ci", 0, 2000, 500, 1.4)).unwrap();
+        let new = parse_doc(&bsnap("b", "ci", 0, 1500, 1000, 1.8)).unwrap();
+        let out = render_bottleneck(&new, Some(&old)).unwrap();
+        assert!(out.contains("b/ci:"), "{out}");
+        assert!(out.contains("backend_memory"), "{out}");
+        assert!(out.contains("pp)"), "{out}");
+        assert!(out.contains("1.40x"), "{out}");
+        assert!(out.contains("1.80x"), "{out}");
     }
 
     #[test]
