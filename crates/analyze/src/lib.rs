@@ -12,6 +12,10 @@
 //!   reconvergence PC, and the static control-independent region behind
 //!   it ([`branches`]),
 //! * static stride classification of loads ([`strides`]),
+//! * reaching definitions, liveness and def-use chains via a classic
+//!   iterative dataflow engine ([`dataflow`]),
+//! * CIDI/CIDD/clobbered reuse verdicts for every hammock's CI region
+//!   ([`cidi`]),
 //! * a workload lint pass ([`lint`]),
 //! * JSON reports and the static-vs-dynamic agreement metric
 //!   ([`report`]).
@@ -35,6 +39,8 @@
 
 pub mod branches;
 pub mod cfg;
+pub mod cidi;
+pub mod dataflow;
 pub mod dom;
 pub mod lint;
 pub mod loops;
@@ -43,6 +49,8 @@ pub mod strides;
 
 pub use branches::{BranchClass, BranchInfo};
 pub use cfg::{Block, Cfg};
+pub use cidi::{BranchCidi, CidiAnalysis, InstVerdict, Verdict, DEFAULT_HORIZON};
+pub use dataflow::{BitSet, Dataflow, DefSite};
 pub use dom::DomTree;
 pub use lint::{Lint, LintKind};
 pub use loops::LoopInfo;
@@ -66,6 +74,10 @@ pub struct Analysis {
     pub strides: StrideInfo,
     /// Per-conditional-branch static facts, in PC order.
     pub branches: Vec<BranchInfo>,
+    /// Reaching definitions, liveness and def-use chains.
+    pub dataflow: Dataflow,
+    /// CIDI/CIDD/clobbered verdicts for every hammock's CI region.
+    pub cidi: CidiAnalysis,
     /// Lint findings, sorted by PC.
     pub lints: Vec<Lint>,
 }
@@ -91,12 +103,14 @@ pub fn analyze(prog: &Program) -> Analysis {
         // Empty program: one virtual node, nothing to analyze.
         let trivial = DomTree::compute(&[Vec::new()], 0);
         return Analysis {
+            dataflow: Dataflow::compute(prog, &cfg),
             cfg,
             dom: trivial.clone(),
             pdom: trivial,
             loops: LoopInfo::default(),
             strides: StrideInfo::compute(prog),
             branches: Vec::new(),
+            cidi: CidiAnalysis::default(),
             lints: Vec::new(),
         };
     }
@@ -105,7 +119,18 @@ pub fn analyze(prog: &Program) -> Analysis {
     let loops = LoopInfo::compute(&cfg, &dom);
     let strides = StrideInfo::compute(prog);
     let branches = branches::analyze_branches(prog, &cfg, &dom, &pdom, &loops, &strides);
-    let lints = lint::lint(prog, &cfg);
+    let dataflow = Dataflow::compute(prog, &cfg);
+    let cidi = cidi::classify(
+        prog,
+        &cfg,
+        &pdom,
+        &loops,
+        &strides,
+        &dataflow,
+        &branches,
+        cidi::DEFAULT_HORIZON,
+    );
+    let lints = lint::lint(prog, &cfg, &dataflow);
     Analysis {
         cfg,
         dom,
@@ -113,6 +138,8 @@ pub fn analyze(prog: &Program) -> Analysis {
         loops,
         strides,
         branches,
+        dataflow,
+        cidi,
         lints,
     }
 }

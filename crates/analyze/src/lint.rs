@@ -1,7 +1,7 @@
 //! Workload lint pass: structural problems in synthetic kernels that
 //! would silently skew simulator results.
 //!
-//! Four checks:
+//! Five checks:
 //!
 //! * **TargetOutOfRange** — a direct branch/jump whose target is not a
 //!   valid instruction index (mirrors `Program::validate`, but reported
@@ -13,13 +13,16 @@
 //!   indirect targets are resolved first, so jump-table handlers do
 //!   not trip this).
 //! * **ReadBeforeWrite** — a register read on some path before any
-//!   instruction wrote it. Found with a definite-assignment dataflow:
-//!   a register is *surely written* at a block entry only if it is
-//!   surely written at the exit of **every** predecessor. `r0` is
-//!   architecturally zero and exempt.
+//!   instruction wrote it: the entry pseudo-def of the register (see
+//!   [`crate::dataflow`]) reaches the read. `r0` is architecturally
+//!   zero and exempt.
+//! * **DeadStore** — a register def that reaches no use and is killed
+//!   on every path before the program exits: the instruction's result
+//!   can never be observed.
 
 use crate::cfg::Cfg;
-use cfir_isa::{Program, NUM_LOGICAL_REGS};
+use crate::dataflow::Dataflow;
+use cfir_isa::Program;
 
 /// Kind of problem a lint found.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +35,8 @@ pub enum LintKind {
     UnreachableBlock,
     /// Register read before any write on some path.
     ReadBeforeWrite,
+    /// Register def that no path can ever observe.
+    DeadStore,
 }
 
 impl LintKind {
@@ -42,6 +47,7 @@ impl LintKind {
             LintKind::FallthroughOffEnd => "fallthrough_off_end",
             LintKind::UnreachableBlock => "unreachable_block",
             LintKind::ReadBeforeWrite => "read_before_write",
+            LintKind::DeadStore => "dead_store",
         }
     }
 }
@@ -63,8 +69,9 @@ impl std::fmt::Display for Lint {
     }
 }
 
-/// Run all lint checks over `prog` with its `cfg`.
-pub fn lint(prog: &Program, cfg: &Cfg) -> Vec<Lint> {
+/// Run all lint checks over `prog` with its `cfg` and solved
+/// dataflow facts.
+pub fn lint(prog: &Program, cfg: &Cfg, df: &Dataflow) -> Vec<Lint> {
     let mut out = Vec::new();
     let n = prog.len();
     // Out-of-range direct targets.
@@ -96,79 +103,35 @@ pub fn lint(prog: &Program, cfg: &Cfg) -> Vec<Lint> {
             });
         }
     }
-    out.extend(read_before_write(prog, cfg));
+    out.extend(read_before_write(prog, cfg, df));
+    out.extend(dead_stores(cfg, df));
     out.sort_by_key(|l| (l.pc, l.kind.name()));
     out
 }
 
-/// Definite-assignment dataflow over registers, as `u64` bitmasks
-/// (NUM_LOGICAL_REGS ≤ 64). `IN[b] = ∩ OUT[pred]`; entry starts with
-/// only `r0` surely written. Reports the first offending read per
-/// `(pc, reg)` pair.
-fn read_before_write(prog: &Program, cfg: &Cfg) -> Vec<Lint> {
-    let nb = cfg.len();
-    if nb == 0 {
-        return Vec::new();
-    }
-    const _: () = assert!(
-        NUM_LOGICAL_REGS <= 64,
-        "bitmask dataflow assumes <= 64 regs"
-    );
-    let gen_of = |b: usize| -> u64 {
-        let mut w = 0u64;
-        for pc in cfg.blocks[b].pcs() {
-            if let Some(rd) = prog.insts[pc as usize].dest() {
-                w |= 1u64 << rd;
-            }
-        }
-        w
-    };
-    let gens: Vec<u64> = (0..nb).map(gen_of).collect();
-    // IN[entry] = {r0} always — execution starts there with nothing
-    // else written, whatever back edges exist. IN[b] = ∩ OUT[pred]
-    // over reachable preds; OUT starts at "everything written" so the
-    // intersection converges downwards.
-    let in_mask_of = |b: usize, out_mask: &[u64]| -> u64 {
-        if b == 0 {
-            return 1u64;
-        }
-        let mut m = u64::MAX;
-        for &p in &cfg.blocks[b].preds {
-            if cfg.reachable[p] {
-                m &= out_mask[p];
-            }
-        }
-        m
-    };
-    let mut out_mask = vec![u64::MAX; nb];
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for b in 0..nb {
-            if !cfg.reachable[b] {
-                continue;
-            }
-            let new_out = in_mask_of(b, &out_mask) | gens[b];
-            if new_out != out_mask[b] {
-                out_mask[b] = new_out;
-                changed = true;
-            }
-        }
-    }
-    // Second pass: walk each reachable block with its IN mask and flag
-    // reads of not-surely-written registers.
+/// Read-before-write on top of reaching definitions: a read of `r` at
+/// `pc` is flagged when the *entry pseudo-def* of `r` reaches it —
+/// i.e. some path from the entry arrives at the read without ever
+/// writing `r`. Reports each offending `(pc, reg)` pair once.
+fn read_before_write(prog: &Program, cfg: &Cfg, df: &Dataflow) -> Vec<Lint> {
     let mut lints = Vec::new();
-    let mut seen: Vec<(u32, u8)> = Vec::new();
-    for b in 0..nb {
+    for b in 0..cfg.len() {
         if !cfg.reachable[b] {
             continue;
         }
-        let mut written = in_mask_of(b, &out_mask);
         for pc in cfg.blocks[b].pcs() {
             let inst = prog.insts[pc as usize];
-            for src in inst.sources().into_iter().flatten() {
-                if src != 0 && written & (1u64 << src) == 0 && !seen.contains(&(pc, src)) {
-                    seen.push((pc, src));
+            let mut srcs: Vec<u8> = inst.sources().into_iter().flatten().collect();
+            srcs.dedup();
+            for src in srcs {
+                if src == 0 {
+                    continue;
+                }
+                if df
+                    .reaching_defs(pc, src)
+                    .iter()
+                    .any(|&i| df.is_entry_def(i))
+                {
                     lints.push(Lint {
                         kind: LintKind::ReadBeforeWrite,
                         pc,
@@ -176,8 +139,31 @@ fn read_before_write(prog: &Program, cfg: &Cfg) -> Vec<Lint> {
                     });
                 }
             }
-            if let Some(rd) = inst.dest() {
-                written |= 1u64 << rd;
+        }
+    }
+    lints
+}
+
+/// Dead-store detection on the def-use chains: a real def that reaches
+/// no use *and* does not survive to the program exit is overwritten on
+/// every path before anyone could read it.
+fn dead_stores(cfg: &Cfg, df: &Dataflow) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    for b in 0..cfg.len() {
+        if !cfg.reachable[b] {
+            continue;
+        }
+        for pc in cfg.blocks[b].pcs() {
+            let Some(id) = df.def_at(pc) else { continue };
+            if df.uses_of(id).is_empty() && !df.reaches_exit(id) {
+                let reg = df.defs[id as usize].reg;
+                lints.push(Lint {
+                    kind: LintKind::DeadStore,
+                    pc,
+                    detail: format!(
+                        "r{reg} written here is overwritten on every path before any read"
+                    ),
+                });
             }
         }
     }
@@ -192,7 +178,8 @@ mod tests {
     fn lints_of(src: &str) -> Vec<Lint> {
         let p = assemble("t", src).unwrap();
         let cfg = Cfg::build(&p);
-        lint(&p, &cfg)
+        let df = Dataflow::compute(&p, &cfg);
+        lint(&p, &cfg, &df)
     }
 
     fn kinds(ls: &[Lint]) -> Vec<LintKind> {
@@ -311,7 +298,62 @@ mod tests {
             ],
         );
         let cfg = Cfg::build(&p);
-        let ls = lint(&p, &cfg);
+        let df = Dataflow::compute(&p, &cfg);
+        let ls = lint(&p, &cfg, &df);
         assert_eq!(kinds(&ls), vec![LintKind::TargetOutOfRange]);
+    }
+
+    #[test]
+    fn dead_store_overwritten_on_every_path_flagged() {
+        let ls = lints_of(
+            r#"
+            li r1, 1          ; 0  dead: overwritten at 1 and 3
+            beq r9, r0, other ; .. (r9 rbw is separate)
+            li r1, 5
+            jmp join
+        other:
+            li r1, 7
+        join:
+            add r2, r1, r0
+            halt
+            "#,
+        );
+        let dead: Vec<&Lint> = ls
+            .iter()
+            .filter(|l| l.kind == LintKind::DeadStore)
+            .collect();
+        assert_eq!(dead.len(), 1, "only the first li is dead: {ls:?}");
+        assert_eq!(dead[0].pc, 0);
+    }
+
+    #[test]
+    fn def_surviving_to_exit_is_not_a_dead_store() {
+        // r1's final value reaches the exit unread — an output value,
+        // not a dead store.
+        let ls = lints_of("li r1, 1\nhalt");
+        assert!(ls.is_empty(), "unexpected lints: {ls:?}");
+    }
+
+    #[test]
+    fn dead_store_killed_in_same_block_flagged() {
+        let ls = lints_of("li r1, 1\nli r1, 2\nadd r2, r1, r0\nhalt");
+        assert_eq!(kinds(&ls), vec![LintKind::DeadStore]);
+        assert_eq!(ls[0].pc, 0);
+    }
+
+    #[test]
+    fn loop_carried_accumulator_is_not_a_dead_store() {
+        // The accumulator's def reaches its own use via the back edge.
+        let ls = lints_of(
+            r#"
+            li r1, 0
+            li r2, 4
+        loop:
+            addi r1, r1, 1
+            blt r1, r2, loop
+            halt
+            "#,
+        );
+        assert!(ls.is_empty(), "unexpected lints: {ls:?}");
     }
 }

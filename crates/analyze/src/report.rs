@@ -12,7 +12,13 @@ use cfir_isa::Program;
 use cfir_obs::json::JsonWriter;
 
 /// Version of the analyzer report schema. Bump on breaking changes.
-pub const ANALYZE_SCHEMA_VERSION: u32 = 1;
+///
+/// * v1 — CFG/loop/stride facts, per-branch RCPs, the RCP agreement
+///   metric, lints.
+/// * v2 — additive: per-branch CIDI classification (`cidi_fraction`,
+///   `n_cidi`/`n_cidd`/`n_clobbered`, `cidi_verdicts`) and the
+///   kernel-level `cidi` summary object.
+pub const ANALYZE_SCHEMA_VERSION: u32 = 2;
 
 /// One static-vs-dynamic reconvergence disagreement.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -122,9 +128,14 @@ pub fn write_report(prog: &Program, a: &Analysis, w: &mut JsonWriter) {
     w.end_obj();
     w.key("branches").begin_arr();
     for b in &a.branches {
-        write_branch(b, prog, w);
+        write_branch(b, prog, a, w);
     }
     w.end_arr();
+    w.key("cidi").begin_obj();
+    w.field_u64("horizon", a.cidi.horizon as u64);
+    w.field_u64("branches_classified", a.cidi.branches.len() as u64);
+    w.field_f64("mean_cidi_fraction", a.cidi.mean_cidi_fraction());
+    w.end_obj();
     w.key("agreement").begin_obj();
     w.field_u64("hammock_checked", agreement.hammock_checked);
     w.field_u64("hammock_agree", agreement.hammock_agree);
@@ -159,7 +170,7 @@ pub fn write_report(prog: &Program, a: &Analysis, w: &mut JsonWriter) {
     w.end_obj();
 }
 
-fn write_branch(b: &BranchInfo, prog: &Program, w: &mut JsonWriter) {
+fn write_branch(b: &BranchInfo, prog: &Program, a: &Analysis, w: &mut JsonWriter) {
     w.begin_obj();
     w.field_u64("pc", b.pc as u64);
     w.field_u64("target", b.target as u64);
@@ -174,6 +185,20 @@ fn write_branch(b: &BranchInfo, prog: &Program, w: &mut JsonWriter) {
     w.field_u64("ci_region_len", b.ci_region_len as u64);
     w.field_u64("ci_loads", b.ci_loads as u64);
     w.field_u64("ci_strided_loads", b.ci_strided_loads as u64);
+    if let Some(c) = a.cidi.for_branch(b.pc) {
+        w.field_f64("cidi_fraction", c.cidi_fraction());
+        w.field_u64("n_cidi", c.n_cidi as u64);
+        w.field_u64("n_cidd", c.n_cidd as u64);
+        w.field_u64("n_clobbered", c.n_clobbered as u64);
+        w.key("cidi_verdicts").begin_arr();
+        for v in &c.verdicts {
+            w.begin_obj();
+            w.field_u64("pc", v.pc as u64);
+            w.field_str("verdict", v.verdict.name());
+            w.end_obj();
+        }
+        w.end_arr();
+    }
     w.end_obj();
 }
 
@@ -237,6 +262,20 @@ mod tests {
         assert_eq!(hammock.get("class").unwrap().as_str(), Some("ifthenelse"));
         assert_eq!(hammock.get("rcp").unwrap().as_u64(), Some(10));
         assert_eq!(hammock.get("rcp_estimate").unwrap().as_u64(), Some(10));
+        // v2: CIDI fields on the hammock (figure-1's region is fully
+        // data independent) and the kernel-level summary.
+        assert_eq!(hammock.get("cidi_fraction").unwrap().as_f64(), Some(1.0));
+        assert_eq!(hammock.get("n_cidi").unwrap().as_u64(), Some(3));
+        assert_eq!(hammock.get("n_cidd").unwrap().as_u64(), Some(0));
+        let verdicts = hammock.get("cidi_verdicts").unwrap().as_arr().unwrap();
+        assert_eq!(verdicts.len(), 3);
+        assert_eq!(verdicts[0].get("pc").unwrap().as_u64(), Some(10));
+        assert_eq!(verdicts[0].get("verdict").unwrap().as_str(), Some("cidi"));
+        let cidi = k.get("cidi").unwrap();
+        assert_eq!(cidi.get("branches_classified").unwrap().as_u64(), Some(1));
+        assert_eq!(cidi.get("mean_cidi_fraction").unwrap().as_f64(), Some(1.0));
+        // The loopback latch is not classified: no cidi keys on it.
+        assert!(branches[1].get("cidi_fraction").is_none());
         let agr = k.get("agreement").unwrap();
         assert_eq!(agr.get("hammock_checked").unwrap().as_u64(), Some(1));
         assert_eq!(agr.get("hammock_fraction").unwrap().as_f64(), Some(1.0));

@@ -1100,6 +1100,146 @@ fn exp_bottleneck(p: &Params) -> Experiment {
     }
 }
 
+/// Minimum aggregate static/dynamic agreement the CIDI oracle matrix
+/// must reach: across every (kernel, mode) run, at least this fraction
+/// of scored reuse outcomes must match the static verdict.
+const CIDI_MIN_AGREEMENT: f64 = 0.85;
+
+fn exp_cidi(p: &Params) -> Experiment {
+    let modes = [Mode::Scalar, Mode::WideBus, Mode::Ci, Mode::Vect];
+    let mut jobs = Vec::new();
+    for mode in modes {
+        let cfg = runner::config(mode, 1, RegFileSize::Finite(512));
+        jobs.extend(suite_jobs(p, &cfg));
+    }
+    let spec = p.spec;
+    Experiment {
+        name: "exp_cidi",
+        title: "CIDI oracle: static dataflow verdicts vs runtime reuse outcomes",
+        jobs,
+        aggregate: Box::new(move |ctx, results| {
+            use cfir_analyze::LoadClass;
+            // Static side, recomputed per kernel from the same programs
+            // the jobs ran: the mean CIDI fraction of its hammocks, and
+            // whether any load is pointer-chasing. Irregular kernels
+            // are exempt from the zero-failure gate — the may-alias
+            // channel deliberately clobbers load-derived addresses, so
+            // their CI loads are never classified CIDI in the first
+            // place, and stray attributions must not fail the suite.
+            let mut static_frac = vec![0.0f64; NAMES.len()];
+            let mut irregular = vec![false; NAMES.len()];
+            for (bi, name) in NAMES.iter().enumerate() {
+                let w = cfir_workloads::by_name(name, spec)
+                    .ok_or_else(|| format!("unknown benchmark {name}"))?;
+                let a = cfir_analyze::analyze(&w.prog);
+                static_frac[bi] = a.cidi.mean_cidi_fraction();
+                irregular[bi] = a
+                    .strides
+                    .loads
+                    .iter()
+                    .any(|&(_, c)| c == LoadClass::Irregular);
+            }
+            let mut t = Table::new(
+                "CIDI oracle: static verdicts vs runtime reuse outcomes",
+                &[
+                    "bench",
+                    "mode",
+                    "cidi_checked",
+                    "cidi_agreed",
+                    "agreement",
+                    "cidi_pred_failures",
+                    "cidd_clean_reuses",
+                    "mechanism_repairs",
+                    "unclassified",
+                ],
+            );
+            let mut total_checked = 0u64;
+            let mut total_agreed = 0u64;
+            let mut pred_failures = vec![0u64; NAMES.len()];
+            for (mi, mode) in modes.iter().enumerate() {
+                for (bi, bench) in NAMES.iter().enumerate() {
+                    let r = results[mi * NAMES.len() + bi];
+                    let v = cfir_obs::json::parse(&r.snapshot)?;
+                    let d = v.get("dataflow_oracle").ok_or_else(|| {
+                        format!("{bench}/{}: no dataflow_oracle object", mode.label())
+                    })?;
+                    let g = |k: &str| d.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+                    let (checked, agreed) = (g("cidi_checked"), g("cidi_agreed"));
+                    total_checked += checked;
+                    total_agreed += agreed;
+                    pred_failures[bi] += g("cidi_predicted_failures");
+                    t.row(vec![
+                        bench.to_string(),
+                        mode.label().into(),
+                        checked.to_string(),
+                        agreed.to_string(),
+                        f3(agreed as f64 / checked.max(1) as f64),
+                        g("cidi_predicted_failures").to_string(),
+                        g("cidd_clean_reuses").to_string(),
+                        g("mechanism_repairs").to_string(),
+                        g("unclassified").to_string(),
+                    ]);
+                }
+            }
+            // Validation: per-kernel static fraction, the zero-failure
+            // gate verdict, and the matrix-wide agreement gate.
+            let mut vt = Table::new(
+                "Validation: static CIDI fraction and the zero-failure gate",
+                &[
+                    "bench",
+                    "loads",
+                    "mean_cidi_fraction",
+                    "pred_failures",
+                    "gate",
+                ],
+            );
+            for (bi, bench) in NAMES.iter().enumerate() {
+                vt.row(vec![
+                    bench.to_string(),
+                    if irregular[bi] {
+                        "irregular"
+                    } else {
+                        "regular"
+                    }
+                    .into(),
+                    f3(static_frac[bi]),
+                    pred_failures[bi].to_string(),
+                    if irregular[bi] { "exempt" } else { "gated" }.into(),
+                ]);
+                if !irregular[bi] && pred_failures[bi] > 0 {
+                    return Err(format!(
+                        "{bench}: {} CIDI-predicted reuses failed validation on a kernel \
+                         with no pointer-chasing loads — the static classification is wrong",
+                        pred_failures[bi]
+                    ));
+                }
+            }
+            if total_checked == 0 {
+                return Err("no reuse outcomes were scored anywhere in the matrix".into());
+            }
+            let agreement = total_agreed as f64 / total_checked as f64;
+            if agreement < CIDI_MIN_AGREEMENT {
+                return Err(format!(
+                    "static/dynamic agreement {agreement:.3} ({total_agreed}/{total_checked}) \
+                     below the {CIDI_MIN_AGREEMENT} gate"
+                ));
+            }
+            let mut artifacts = table_artifacts(ctx, "exp_cidi", &t, results)?;
+            artifacts.extend(table_artifacts(ctx, "exp_cidi_validation", &vt, &[])?);
+            Ok(ExperimentOutput {
+                stdout: format!(
+                    "{}{}aggregate agreement {:.1}% ({total_agreed}/{total_checked} outcomes); \
+                     zero CIDI-predicted failures on regular-access kernels.\n",
+                    t.render(),
+                    vt.render(),
+                    agreement * 100.0
+                ),
+                artifacts,
+            })
+        }),
+    }
+}
+
 fn exp_warmup(p: &Params) -> Experiment {
     let mut cfg = runner::config(Mode::Ci, 1, RegFileSize::Finite(512));
     cfg.interval_cycles = 10_000;
@@ -1305,7 +1445,7 @@ pub fn smoke_experiment(p: &Params, bench: &str) -> Experiment {
 // ---------------------------------------------------------------------------
 
 /// Names of every registered experiment, in canonical (suite) order.
-pub const EXPERIMENT_NAMES: [&str; 18] = [
+pub const EXPERIMENT_NAMES: [&str; 19] = [
     "table1",
     "fig04",
     "fig05",
@@ -1322,6 +1462,7 @@ pub const EXPERIMENT_NAMES: [&str; 18] = [
     "exp_limit",
     "exp_warmup",
     "exp_bottleneck",
+    "exp_cidi",
     "sweep",
     "smoke",
 ];
@@ -1346,6 +1487,7 @@ pub fn by_name(p: &Params, name: &str) -> Option<Experiment> {
         "exp_limit" => exp_limit(p),
         "exp_warmup" => exp_warmup(p),
         "exp_bottleneck" => exp_bottleneck(p),
+        "exp_cidi" => exp_cidi(p),
         "sweep" => sweep_default(p),
         "smoke" => smoke_experiment(p, "bzip2"),
         _ => return None,
@@ -1374,6 +1516,7 @@ pub fn profile(name: &str) -> Option<Vec<&'static str>> {
             "exp_limit",
             "exp_warmup",
             "exp_bottleneck",
+            "exp_cidi",
             "sweep",
         ],
         "all" => EXPERIMENT_NAMES.to_vec(),
@@ -1471,6 +1614,7 @@ mod tests {
         assert_eq!(count("exp_limit"), 3 * 12);
         assert_eq!(count("exp_warmup"), 2);
         assert_eq!(count("exp_bottleneck"), 4 * 12 + 12);
+        assert_eq!(count("exp_cidi"), 4 * 12);
         assert_eq!(count("sweep"), 2 * 12);
         assert_eq!(count("smoke"), 5);
     }

@@ -54,6 +54,61 @@ impl Pipeline<'_> {
             // --- Reuse finalisation (architectural verify) ---
             if let Some(r) = e.reuse {
                 let correct = self.arch_value_of(&e);
+                // Dataflow oracle: a reused value surviving to commit
+                // unchanged is a definitive "clean" outcome for the
+                // static CIDI verdict. A repair is dataflow evidence
+                // only when the instance pairing is still provably
+                // sound here: squash-reuse pairs the same dynamic
+                // instance by FIFO construction (no SRSMT entry), and
+                // an SRSMT reuse is sound only if its entry is live
+                // with a matching generation and a completed replica
+                // slot. A repair with broken pairing (stale
+                // generation, torn-down entry, incomplete replica)
+                // says nothing about cross-path dataflow and is
+                // recorded as a mechanism repair instead.
+                if correct == r.value {
+                    self.stats
+                        .branch_prof
+                        .note_cidi_outcome(r.event, e.pc, true);
+                } else {
+                    // Two mechanism fingerprints are excluded even
+                    // when the entry is live: a reuse that delivered
+                    // something other than what its replica slot
+                    // computed (pending slot grabbed before the value
+                    // landed — unfaithful delivery), and instance
+                    // skew, where an intervening squash offset the
+                    // architectural stream so the correct value sits
+                    // in a *different* replica slot of the same
+                    // entry. Neither says an arm definition reached
+                    // the input.
+                    let sound = match r.srsmt_idx {
+                        None => true,
+                        Some(idx) => self
+                            .mech
+                            .as_ref()
+                            .and_then(|m| m.srsmt.get(idx))
+                            .is_some_and(|ent| {
+                                ent.gen == r.gen
+                                    && r.replica < ent.head
+                                    && ent.is_complete(r.replica)
+                                    && ent.value_of(r.replica) == r.value
+                                    && !(0..ent.head).any(|k| {
+                                        k != r.replica
+                                            && ent.is_complete(k)
+                                            && ent.value_of(k) == correct
+                                    })
+                            }),
+                    };
+                    if sound {
+                        self.stats
+                            .branch_prof
+                            .note_cidi_outcome(r.event, e.pc, false);
+                    } else {
+                        self.stats
+                            .branch_prof
+                            .note_cidi_mechanism_repair(r.event, e.pc);
+                    }
+                }
                 if correct == r.value {
                     self.stats.committed_reuse += 1;
                     // Scorecard: this reuse skipped one execution; the

@@ -310,7 +310,8 @@ impl Pipeline<'_> {
                     let value = self.rob[i].value;
                     let addr = self.rob[i].addr;
                     let is_load = self.rob[i].inst.is_load();
-                    self.verify_probe(pr, value, addr, is_load);
+                    let pc = self.rob[i].pc;
+                    self.verify_probe(pr, pc, value, addr, is_load);
                 }
             }
             if let Some(p) = self.rob[i].new_phys {
@@ -596,6 +597,7 @@ impl Pipeline<'_> {
     pub(crate) fn verify_probe(
         &mut self,
         pr: crate::rob::ProbeInfo,
+        pc: u32,
         value: u64,
         addr: Option<u64>,
         is_load: bool,
@@ -603,6 +605,9 @@ impl Pipeline<'_> {
         let Some(mut m) = self.mech.take() else {
             return;
         };
+        // Dataflow oracle: capture the CI event that owns the SRSMT
+        // entry before any teardown below erases it.
+        let event = m.srsmt.get(pr.srsmt_idx).and_then(|ent| ent.event);
         let verdict = {
             match m.srsmt.get(pr.srsmt_idx) {
                 Some(ent) if ent.gen == pr.gen && pr.replica < ent.head => {
@@ -631,6 +636,22 @@ impl Pipeline<'_> {
                 _ => None,
             }
         };
+        // Dataflow oracle: a confirming probe is clean-reuse evidence
+        // for the instruction at `pc`. A mismatching probe is not the
+        // mirror image — the probe validates the replica's speculative
+        // precomputation (stride-extrapolated addresses, operand
+        // snapshots taken at vectorization time), so a mismatch shows
+        // the *mechanism's* extrapolation broke (e.g. a masked index
+        // wrapping past the stride run, or instance skew), not that an
+        // arm definition reached the instruction. Mismatches are
+        // recorded as mechanism repairs; the instance-exact dataflow
+        // test lives at commit (architectural verify of reused
+        // values). None = could not verify, nothing to score.
+        match verdict {
+            Some(true) => self.stats.branch_prof.note_cidi_outcome(event, pc, true),
+            Some(false) => self.stats.branch_prof.note_cidi_mechanism_repair(event, pc),
+            None => {}
+        }
         match verdict {
             Some(true) => {
                 let ent = m.srsmt.get_mut(pr.srsmt_idx).unwrap();

@@ -309,6 +309,16 @@ impl<'a> Pipeline<'a> {
                 },
             );
         }
+        // ... and with the dataflow engine's CIDI/CIDD/clobbered
+        // verdicts, so every reuse outcome in a hammock's CI region
+        // can be scored against the static dataflow prediction.
+        for bc in &analysis.cidi.branches {
+            for v in &bc.verdicts {
+                pipe.stats
+                    .branch_prof
+                    .set_cidi_verdict(bc.branch_pc, v.pc, v.verdict.name());
+            }
+        }
         pipe
     }
 

@@ -55,6 +55,13 @@ pub struct BranchScore {
     pub rcp_checks: u64,
     /// ... of which the estimate matched the static truth exactly.
     pub rcp_agree: u64,
+    /// Runtime dataflow-oracle comparisons at this branch: reuse
+    /// outcomes of instructions the static CIDI classification issued
+    /// a verdict for.
+    pub cidi_checks: u64,
+    /// ... of which the outcome matched the verdict (CIDI reused
+    /// clean; CIDD/clobbered needed repair).
+    pub cidi_agree: u64,
 }
 
 impl BranchScore {
@@ -87,6 +94,8 @@ impl BranchScore {
         self.cycles_saved += other.cycles_saved;
         self.rcp_checks += other.rcp_checks;
         self.rcp_agree += other.rcp_agree;
+        self.cidi_checks += other.cidi_checks;
+        self.cidi_agree += other.cidi_agree;
     }
 }
 
@@ -117,6 +126,25 @@ pub struct BranchProf {
     pub unattributed: BranchScore,
     /// Static oracle truth per branch PC (seeded at pipeline build).
     statics: HashMap<u32, StaticTruth>,
+    /// Static CIDI verdict per `(branch PC, instruction PC)` pair,
+    /// seeded from the dataflow engine at pipeline build. Values are
+    /// the verdict names (`"cidi"`, `"cidd"`, `"clobbered"`).
+    cidi_verdicts: HashMap<(u32, u32), &'static str>,
+    /// CIDI-predicted instructions whose reuse failed validation — the
+    /// static analysis promised success and was wrong.
+    pub cidi_pred_failures: u64,
+    /// CIDD/clobbered-predicted instructions that reused clean — the
+    /// validation the analysis demanded turned out unnecessary.
+    pub cidd_clean_reuses: u64,
+    /// Scored reuse outcomes the oracle could not classify (no event
+    /// attribution, or the instruction lies outside the classified
+    /// region / horizon).
+    pub cidi_unclassified: u64,
+    /// Verdict-attributed commit-stage repairs excluded from scoring:
+    /// the decode-time pairing was already broken, so the repair is
+    /// mechanism mis-speculation, not dataflow evidence (see
+    /// [`BranchProf::note_cidi_mechanism_repair`]).
+    pub cidi_mechanism_repairs: u64,
     /// Outcomes already folded (see [`BranchProf::finalize`]).
     finalized: bool,
 }
@@ -167,6 +195,79 @@ impl BranchProf {
     /// the static oracle (1.0 when nothing was checked).
     pub fn rcp_agreement(&self) -> f64 {
         let (checked, agreed) = self.rcp_totals();
+        if checked == 0 {
+            1.0
+        } else {
+            agreed as f64 / checked as f64
+        }
+    }
+
+    /// Seed the static CIDI verdict for `inst_pc` in the CI region of
+    /// the branch at `branch_pc`.
+    pub fn set_cidi_verdict(&mut self, branch_pc: u32, inst_pc: u32, verdict: &'static str) {
+        self.cidi_verdicts.insert((branch_pc, inst_pc), verdict);
+    }
+
+    /// Static CIDI verdict for `(branch_pc, inst_pc)`, if seeded.
+    pub fn cidi_verdict(&self, branch_pc: u32, inst_pc: u32) -> Option<&'static str> {
+        self.cidi_verdicts.get(&(branch_pc, inst_pc)).copied()
+    }
+
+    /// A definitive runtime reuse outcome for the instruction at
+    /// `inst_pc` under the CI event `event`: `clean` is `true` when
+    /// the saved value validated / committed unchanged, `false` when
+    /// validation failed and the value had to be repaired. Scores the
+    /// static verdict: CIDI must reuse clean, CIDD/clobbered must not.
+    pub fn note_cidi_outcome(&mut self, event: Option<u64>, inst_pc: u32, clean: bool) {
+        let Some(branch_pc) = event.and_then(|id| self.event_pc.get(&id).copied()) else {
+            self.cidi_unclassified += 1;
+            return;
+        };
+        let Some(verdict) = self.cidi_verdicts.get(&(branch_pc, inst_pc)).copied() else {
+            self.cidi_unclassified += 1;
+            return;
+        };
+        let s = self.scores.entry(branch_pc).or_default();
+        s.cidi_checks += 1;
+        let agree = if verdict == "cidi" { clean } else { !clean };
+        if agree {
+            s.cidi_agree += 1;
+        } else if verdict == "cidi" {
+            self.cidi_pred_failures += 1;
+        } else {
+            self.cidd_clean_reuses += 1;
+        }
+    }
+
+    /// A commit-stage reuse repair: the decode-time checks let a value
+    /// through that architectural verify rejected. The repair is *not*
+    /// evidence about the static CIDI claim — the mechanism's instance
+    /// pairing is already known-broken (stale generation, torn-down
+    /// entry, or an incomplete replica slot), so the wrong value says
+    /// nothing about whether this instruction depends on the branch.
+    /// Counted separately so the exclusion is visible in the oracle.
+    pub fn note_cidi_mechanism_repair(&mut self, event: Option<u64>, inst_pc: u32) {
+        let attributed = event
+            .and_then(|id| self.event_pc.get(&id).copied())
+            .is_some_and(|bpc| self.cidi_verdicts.contains_key(&(bpc, inst_pc)));
+        if attributed {
+            self.cidi_mechanism_repairs += 1;
+        } else {
+            self.cidi_unclassified += 1;
+        }
+    }
+
+    /// `(checked, agreed)` runtime dataflow-oracle totals over all
+    /// branches.
+    pub fn cidi_totals(&self) -> (u64, u64) {
+        let t = self.totals();
+        (t.cidi_checks, t.cidi_agree)
+    }
+
+    /// Runtime agreement fraction between the static CIDI verdicts and
+    /// the observed reuse outcomes (1.0 when nothing was checked).
+    pub fn cidi_agreement(&self) -> f64 {
+        let (checked, agreed) = self.cidi_totals();
         if checked == 0 {
             1.0
         } else {
@@ -384,6 +485,44 @@ mod tests {
         assert_eq!(p.rcp_totals(), (3, 2));
         assert!((p.rcp_agreement() - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(BranchProf::default().rcp_agreement(), 1.0);
+    }
+
+    #[test]
+    fn cidi_oracle_counters() {
+        let mut p = BranchProf::default();
+        let mut ev = EventStats::new();
+        let e = ev.open_event();
+        p.note_event(10, e);
+        p.set_cidi_verdict(10, 14, "cidi");
+        p.set_cidi_verdict(10, 15, "cidd");
+        assert_eq!(p.cidi_verdict(10, 14), Some("cidi"));
+        assert_eq!(p.cidi_verdict(10, 99), None);
+        // CIDI + clean reuse: agree.
+        p.note_cidi_outcome(Some(e), 14, true);
+        // CIDI + failed validation: the headline disagreement.
+        p.note_cidi_outcome(Some(e), 14, false);
+        // CIDD + repair: agree. CIDD + clean: disagree.
+        p.note_cidi_outcome(Some(e), 15, false);
+        p.note_cidi_outcome(Some(e), 15, true);
+        // No verdict for this pc, and no event at all: unclassified.
+        p.note_cidi_outcome(Some(e), 99, true);
+        p.note_cidi_outcome(None, 14, true);
+        // Commit-stage repairs: a verdict-attributed one is excluded
+        // from scoring as a mechanism repair; unattributed ones are
+        // unclassified.
+        p.note_cidi_mechanism_repair(Some(e), 14);
+        p.note_cidi_mechanism_repair(Some(e), 99);
+        p.note_cidi_mechanism_repair(None, 14);
+        let s = p.get(10).copied().unwrap();
+        assert_eq!(s.cidi_checks, 4);
+        assert_eq!(s.cidi_agree, 2);
+        assert_eq!(p.cidi_pred_failures, 1);
+        assert_eq!(p.cidd_clean_reuses, 1);
+        assert_eq!(p.cidi_mechanism_repairs, 1);
+        assert_eq!(p.cidi_unclassified, 4);
+        assert_eq!(p.cidi_totals(), (4, 2));
+        assert!((p.cidi_agreement() - 0.5).abs() < 1e-12);
+        assert_eq!(BranchProf::default().cidi_agreement(), 1.0);
     }
 
     #[test]

@@ -38,7 +38,11 @@ use cfir_obs::{Hist, JsonWriter};
 ///   PCs, per-branch refetch cycles) and `bottleneck.whatif` (the
 ///   speed-limit rows; every `projected_cycles` ≤ `cycles`). Every v4
 ///   key is unchanged, so v4 consumers can read v5 documents.
-pub const SCHEMA_VERSION: u32 = 5;
+/// * **6** — additive: the `dataflow_oracle` object (runtime scoring
+///   of the static CIDI/CIDD verdicts against actual reuse outcomes)
+///   plus per-branch `cidi_checks`/`cidi_agree` counters. Every v5
+///   key is unchanged, so v5 consumers can read v6 documents.
+pub const SCHEMA_VERSION: u32 = 6;
 
 fn write_hist(w: &mut JsonWriter, key: &str, h: &Hist) {
     w.key(key).begin_obj();
@@ -192,6 +196,21 @@ pub fn run_json(name: &str, label: &str, stats: &SimStats) -> String {
         .field_u64("mbs_nonbranch", stats.oracle_mbs_nonbranch);
     w.end_obj();
 
+    // Static-dataflow-vs-runtime oracle summary (schema v6): how often
+    // the CIDI/CIDD classification predicted the actual reuse outcome.
+    // Outcomes with no event attribution or no static verdict land in
+    // `unclassified` and are excluded from the agreement denominator.
+    let (cidi_checked, cidi_agreed) = prof.cidi_totals();
+    w.key("dataflow_oracle").begin_obj();
+    w.field_u64("cidi_checked", cidi_checked)
+        .field_u64("cidi_agreed", cidi_agreed)
+        .field_f64("cidi_agreement", prof.cidi_agreement())
+        .field_u64("cidi_predicted_failures", prof.cidi_pred_failures)
+        .field_u64("cidd_clean_reuses", prof.cidd_clean_reuses)
+        .field_u64("mechanism_repairs", prof.cidi_mechanism_repairs)
+        .field_u64("unclassified", prof.cidi_unclassified);
+    w.end_obj();
+
     // Bottleneck analysis (schema v5). The hierarchical CPI stack is
     // always computable (it regroups the stall breakdown); the
     // critical path and what-if projections need the whole-run
@@ -268,6 +287,8 @@ fn write_score_fields<'a>(w: &'a mut JsonWriter, s: &BranchScore) -> &'a mut Jso
         .field_u64("cycles_saved", s.cycles_saved)
         .field_u64("rcp_checks", s.rcp_checks)
         .field_u64("rcp_agree", s.rcp_agree)
+        .field_u64("cidi_checks", s.cidi_checks)
+        .field_u64("cidi_agree", s.cidi_agree)
 }
 
 #[cfg(test)]
@@ -315,6 +336,13 @@ mod tests {
         );
         stats.branch_prof.note_rcp_check(0x40, true);
         stats.branch_prof.note_rcp_check(0x40, false);
+        // Schema v6: a CIDI verdict scored against runtime outcomes.
+        stats.branch_prof.note_event(0x40, 9);
+        stats.branch_prof.set_cidi_verdict(0x40, 0x44, "cidi");
+        stats.branch_prof.note_cidi_outcome(Some(9), 0x44, true);
+        stats.branch_prof.note_cidi_outcome(Some(9), 0x44, false);
+        stats.branch_prof.note_cidi_outcome(None, 0x44, true);
+        stats.branch_prof.note_cidi_mechanism_repair(Some(9), 0x44);
         stats.oracle_mbs_checked = 7;
         stats.lifecycle_records = 42;
         stats.lifecycle_dropped = 2;
@@ -346,7 +374,7 @@ mod tests {
 
         let text = run_json("bzip2 \"quoted\"", "ci", &stats);
         let v = json::parse(&text).expect("snapshot parses");
-        assert_eq!(v.get("schema_version").unwrap().as_u64(), Some(5));
+        assert_eq!(v.get("schema_version").unwrap().as_u64(), Some(6));
         assert_eq!(v.get("name").unwrap().as_str(), Some("bzip2 \"quoted\""));
         assert_eq!(v.get("mode").unwrap().as_str(), Some("ci"));
         assert_eq!(v.get("cycles").unwrap().as_u64(), Some(1000));
@@ -389,6 +417,20 @@ mod tests {
         assert!((oracle.get("rcp_agreement").unwrap().as_f64().unwrap() - 0.5).abs() < 1e-12);
         assert_eq!(oracle.get("mbs_checked").unwrap().as_u64(), Some(7));
         assert_eq!(oracle.get("mbs_nonbranch").unwrap().as_u64(), Some(0));
+        // Schema v6: per-branch CIDI counters + the dataflow oracle.
+        assert_eq!(rows[0].get("cidi_checks").unwrap().as_u64(), Some(2));
+        assert_eq!(rows[0].get("cidi_agree").unwrap().as_u64(), Some(1));
+        let dorc = v.get("dataflow_oracle").unwrap();
+        assert_eq!(dorc.get("cidi_checked").unwrap().as_u64(), Some(2));
+        assert_eq!(dorc.get("cidi_agreed").unwrap().as_u64(), Some(1));
+        assert!((dorc.get("cidi_agreement").unwrap().as_f64().unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(
+            dorc.get("cidi_predicted_failures").unwrap().as_u64(),
+            Some(1)
+        );
+        assert_eq!(dorc.get("cidd_clean_reuses").unwrap().as_u64(), Some(0));
+        assert_eq!(dorc.get("mechanism_repairs").unwrap().as_u64(), Some(1));
+        assert_eq!(dorc.get("unclassified").unwrap().as_u64(), Some(1));
         // Schema v4: lifecycle recorder bookkeeping.
         let lc = v.get("lifecycle").unwrap();
         assert_eq!(lc.get("records").unwrap().as_u64(), Some(42));

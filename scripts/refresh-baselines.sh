@@ -38,6 +38,15 @@ cp "$tmp/exp_bottleneck.json" results/baselines/bottleneck.json
 cp "$tmp/exp_bottleneck_validation.csv" \
   results/baselines/bottleneck_validation.csv
 
+# The CIDI dataflow-oracle experiment: 12 kernels x 4 modes scoring
+# static CIDI/CIDD verdicts against runtime reuse outcomes. The
+# aggregator gates the agreement floor and the zero-failure rule for
+# regular-access kernels before anything is copied.
+./target/release/cfir-suite exp_cidi --jobs 2 --emit-json \
+  --out-dir "$tmp" --quiet
+cp "$tmp/exp_cidi.csv" results/baselines/cidi.csv
+cp "$tmp/exp_cidi_validation.csv" results/baselines/cidi_validation.csv
+
 # Static-analysis reports for every kernel (lints + RCP agreement).
 # CI reruns `cfir-analyze --all --check --baseline` against this file.
 ./target/release/cfir-analyze --all --emit-json results/baselines/analyze.json

@@ -64,6 +64,7 @@ fn load_program(name: &str) -> Program {
 struct KernelResult {
     name: String,
     agreement: Agreement,
+    mean_cidi_fraction: f64,
     n_lints: usize,
 }
 
@@ -137,6 +138,7 @@ fn main() {
         results.push(KernelResult {
             name: prog.name.clone(),
             agreement,
+            mean_cidi_fraction: a.cidi.mean_cidi_fraction(),
             n_lints: a.lints.len(),
         });
     }
@@ -202,6 +204,23 @@ fn main() {
                     eprintln!(
                         "cfir-analyze: {}: {key} regressed {base_v:.4} -> {fresh:.4} \
                          (tolerance {tolerance:.4})",
+                        r.name
+                    );
+                    failed = true;
+                }
+            }
+            // Dataflow gate: a kernel's mean CIDI fraction dropping
+            // below the committed value means the classifier started
+            // demoting instructions it used to prove reusable.
+            if let Some(base_v) = bk
+                .get("cidi")
+                .and_then(|c| c.get("mean_cidi_fraction")?.as_f64())
+            {
+                let fresh = r.mean_cidi_fraction;
+                if fresh < base_v - tolerance {
+                    eprintln!(
+                        "cfir-analyze: {}: mean_cidi_fraction regressed {base_v:.4} -> \
+                         {fresh:.4} (tolerance {tolerance:.4})",
                         r.name
                     );
                     failed = true;

@@ -35,6 +35,7 @@ fn usage() -> ! {
          \x20      cfir-report diff  <old.json> <new.json> [--tolerance P%]\n\
          \x20      cfir-report check <baseline.json> <run.json> [--tolerance P%]\n\
          \x20      cfir-report bottleneck <run.json> [<baseline.json>]\n\
+         \x20      cfir-report cidi <run.json>\n\
          \x20      cfir-report timeline <trace.kanata> [--pc N] [--cycle-range LO..HI]\n\
          \x20                  [--around-mispredict N] [--width N]"
     );
@@ -137,7 +138,9 @@ fn main() {
     let mut it = args.iter().map(|s| s.as_str()).peekable();
     while let Some(a) = it.next() {
         match a {
-            "diff" | "check" | "--check" | "bottleneck" if sub.is_none() && files.is_empty() => {
+            "diff" | "check" | "--check" | "bottleneck" | "cidi"
+                if sub.is_none() && files.is_empty() =>
+            {
                 sub = Some(a.trim_start_matches("--"));
             }
             "--tolerance" => {
@@ -157,6 +160,14 @@ fn main() {
             let doc = load(path);
             warn_dropped(path, &doc);
             print!("{}", report::render(&doc));
+        }
+        (Some("cidi"), [path]) => {
+            let doc = load(path);
+            let out = report::render_cidi(&doc).unwrap_or_else(|e| {
+                eprintln!("cfir-report: {e}");
+                exit(2)
+            });
+            print!("{out}");
         }
         (Some("bottleneck"), [new]) | (Some("bottleneck"), [new, _]) => {
             let new_doc = load(new);

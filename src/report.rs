@@ -553,6 +553,79 @@ pub fn render_bottleneck(doc: &JsonValue, old: Option<&JsonValue>) -> Result<Str
     Ok(out)
 }
 
+/// Pretty-print the dataflow-oracle view of a document (every run of a
+/// bundle): the static-CIDI vs runtime-reuse agreement summary plus the
+/// per-branch rows that actually had outcomes scored.
+pub fn render_cidi(doc: &JsonValue) -> Result<String, String> {
+    let runs: Vec<&JsonValue> = match doc.get("runs").and_then(|r| r.as_arr()) {
+        Some(rs) => rs.iter().collect(),
+        None => vec![doc],
+    };
+    if runs.iter().all(|r| r.get("dataflow_oracle").is_none()) {
+        return Err("document carries no dataflow_oracle objects (pre-v6 snapshot?)".into());
+    }
+    let mut out = String::new();
+    for run in runs {
+        let s = |k: &str| run.get(k).and_then(|x| x.as_str()).unwrap_or("?");
+        let _ = writeln!(out, "\n{} / {}", s("name"), s("mode"));
+        let Some(d) = run.get("dataflow_oracle") else {
+            let _ = writeln!(out, "  (no dataflow_oracle object: pre-v6 snapshot)");
+            continue;
+        };
+        let g = |k: &str| d.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+        let agreement = d
+            .get("cidi_agreement")
+            .and_then(|x| x.as_f64())
+            .unwrap_or(1.0);
+        let _ = writeln!(
+            out,
+            "  outcomes scored: {} (agreement {:.2}%)  {}",
+            g("cidi_checked"),
+            agreement * 100.0,
+            bar(agreement)
+        );
+        let _ = writeln!(
+            out,
+            "  CIDI predicted clean but repaired: {}\n  \
+             CIDD/clobbered predicted repair but reused clean: {}\n  \
+             mechanism repairs (broken pairing, excluded from scoring): {}\n  \
+             unclassified outcomes (no verdict or no event): {}",
+            g("cidi_predicted_failures"),
+            g("cidd_clean_reuses"),
+            g("mechanism_repairs"),
+            g("unclassified")
+        );
+        let rows = run
+            .get("branch_prof")
+            .and_then(|bp| bp.get("branches"))
+            .and_then(|b| b.as_arr());
+        let Some(rows) = rows else { continue };
+        let scored: Vec<&JsonValue> = rows
+            .iter()
+            .filter(|r| r.get("cidi_checks").and_then(|x| x.as_u64()).unwrap_or(0) > 0)
+            .collect();
+        if scored.is_empty() {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  per-branch agreement:\n    {:>10} {:>12} {:>11} {:>9}",
+            "pc", "cidi_checks", "cidi_agree", "rate"
+        );
+        for r in scored.iter().take(10) {
+            let gu = |k: &str| r.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+            let (checks, agree) = (gu("cidi_checks"), gu("cidi_agree"));
+            let _ = writeln!(
+                out,
+                "    {:>#10x} {checks:>12} {agree:>11} {:>8.2}%",
+                gu("pc"),
+                agree as f64 / checks.max(1) as f64 * 100.0
+            );
+        }
+    }
+    Ok(out)
+}
+
 /// Pretty-print a snapshot document: headline metrics per run, the
 /// top of the per-branch scorecard, and histogram percentiles.
 pub fn render(doc: &JsonValue) -> String {
@@ -858,6 +931,36 @@ mod tests {
         // A document with no bottleneck objects at all is an error.
         let v1 = parse_doc(r#"{"schema_version":1,"ipc":1.0}"#).unwrap();
         assert!(render_bottleneck(&v1, None).is_err());
+    }
+
+    #[test]
+    fn cidi_render_shows_oracle_summary_and_branch_rows() {
+        let d = parse_doc(
+            r#"{"schema_version":6,"name":"twolf","mode":"ci","ipc":1.0,
+               "branch_prof":{"static_branches":1,
+                 "totals":{},"unattributed":{},
+                 "branches":[{"pc":40,"cidi_checks":8,"cidi_agree":6},
+                             {"pc":44,"cidi_checks":0,"cidi_agree":0}]},
+               "dataflow_oracle":{"cidi_checked":8,"cidi_agreed":6,
+                 "cidi_agreement":0.75,"cidi_predicted_failures":2,
+                 "cidd_clean_reuses":0,"unclassified":3}}"#,
+        )
+        .unwrap();
+        let out = render_cidi(&d).unwrap();
+        assert!(out.contains("twolf / ci"), "{out}");
+        assert!(out.contains("outcomes scored: 8"), "{out}");
+        assert!(out.contains("75.00%"), "{out}");
+        assert!(out.contains("repaired: 2"), "{out}");
+        assert!(
+            out.contains("unclassified outcomes (no verdict or no event): 3"),
+            "{out}"
+        );
+        // Only the branch with scored outcomes appears in the table.
+        assert!(out.contains("0x28"), "{out}");
+        assert!(!out.contains("0x2c"), "{out}");
+        // A document with no dataflow_oracle objects at all is an error.
+        let v5 = parse_doc(&bsnap("b", "ci", 0, 2000, 500, 1.4)).unwrap();
+        assert!(render_cidi(&v5).is_err());
     }
 
     #[test]
