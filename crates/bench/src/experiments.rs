@@ -80,6 +80,7 @@ fn named_job(p: &Params, name: &str, cfg: SimConfig) -> JobSpec {
         },
         cfg: canon(cfg),
         max_insts: p.max_insts,
+        sampling: None,
     }
 }
 
@@ -641,6 +642,7 @@ fn exp_regs(p: &Params) -> Experiment {
                 workload: WorkloadRef::MultiPhase { phase_len: phase },
                 cfg: canon(occ_cfg(daec)),
                 max_insts: p.max_insts,
+                sampling: None,
             });
         }
     }
@@ -1240,6 +1242,149 @@ fn exp_cidi(p: &Params) -> Experiment {
     }
 }
 
+/// Accuracy gate for the sampled estimator: per kernel, the sampled
+/// mean must land within ±3% of the full detailed run, **or** the full
+/// value must lie inside the sampled 95% confidence interval.
+const SAMPLING_MAX_REL_ERROR: f64 = 0.03;
+
+/// Fixed run size of the `exp_sampling` accuracy check — deliberately
+/// independent of `CFIR_INSTS` so the baselined CSV and the job
+/// fingerprints are stable across environments.
+const SAMPLING_FULL_INSTS: u64 = 150_000;
+/// Sampling parameters of the gate: 12 windows across the 150k budget.
+/// The warmup is sized for the slowest-forming detailed state — the
+/// SRSMT reuse table, which only fills from observed mispredictions —
+/// not just for the ROB/LSQ; a short warmup underestimates reuse.
+const SAMPLING_PERIOD: u64 = 12_500;
+const SAMPLING_WARMUP: u64 = 3_500;
+const SAMPLING_WINDOW: u64 = 4_000;
+
+fn exp_sampling(p: &Params) -> Experiment {
+    let cfg = runner::config(Mode::Ci, 1, RegFileSize::Finite(512));
+    let mut jobs = Vec::new();
+    for n in NAMES {
+        let mut full = named_job(p, n, cfg.clone());
+        full.max_insts = SAMPLING_FULL_INSTS;
+        let mut sampled = full.clone();
+        sampled.sampling = Some(cfir_harness::SamplingParams {
+            period: SAMPLING_PERIOD,
+            warmup: SAMPLING_WARMUP,
+            window: SAMPLING_WINDOW,
+        });
+        jobs.push(full);
+        jobs.push(sampled);
+    }
+    Experiment {
+        name: "exp_sampling",
+        title: "Statistical sampling: sampled estimates vs full detailed runs",
+        jobs,
+        aggregate: Box::new(|ctx, results| {
+            let mut t = Table::new(
+                "Sampling accuracy: checkpointed windows vs full detailed (ci, 512 regs)",
+                &[
+                    "bench",
+                    "windows",
+                    "detail%",
+                    "full_IPC",
+                    "samp_IPC",
+                    "ipc_hw95",
+                    "ipc_err%",
+                    "full_reuse",
+                    "samp_reuse",
+                    "reuse_hw95",
+                    "samp_ci_expl",
+                    "gate",
+                ],
+            );
+            // `mean ± hw` vs the full-run reference: pass on relative
+            // error or on CI coverage; anything else fails the suite.
+            let check = |bench: &str, metric: &str, full: f64, mean: f64, hw: f64, n: u64| {
+                let err = if full.abs() < 1e-12 {
+                    if mean.abs() < 1e-12 {
+                        0.0
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    (mean - full).abs() / full.abs()
+                };
+                let inside = n >= 2 && full >= mean - hw && full <= mean + hw;
+                if err <= SAMPLING_MAX_REL_ERROR || inside {
+                    Ok(err)
+                } else {
+                    Err(format!(
+                        "{bench}: sampled {metric} {mean:.4} vs full {full:.4} — error \
+                         {:.1}% exceeds ±{:.0}% and the 95% CI (±{hw:.4}, n={n}) \
+                         does not cover the full value",
+                        err * 100.0,
+                        SAMPLING_MAX_REL_ERROR * 100.0
+                    ))
+                }
+            };
+            for (bi, bench) in NAMES.iter().enumerate() {
+                let full = results[2 * bi];
+                let samp = results[2 * bi + 1];
+                let v = cfir_obs::json::parse(&samp.snapshot)?;
+                let s = v
+                    .get("sampling")
+                    .ok_or_else(|| format!("{bench}: sampled snapshot has no sampling object"))?;
+                let est = |k: &str| -> Result<(u64, f64, f64), String> {
+                    let e = s
+                        .get(k)
+                        .ok_or_else(|| format!("{bench}: sampling object missing `{k}`"))?;
+                    let f = |f: &str| e.get(f).and_then(|x| x.as_f64()).unwrap_or(0.0);
+                    let n = e.get("n").and_then(|x| x.as_u64()).unwrap_or(0);
+                    Ok((n, f("mean"), f("half_width")))
+                };
+                let (ni, ipc_mean, ipc_hw) = est("ipc")?;
+                let (nr, reuse_mean, reuse_hw) = est("reuse_rate")?;
+                let (_, ci_mean, _) = est("ci_exploited")?;
+                let detailed = s
+                    .get("detailed_insts")
+                    .and_then(|x| x.as_u64())
+                    .unwrap_or(0);
+                let ipc_err = check(bench, "IPC", full.ipc(), ipc_mean, ipc_hw, ni)?;
+                check(
+                    bench,
+                    "reuse rate",
+                    full.reuse_fraction(),
+                    reuse_mean,
+                    reuse_hw,
+                    nr,
+                )?;
+                t.row(vec![
+                    bench.to_string(),
+                    ni.to_string(),
+                    format!(
+                        "{:.1}",
+                        100.0 * detailed as f64 / SAMPLING_FULL_INSTS as f64
+                    ),
+                    f3(full.ipc()),
+                    f3(ipc_mean),
+                    f3(ipc_hw),
+                    format!("{:.2}", ipc_err * 100.0),
+                    f3(full.reuse_fraction()),
+                    f3(reuse_mean),
+                    f3(reuse_hw),
+                    f3(ci_mean),
+                    "ok".into(),
+                ]);
+            }
+            let stdout = format!(
+                "{}gate: sampled IPC and reuse rate within ±{:.0}% of the full run \
+                 (or full value inside the 95% CI) on all {} kernels.\n",
+                t.render(),
+                SAMPLING_MAX_REL_ERROR * 100.0,
+                NAMES.len()
+            );
+            Ok(ExperimentOutput {
+                stdout,
+                artifacts: table_artifacts(ctx, "exp_sampling", &t, results)?,
+            })
+        }),
+    }
+}
+
 fn exp_warmup(p: &Params) -> Experiment {
     let mut cfg = runner::config(Mode::Ci, 1, RegFileSize::Finite(512));
     cfg.interval_cycles = 10_000;
@@ -1445,7 +1590,7 @@ pub fn smoke_experiment(p: &Params, bench: &str) -> Experiment {
 // ---------------------------------------------------------------------------
 
 /// Names of every registered experiment, in canonical (suite) order.
-pub const EXPERIMENT_NAMES: [&str; 19] = [
+pub const EXPERIMENT_NAMES: [&str; 20] = [
     "table1",
     "fig04",
     "fig05",
@@ -1463,6 +1608,7 @@ pub const EXPERIMENT_NAMES: [&str; 19] = [
     "exp_warmup",
     "exp_bottleneck",
     "exp_cidi",
+    "exp_sampling",
     "sweep",
     "smoke",
 ];
@@ -1488,6 +1634,7 @@ pub fn by_name(p: &Params, name: &str) -> Option<Experiment> {
         "exp_warmup" => exp_warmup(p),
         "exp_bottleneck" => exp_bottleneck(p),
         "exp_cidi" => exp_cidi(p),
+        "exp_sampling" => exp_sampling(p),
         "sweep" => sweep_default(p),
         "smoke" => smoke_experiment(p, "bzip2"),
         _ => return None,
@@ -1517,6 +1664,7 @@ pub fn profile(name: &str) -> Option<Vec<&'static str>> {
             "exp_warmup",
             "exp_bottleneck",
             "exp_cidi",
+            "exp_sampling",
             "sweep",
         ],
         "all" => EXPERIMENT_NAMES.to_vec(),
@@ -1615,6 +1763,7 @@ mod tests {
         assert_eq!(count("exp_warmup"), 2);
         assert_eq!(count("exp_bottleneck"), 4 * 12 + 12);
         assert_eq!(count("exp_cidi"), 4 * 12);
+        assert_eq!(count("exp_sampling"), 2 * 12);
         assert_eq!(count("sweep"), 2 * 12);
         assert_eq!(count("smoke"), 5);
     }

@@ -36,6 +36,21 @@ fn spec(name: &str, mode: Mode) -> JobSpec {
         },
         cfg: runner::config(mode, 1, RegFileSize::Finite(512)),
         max_insts: 3_000,
+        sampling: None,
+    }
+}
+
+/// A sampled job over the same kernel set (period sized so several
+/// windows fit in the small test budget).
+fn sampled_spec(name: &str, mode: Mode) -> JobSpec {
+    JobSpec {
+        max_insts: 40_000,
+        sampling: Some(cfir_harness::SamplingParams {
+            period: 10_000,
+            warmup: 1_000,
+            window: 1_000,
+        }),
+        ..spec(name, mode)
     }
 }
 
@@ -105,6 +120,59 @@ fn parallel_run_is_byte_identical_to_serial() {
     assert!(String::from_utf8(a).unwrap().contains("bzip2,scal"));
 }
 
+/// Sampled points reduced to an artifact that exposes *all* window
+/// detail (the full schema-v7 snapshots, checkpoint ids included), so
+/// any scheduling-order dependence in the sampling driver would show
+/// up as byte drift.
+fn sampled_experiment() -> Experiment {
+    Experiment {
+        name: "mini-sampled",
+        title: "2 kernels x 2 modes, sampled",
+        jobs: vec![
+            sampled_spec("bzip2", Mode::Scalar),
+            sampled_spec("bzip2", Mode::Ci),
+            sampled_spec("gzip", Mode::Scalar),
+            sampled_spec("gzip", Mode::Ci),
+        ],
+        aggregate: Box::new(|_ctx, results| {
+            let mut bundle = String::new();
+            for r in results {
+                bundle.push_str(&format!("## {}/{}\n{}\n", r.name, r.mode_label, r.snapshot));
+            }
+            Ok(ExperimentOutput {
+                artifacts: vec![Artifact {
+                    rel_path: "mini-sampled.txt".into(),
+                    contents: bundle,
+                }],
+                stdout: String::new(),
+            })
+        }),
+    }
+}
+
+#[test]
+fn sampled_runs_are_byte_identical_across_pool_sizes() {
+    let (out1, cache1) = (scratch("sam-ser-out"), scratch("sam-ser-cache"));
+    let (out4, cache4) = (scratch("sam-par-out"), scratch("sam-par-cache"));
+
+    let r1 = run_suite(vec![sampled_experiment()], &opts(&out1, &cache1, 1));
+    let r4 = run_suite(vec![sampled_experiment()], &opts(&out4, &cache4, 4));
+    assert!(r1.all_ok() && r4.all_ok());
+
+    let a = std::fs::read(out1.join("mini-sampled.txt")).unwrap();
+    let b = std::fs::read(out4.join("mini-sampled.txt")).unwrap();
+    assert_eq!(
+        a, b,
+        "sampled runs must be byte-identical regardless of pool size"
+    );
+    let text = String::from_utf8(a).unwrap();
+    assert!(
+        text.contains("\"sampling\":"),
+        "sampled snapshots carry the schema-v7 sampling object"
+    );
+    assert!(text.contains("\"checkpoint\":"));
+}
+
 #[test]
 fn resume_serves_everything_from_cache() {
     let (out, cache) = (scratch("res-out"), scratch("res-cache"));
@@ -149,6 +217,7 @@ fn a_panicking_job_fails_its_experiment_only() {
             },
             cfg: runner::config(Mode::Scalar, 1, RegFileSize::Finite(512)),
             max_insts: 0,
+            sampling: None,
         }],
         aggregate: Box::new(|_, _| Ok(ExperimentOutput::default())),
     };

@@ -73,6 +73,35 @@ impl MemImage {
         self.pages.len()
     }
 
+    /// Words per page (the unit [`export_pages`] works in).
+    ///
+    /// [`export_pages`]: MemImage::export_pages
+    pub const PAGE_WORDS: usize = PAGE_WORDS;
+
+    /// Export every mapped page as `(page_id, words)` sorted by page
+    /// id, so serialized checkpoints are deterministic regardless of
+    /// hash-map iteration order. The byte address of word `i` of page
+    /// `p` is `(p << 12) + i * 8`.
+    pub fn export_pages(&self) -> Vec<(u64, &[u64; PAGE_WORDS])> {
+        let mut pages: Vec<(u64, &[u64; PAGE_WORDS])> =
+            self.pages.iter().map(|(k, v)| (*k, &**v)).collect();
+        pages.sort_unstable_by_key(|(k, _)| *k);
+        pages
+    }
+
+    /// Rebuild a memory image from pages previously produced by
+    /// [`export_pages`]. The write counter restarts at 0 (it is a
+    /// diagnostic, not architectural state).
+    ///
+    /// [`export_pages`]: MemImage::export_pages
+    pub fn from_pages(pages: impl IntoIterator<Item = (u64, [u64; PAGE_WORDS])>) -> Self {
+        let mut m = MemImage::new();
+        for (id, words) in pages {
+            m.pages.insert(id, Box::new(words));
+        }
+        m
+    }
+
     /// Total writes performed (diagnostic).
     pub fn write_count(&self) -> u64 {
         self.writes
@@ -135,6 +164,23 @@ mod tests {
         // base 1000 aligns to 1000 (already 8-aligned)
         assert_eq!(m.read_words(1000, 3), vec![5, 6, 7]);
         assert_eq!(m.write_count(), 3);
+    }
+
+    #[test]
+    fn page_export_is_sorted_and_round_trips() {
+        let mut m = MemImage::new();
+        m.write(3 << 12, 33);
+        m.write(1 << 12, 11);
+        m.write(7 << 12, 77);
+        let pages = m.export_pages();
+        let ids: Vec<u64> = pages.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![1, 3, 7], "sorted by page id");
+        let rebuilt = MemImage::from_pages(pages.into_iter().map(|(id, w)| (id, *w)));
+        assert_eq!(rebuilt.read(3 << 12), 33);
+        assert_eq!(rebuilt.read(1 << 12), 11);
+        assert_eq!(rebuilt.read(7 << 12), 77);
+        assert_eq!(rebuilt.page_count(), 3);
+        assert_eq!(rebuilt.read(2 << 12), 0, "unmapped pages stay unmapped");
     }
 
     #[test]

@@ -123,6 +123,7 @@ mod tests {
             },
             cfg: SimConfig::paper_baseline(),
             max_insts: 10,
+            sampling: None,
         }
     }
 

@@ -56,6 +56,19 @@ impl WorkloadRef {
     }
 }
 
+/// Statistical-sampling parameters of a job (see `cfir_sample`).
+/// `None` in a [`JobSpec`] means a conventional full detailed run;
+/// `Some` routes the job through the checkpointed sampling driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplingParams {
+    /// Instructions between successive detailed regions.
+    pub period: u64,
+    /// Detailed warmup instructions per window (excluded from stats).
+    pub warmup: u64,
+    /// Measured detailed instructions per window.
+    pub window: u64,
+}
+
 /// One (workload, configuration) simulation point.
 #[derive(Debug, Clone)]
 pub struct JobSpec {
@@ -66,6 +79,11 @@ pub struct JobSpec {
     pub cfg: SimConfig,
     /// Committed-instruction budget.
     pub max_insts: u64,
+    /// `Some` = run under checkpointed statistical sampling instead of
+    /// full detailed simulation. Part of the fingerprint either way,
+    /// so sampled and full runs of the same point never share a cache
+    /// entry.
+    pub sampling: Option<SamplingParams>,
 }
 
 impl JobSpec {
@@ -77,11 +95,12 @@ impl JobSpec {
     /// instead of silently reusing them.
     pub fn fingerprint(&self) -> String {
         format!(
-            "cfir-suite v{} schema{} | {} | max_insts={} | {:?}",
+            "cfir-suite v{} schema{} | {} | max_insts={} | sampling={:?} | {:?}",
             env!("CARGO_PKG_VERSION"),
             cfir_sim::SCHEMA_VERSION,
             self.workload.fingerprint(),
             self.max_insts,
+            self.sampling,
             self.cfg,
         )
     }
@@ -137,6 +156,27 @@ impl JobSpec {
         cfg.max_insts = self.max_insts;
         cfg.cosim_check = false; // benchmarking: the oracle is exercised in tests
         let mode = cfg.mode;
+        if let Some(sp) = self.sampling {
+            let s = cfir_sample::run_sampled(
+                &w.prog,
+                &w.mem,
+                w.name,
+                cfg,
+                cfir_sample::SamplingConfig {
+                    period: sp.period,
+                    warmup: sp.warmup,
+                    window: sp.window,
+                    ..Default::default()
+                },
+            );
+            let snapshot = s.snapshot_json(mode.label());
+            return Ok(JobResult::from_stats(
+                w.name,
+                mode.label(),
+                &s.stats,
+                snapshot,
+            ));
+        }
         let mut p = Pipeline::new(&w.prog, w.mem.clone(), cfg);
         // Scope any env-configured trace sink to this job so parallel
         // jobs do not clobber one another's trace files.
@@ -484,6 +524,7 @@ mod tests {
                 .with_dports(1)
                 .with_regs(RegFileSize::Finite(512)),
             max_insts: 2_000,
+            sampling: None,
         }
     }
 
@@ -500,6 +541,37 @@ mod tests {
         let mut d = spec("bzip2");
         d.max_insts += 1;
         assert_ne!(a.key(), d.key());
+        let mut e = spec("bzip2");
+        e.sampling = Some(SamplingParams {
+            period: 10_000,
+            warmup: 1_000,
+            window: 1_000,
+        });
+        assert_ne!(
+            a.key(),
+            e.key(),
+            "sampled and full runs must not share a cache entry"
+        );
+    }
+
+    #[test]
+    fn sampled_job_executes_and_carries_the_sampling_object() {
+        let mut s = spec("bzip2");
+        s.max_insts = 40_000;
+        s.sampling = Some(SamplingParams {
+            period: 10_000,
+            warmup: 1_000,
+            window: 1_000,
+        });
+        let r = s.execute().expect("sampled job runs");
+        assert!(r.cycles > 0);
+        assert!(r.committed > 0, "measured windows commit instructions");
+        let v = json::parse(&r.snapshot).expect("snapshot parses");
+        let samp = v.get("sampling").expect("sampling object present");
+        assert!(samp.get("windows").unwrap().as_arr().unwrap().len() >= 2);
+        // Determinism across executions holds for sampled jobs too.
+        let r2 = s.execute().unwrap();
+        assert_eq!(r, r2);
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod pool;
 pub mod suite;
 
 pub use cache::Cache;
-pub use job::{IntervalRow, JobResult, JobSpec, WorkloadRef};
+pub use job::{IntervalRow, JobResult, JobSpec, SamplingParams, WorkloadRef};
 pub use pool::{JobOutcome, PoolOptions};
 pub use suite::{
     run_suite, AggCtx, Artifact, Experiment, ExperimentOutput, ExperimentStatus, SuiteOptions,

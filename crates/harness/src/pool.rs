@@ -292,6 +292,7 @@ mod tests {
             workload: WorkloadRef::SelfTest { panic, sleep_ms },
             cfg: SimConfig::paper_baseline(),
             max_insts: sleep_ms + panic as u64, // distinct fingerprints
+            sampling: None,
         }
     }
 

@@ -29,6 +29,30 @@ struct Way {
     stamp: u64,
 }
 
+/// One way of warm state as exported for a checkpoint: the tag array
+/// contents plus the LRU bookkeeping, without statistics counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmWay {
+    /// Line (block) address stored in this way.
+    pub tag: u64,
+    /// Whether the way holds a line.
+    pub valid: bool,
+    /// Whether the held line is dirty (write-back pending).
+    pub dirty: bool,
+    /// LRU stamp; larger = more recently used.
+    pub stamp: u64,
+}
+
+/// Warm state of a whole cache level: every way (set-major order, as
+/// laid out internally) plus the LRU clock the stamps are relative to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarmCache {
+    /// All ways, `sets * assoc` entries in set-major order.
+    pub ways: Vec<WarmWay>,
+    /// The LRU clock value at export time.
+    pub clock: u64,
+}
+
 /// Result of a cache lookup-with-allocate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LookupResult {
@@ -168,6 +192,49 @@ impl Cache {
         }
     }
 
+    /// Export the warm state (valid lines + LRU ordering) for a
+    /// checkpoint. Statistics counters are excluded: warm state
+    /// describes the cache *contents*, not how they were produced.
+    pub fn export_warm(&self) -> WarmCache {
+        WarmCache {
+            ways: self
+                .ways
+                .iter()
+                .map(|w| WarmWay {
+                    tag: w.tag,
+                    valid: w.valid,
+                    dirty: w.dirty,
+                    stamp: w.stamp,
+                })
+                .collect(),
+            clock: self.clock,
+        }
+    }
+
+    /// Import warm state previously produced by [`export_warm`],
+    /// replacing the current contents. Statistics counters are left
+    /// untouched. Panics on a way-count mismatch (checkpoint taken
+    /// under a different geometry).
+    ///
+    /// [`export_warm`]: Cache::export_warm
+    pub fn import_warm(&mut self, warm: &WarmCache) {
+        assert_eq!(
+            warm.ways.len(),
+            self.ways.len(),
+            "{}: warm-state way count mismatch",
+            self.cfg.name
+        );
+        for (dst, src) in self.ways.iter_mut().zip(warm.ways.iter()) {
+            *dst = Way {
+                tag: src.tag,
+                valid: src.valid,
+                dirty: src.dirty,
+                stamp: src.stamp,
+            };
+        }
+        self.clock = warm.clock;
+    }
+
     /// Miss ratio so far.
     pub fn miss_ratio(&self) -> f64 {
         if self.accesses == 0 {
@@ -264,6 +331,40 @@ mod tests {
         assert!(!c.probe(0));
         // After flush, a dirty line must not produce a writeback.
         assert_eq!(c.access(0, false).writeback, None);
+    }
+
+    #[test]
+    fn warm_state_round_trip_preserves_contents_and_lru() {
+        let mut c = tiny();
+        c.access(0, true);
+        c.access(64, false);
+        c.access(0, false); // line 0 MRU, line 2 LRU
+        let warm = c.export_warm();
+
+        let mut fresh = tiny();
+        fresh.import_warm(&warm);
+        assert!(fresh.probe(0) && fresh.probe(64));
+        // LRU order carried over: allocating into set 0 evicts line 2.
+        fresh.access(128, false);
+        assert!(fresh.probe(0) && !fresh.probe(64));
+        // Dirty bit carried over: evicting line 0 produces a writeback.
+        fresh.access(64, false); // evicts line 0 (now LRU, dirty)
+        assert_eq!(fresh.writebacks, 1);
+        // Stats were not imported.
+        assert_eq!(warm.clock, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "way count mismatch")]
+    fn warm_state_rejects_wrong_geometry() {
+        let big = Cache::new(CacheConfig {
+            name: "B",
+            size_bytes: 256,
+            assoc: 2,
+            line_bytes: 32,
+        });
+        let mut c = tiny();
+        c.import_warm(&big.export_warm());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The three-level hierarchy of Table 1, with instruction and data
 //! sides sharing L2/L3.
 
-use crate::cache::{Cache, CacheConfig};
+use crate::cache::{Cache, CacheConfig, WarmCache};
 
 /// What kind of access is being performed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +69,20 @@ impl HierarchyConfig {
             mem_lat: 100,
         }
     }
+}
+
+/// Warm state of the whole hierarchy (all four levels), as captured
+/// into a checkpoint and re-injected before a measurement window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarmHierarchy {
+    /// L1 instruction cache warm state.
+    pub l1i: WarmCache,
+    /// L1 data cache warm state.
+    pub l1d: WarmCache,
+    /// Unified L2 warm state.
+    pub l2: WarmCache,
+    /// Unified L3 warm state.
+    pub l3: WarmCache,
 }
 
 /// The full hierarchy. Latency-only: `access` returns the cycles the
@@ -167,6 +181,27 @@ impl Hierarchy {
         }
     }
 
+    /// Export the warm state of all four levels for a checkpoint.
+    pub fn export_warm(&self) -> WarmHierarchy {
+        WarmHierarchy {
+            l1i: self.l1i.export_warm(),
+            l1d: self.l1d.export_warm(),
+            l2: self.l2.export_warm(),
+            l3: self.l3.export_warm(),
+        }
+    }
+
+    /// Import warm state previously produced by [`export_warm`] into
+    /// all four levels. Statistics counters are left untouched.
+    ///
+    /// [`export_warm`]: Hierarchy::export_warm
+    pub fn import_warm(&mut self, warm: &WarmHierarchy) {
+        self.l1i.import_warm(&warm.l1i);
+        self.l1d.import_warm(&warm.l1d);
+        self.l2.import_warm(&warm.l2);
+        self.l3.import_warm(&warm.l3);
+    }
+
     /// L1D line size in bytes (needed by the wide-bus arbitration and
     /// the store-coherence range checks in the core).
     #[inline]
@@ -255,6 +290,27 @@ mod tests {
         h.access(AccessKind::Store, 64);
         assert_eq!(h.l1d.writebacks, 0);
         assert!(h.l1d.probe(64));
+    }
+
+    #[test]
+    fn warm_state_round_trip_reproduces_latencies() {
+        let mut h = Hierarchy::paper();
+        for i in 0..256u64 {
+            h.access_data(i * 40, i % 5 == 0);
+            h.access_inst(i * 8);
+        }
+        let warm = h.export_warm();
+        let mut fresh = Hierarchy::paper();
+        fresh.import_warm(&warm);
+        // Both hierarchies must now answer identically.
+        for i in 0..256u64 {
+            assert_eq!(
+                fresh.access_data(i * 40, false),
+                h.access_data(i * 40, false),
+                "data access {i}"
+            );
+            assert_eq!(fresh.access_inst(i * 8), h.access_inst(i * 8));
+        }
     }
 
     #[test]

@@ -31,5 +31,5 @@
 pub mod cache;
 pub mod hierarchy;
 
-pub use cache::{Cache, CacheConfig};
-pub use hierarchy::{AccessKind, Hierarchy, HierarchyConfig};
+pub use cache::{Cache, CacheConfig, WarmCache, WarmWay};
+pub use hierarchy::{AccessKind, Hierarchy, HierarchyConfig, WarmHierarchy};

@@ -75,6 +75,34 @@ impl Gshare {
         self.history = ((self.history << 1) | taken as u64) & mask;
     }
 
+    /// Number of 2-bit counters in the table.
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Export the warm state (counter table + global history) for a
+    /// checkpoint. Statistics counters are deliberately excluded: warm
+    /// state describes *what the predictor has learned*, not how it was
+    /// exercised.
+    pub fn export_warm(&self) -> (Vec<u8>, u64) {
+        (self.table.clone(), self.history)
+    }
+
+    /// Import warm state previously produced by [`export_warm`].
+    /// Panics if the table length does not match this predictor's
+    /// configured entry count (a checkpoint/config mismatch).
+    ///
+    /// [`export_warm`]: Gshare::export_warm
+    pub fn import_warm(&mut self, table: &[u8], history: u64) {
+        assert_eq!(
+            table.len(),
+            self.table.len(),
+            "gshare warm-state table length mismatch"
+        );
+        self.table.copy_from_slice(table);
+        self.history = history & self.mask;
+    }
+
     /// Train the counter for the branch at `pc` that was predicted with
     /// `history_at_predict`, given its actual direction.
     pub fn train(&mut self, pc: u64, history_at_predict: u64, taken: bool) {
@@ -192,6 +220,36 @@ mod tests {
         // After saturating down, prediction with history 0 must be NT.
         g.restore_history(0);
         assert!(!g.peek(0));
+    }
+
+    #[test]
+    fn warm_state_round_trip() {
+        let mut g = Gshare::new(1024);
+        for i in 0..200u64 {
+            let pc = 0x40 + (i % 7) * 4;
+            let h = g.history();
+            let p = g.predict_and_update(pc);
+            let taken = i % 3 == 0;
+            if p != taken {
+                g.restore_history(h);
+                g.push(taken);
+            }
+            g.train(pc, h, taken);
+        }
+        let (table, history) = g.export_warm();
+        let mut fresh = Gshare::new(1024);
+        fresh.import_warm(&table, history);
+        assert_eq!(fresh.history(), g.history());
+        for pc in (0..64u64).map(|i| i * 4) {
+            assert_eq!(fresh.peek(pc), g.peek(pc));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "table length mismatch")]
+    fn warm_state_rejects_wrong_size() {
+        let mut g = Gshare::new(16);
+        g.import_warm(&[2; 8], 0);
     }
 
     #[test]

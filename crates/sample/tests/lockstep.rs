@@ -1,0 +1,102 @@
+//! Lockstep differential test: the functional emulator (the model
+//! fast-forward trusts) against the detailed pipeline, on every paper
+//! kernel.
+//!
+//! Two layers of checking:
+//!
+//! 1. **Every commit** — the run executes with `cosim_check` enabled,
+//!    so the pipeline itself asserts, instruction by instruction, that
+//!    the committed PC, the written register value, the control-flow
+//!    target and the touched memory word match a golden emulator
+//!    stepping alongside. Any divergence panics with the offending PC.
+//! 2. **End of run** — an *independent* emulator replays the same
+//!    number of instructions from the same initial image, and the full
+//!    architectural state is compared: all logical registers and every
+//!    memory page either model touched (absent pages read as zero, so
+//!    a page that exists but holds only zeros is equal to no page).
+//!
+//! If this passes, checkpointing architectural state out of the
+//! emulator and resuming the detailed pipeline from it (what
+//! `cfir-sample` does between windows) cannot drift.
+
+use cfir_emu::{Emulator, MemImage};
+use cfir_sim::{Mode, Pipeline, RunExit, SimConfig};
+use cfir_workloads::{by_name, WorkloadSpec, NAMES};
+
+const BUDGET: u64 = 6_000;
+
+/// Compare two memory images word-for-word over the union of their
+/// touched pages.
+fn assert_same_memory(name: &str, sim: &MemImage, emu: &MemImage) {
+    let a = sim.export_pages();
+    let b = emu.export_pages();
+    let mut ids: Vec<u64> = a.iter().chain(b.iter()).map(|(id, _)| *id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    const ZERO: [u64; MemImage::PAGE_WORDS] = [0; MemImage::PAGE_WORDS];
+    for id in ids {
+        let pa = a.iter().find(|(i, _)| *i == id).map(|(_, p)| &**p);
+        let pb = b.iter().find(|(i, _)| *i == id).map(|(_, p)| &**p);
+        let (pa, pb) = (pa.unwrap_or(&ZERO), pb.unwrap_or(&ZERO));
+        if pa != pb {
+            let word = pa.iter().zip(pb.iter()).position(|(x, y)| x != y).unwrap();
+            panic!(
+                "{name}: memory diverged at page {id:#x} word {word}: \
+                 sim {:#x} vs emu {:#x}",
+                pa[word], pb[word]
+            );
+        }
+    }
+}
+
+fn lockstep(name: &str, mode: Mode) {
+    let w = by_name(name, WorkloadSpec::default()).expect("known kernel");
+
+    // Detailed pipeline with the per-commit golden-model check armed:
+    // each committed instruction is verified against an internal
+    // emulator (pc, register write, store address + stored word,
+    // control target) as it retires.
+    let mut cfg = SimConfig::paper_baseline()
+        .with_mode(mode)
+        .with_max_insts(BUDGET);
+    cfg.cosim_check = true;
+    let mut p = Pipeline::new(&w.prog, w.mem.clone(), cfg);
+    let halted = matches!(p.run(), RunExit::Halted);
+    assert!(p.stats.committed > 0, "{name}: nothing committed");
+
+    // Independent replay on a fresh emulator, then full-state diff.
+    let mut emu = Emulator::new(w.mem.clone());
+    emu.run(&w.prog, p.stats.committed);
+    assert_eq!(
+        emu.retired, p.stats.committed,
+        "{name}: emulator stopped early"
+    );
+    assert_eq!(
+        emu.halted, halted,
+        "{name}: halt disagreement after {} instructions",
+        p.stats.committed
+    );
+    for r in 0..cfir_isa::NUM_LOGICAL_REGS as u8 {
+        assert_eq!(
+            p.arch_reg(r),
+            emu.reg(r),
+            "{name}: r{r} diverged after {} instructions",
+            p.stats.committed
+        );
+    }
+    assert_same_memory(name, p.memory(), &emu.mem);
+}
+
+#[test]
+fn all_kernels_lockstep_in_ci_mode() {
+    for name in NAMES {
+        lockstep(name, Mode::Ci);
+    }
+}
+
+#[test]
+fn all_kernels_lockstep_in_scalar_mode() {
+    for name in NAMES {
+        lockstep(name, Mode::Scalar);
+    }
+}

@@ -490,6 +490,19 @@ impl Pipeline<'_> {
                 "cosim: store address mismatch at pc {}",
                 e.pc
             );
+            // Both models have applied the store by this point (the
+            // architectural action precedes the check), so the touched
+            // word itself must agree — this catches a wrong store
+            // *value* that a matching address would hide.
+            if let Some(a) = r.addr {
+                assert_eq!(
+                    self.mem.read(a),
+                    emu.mem.read(a),
+                    "cosim: stored value mismatch at pc {} addr {a:#x} (cycle {})",
+                    e.pc,
+                    self.cycle
+                );
+            }
         }
         if e.inst.is_control() {
             assert_eq!(

@@ -107,6 +107,28 @@ pub struct PipelineSnapshot {
     pub committed: u64,
 }
 
+/// Architectural + warm microarchitectural state for starting a
+/// pipeline mid-program (see [`Pipeline::restore_checkpoint`]). The
+/// sampling subsystem (`cfir-sample`) captures this during functional
+/// fast-forward and re-injects it before each detailed window.
+#[derive(Debug, Clone)]
+pub struct WarmStart {
+    /// Architectural register values (`regs[0]` must be 0).
+    pub regs: [u64; NLR],
+    /// Program counter to resume at (instruction index, not bytes).
+    pub pc: u32,
+    /// Committed memory image at the checkpoint.
+    pub mem: MemImage,
+    /// Committed global branch history (16-bit, as commit maintains it).
+    pub ghist: u64,
+    /// Gshare counter table (length must match `cfg.gshare_entries`).
+    pub gshare_table: Vec<u8>,
+    /// Gshare speculative history at the checkpoint.
+    pub gshare_history: u64,
+    /// Cache-hierarchy warm state (all four levels).
+    pub hier: cfir_mem::WarmHierarchy,
+}
+
 /// Why [`Pipeline::run`] stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunExit {
@@ -320,6 +342,48 @@ impl<'a> Pipeline<'a> {
             }
         }
         pipe
+    }
+
+    /// Start this pipeline from a mid-program architectural state with
+    /// warm predictor/cache contents, instead of from reset. Must be
+    /// called before the first cycle: the committed register map laid
+    /// down by [`Pipeline::new`] is reused, each architectural register
+    /// is forced ready with the checkpointed value, and the golden
+    /// co-simulation / perfect-BP oracle emulators (when enabled) are
+    /// re-seeded so they stay in lockstep from the restored PC onward.
+    ///
+    /// The indirect-jump BTB starts cold (it is speculative fetch
+    /// state, not architectural); the detailed warmup portion of a
+    /// sampling window absorbs that transient.
+    pub fn restore_checkpoint(&mut self, warm: &WarmStart) {
+        assert_eq!(
+            self.cycle, 0,
+            "restore_checkpoint must run before the first cycle"
+        );
+        assert_eq!(warm.regs[0], 0, "r0 must be zero in a checkpoint");
+        for r in 1..NLR {
+            self.arch_regs[r] = warm.regs[r];
+            self.rf.force_ready(self.arch_map[r], warm.regs[r]);
+        }
+        self.arch_pc = warm.pc;
+        self.fetch_pc = warm.pc;
+        self.arch_ghist = warm.ghist & ((1u64 << 16) - 1);
+        self.gshare
+            .import_warm(&warm.gshare_table, warm.gshare_history);
+        self.hier.import_warm(&warm.hier);
+        self.mem = warm.mem.clone();
+        if let Some(e) = &mut self.emu {
+            e.regs = warm.regs;
+            e.pc = warm.pc;
+            e.mem = warm.mem.clone();
+            e.halted = false;
+        }
+        if let Some(o) = &mut self.oracle {
+            o.regs = warm.regs;
+            o.pc = warm.pc;
+            o.mem = warm.mem.clone();
+            o.halted = false;
+        }
     }
 
     /// Rebuild the tracer (if any) with its file sinks suffixed by

@@ -42,7 +42,73 @@ use cfir_obs::{Hist, JsonWriter};
 ///   of the static CIDI/CIDD verdicts against actual reuse outcomes)
 ///   plus per-branch `cidi_checks`/`cidi_agree` counters. Every v5
 ///   key is unchanged, so v5 consumers can read v6 documents.
-pub const SCHEMA_VERSION: u32 = 6;
+/// * **7** — additive: the optional `sampling` object (present only on
+///   runs produced by the `cfir-sample` statistical-sampling driver):
+///   sampling parameters, fast-forward/detailed instruction counts,
+///   per-metric `{n, mean, half_width}` 95%-CI estimates for IPC /
+///   reuse rate / CI-exploited fraction, and the per-window rows with
+///   their content-addressed checkpoint ids. Every v6 key is
+///   unchanged, so v6 consumers can read v7 documents.
+pub const SCHEMA_VERSION: u32 = 7;
+
+/// One `{n, mean, half_width}` estimate inside the `sampling` object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleEstimate {
+    /// Number of measurement windows the estimate aggregates.
+    pub n: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the 95% confidence interval (0 when `n < 2`).
+    pub half_width: f64,
+}
+
+/// One measurement window inside the `sampling` object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleWindow {
+    /// Retired-instruction position of the checkpoint the window
+    /// started from.
+    pub start_inst: u64,
+    /// Content id of that checkpoint (FNV-1a of its serialized bytes).
+    pub checkpoint: u64,
+    /// Instructions committed inside the measured window.
+    pub committed: u64,
+    /// Cycles the measured window took.
+    pub cycles: u64,
+    /// Window IPC.
+    pub ipc: f64,
+    /// Window reuse rate (reused commits / commits).
+    pub reuse_rate: f64,
+    /// Window CI-exploited fraction (reused events / mispredictions).
+    pub ci_exploited: f64,
+}
+
+/// Everything the `sampling` object of a sampled run's snapshot
+/// carries (schema v7). Produced by `cfir-sample`; plain data so the
+/// dependency arrow stays sample → sim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplingInfo {
+    /// Instructions between successive window starts.
+    pub period: u64,
+    /// Detailed warmup instructions per window (excluded from stats).
+    pub warmup: u64,
+    /// Measured detailed instructions per window.
+    pub window: u64,
+    /// Total functionally fast-forwarded (and warmed) instructions.
+    pub ff_insts: u64,
+    /// Total instructions committed by the detailed pipeline
+    /// (warmup + measured, across all windows).
+    pub detailed_insts: u64,
+    /// Whether the program halted during the sampled run.
+    pub halted: bool,
+    /// IPC estimate across windows.
+    pub ipc: SampleEstimate,
+    /// Reuse-rate estimate across windows.
+    pub reuse_rate: SampleEstimate,
+    /// CI-exploited-fraction estimate across windows.
+    pub ci_exploited: SampleEstimate,
+    /// Per-window measurements, in sampling order.
+    pub windows: Vec<SampleWindow>,
+}
 
 fn write_hist(w: &mut JsonWriter, key: &str, h: &Hist) {
     w.key(key).begin_obj();
@@ -69,6 +135,18 @@ fn write_hist(w: &mut JsonWriter, key: &str, h: &Hist) {
 /// has already been checked by `finalize_stats` when this is called
 /// on a finished run.
 pub fn run_json(name: &str, label: &str, stats: &SimStats) -> String {
+    run_json_sampled(name, label, stats, None)
+}
+
+/// [`run_json`] plus the optional schema-v7 `sampling` object. Pass
+/// `Some(info)` for runs produced by the statistical-sampling driver;
+/// `None` yields exactly the document `run_json` produces.
+pub fn run_json_sampled(
+    name: &str,
+    label: &str,
+    stats: &SimStats,
+    sampling: Option<&SamplingInfo>,
+) -> String {
     let mut w = JsonWriter::new();
     w.begin_obj();
     w.field_u64("schema_version", SCHEMA_VERSION as u64)
@@ -267,6 +345,42 @@ pub fn run_json(name: &str, label: &str, stats: &SimStats) -> String {
     }
     w.end_obj();
 
+    // Statistical-sampling summary (schema v7); only present on runs
+    // produced by the `cfir-sample` driver.
+    if let Some(s) = sampling {
+        let est = |w: &mut JsonWriter, key: &str, e: &SampleEstimate| {
+            w.key(key).begin_obj();
+            w.field_u64("n", e.n)
+                .field_f64("mean", e.mean)
+                .field_f64("half_width", e.half_width);
+            w.end_obj();
+        };
+        w.key("sampling").begin_obj();
+        w.field_u64("period", s.period)
+            .field_u64("warmup", s.warmup)
+            .field_u64("window", s.window)
+            .field_u64("ff_insts", s.ff_insts)
+            .field_u64("detailed_insts", s.detailed_insts)
+            .field_bool("halted", s.halted);
+        est(&mut w, "ipc", &s.ipc);
+        est(&mut w, "reuse_rate", &s.reuse_rate);
+        est(&mut w, "ci_exploited", &s.ci_exploited);
+        w.key("windows").begin_arr();
+        for win in &s.windows {
+            w.begin_obj()
+                .field_u64("start_inst", win.start_inst)
+                .field_str("checkpoint", &format!("{:016x}", win.checkpoint))
+                .field_u64("committed", win.committed)
+                .field_u64("cycles", win.cycles)
+                .field_f64("ipc", win.ipc)
+                .field_f64("reuse_rate", win.reuse_rate)
+                .field_f64("ci_exploited", win.ci_exploited)
+                .end_obj();
+        }
+        w.end_arr();
+        w.end_obj();
+    }
+
     w.end_obj();
     w.finish()
 }
@@ -374,7 +488,10 @@ mod tests {
 
         let text = run_json("bzip2 \"quoted\"", "ci", &stats);
         let v = json::parse(&text).expect("snapshot parses");
-        assert_eq!(v.get("schema_version").unwrap().as_u64(), Some(6));
+        assert_eq!(v.get("schema_version").unwrap().as_u64(), Some(7));
+        // A plain run carries no `sampling` object (the v7 key is
+        // additive and sampled-run only).
+        assert!(v.get("sampling").is_none());
         assert_eq!(v.get("name").unwrap().as_str(), Some("bzip2 \"quoted\""));
         assert_eq!(v.get("mode").unwrap().as_str(), Some("ci"));
         assert_eq!(v.get("cycles").unwrap().as_u64(), Some(1000));
@@ -459,6 +576,63 @@ mod tests {
         assert_eq!(wi[0].get("scenario").unwrap().as_str(), Some("perfect_bp"));
         assert_eq!(wi[0].get("projected_cycles").unwrap().as_u64(), Some(500));
         assert!((wi[0].get("speedup").unwrap().as_f64().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_object_round_trips() {
+        let info = SamplingInfo {
+            period: 50_000,
+            warmup: 2_000,
+            window: 3_000,
+            ff_insts: 900_000,
+            detailed_insts: 100_000,
+            halted: false,
+            ipc: SampleEstimate {
+                n: 20,
+                mean: 2.41,
+                half_width: 0.05,
+            },
+            reuse_rate: SampleEstimate {
+                n: 20,
+                mean: 0.12,
+                half_width: 0.01,
+            },
+            ci_exploited: SampleEstimate {
+                n: 20,
+                mean: 0.31,
+                half_width: 0.03,
+            },
+            windows: vec![SampleWindow {
+                start_inst: 45_000,
+                checkpoint: 0xdead_beef_0000_0001,
+                committed: 3_000,
+                cycles: 1_250,
+                ipc: 2.4,
+                reuse_rate: 0.11,
+                ci_exploited: 0.30,
+            }],
+        };
+        let text = run_json_sampled("gzip", "scal", &SimStats::default(), Some(&info));
+        let v = json::parse(&text).expect("sampled snapshot parses");
+        assert_eq!(v.get("schema_version").unwrap().as_u64(), Some(7));
+        let s = v.get("sampling").unwrap();
+        assert_eq!(s.get("period").unwrap().as_u64(), Some(50_000));
+        assert_eq!(s.get("warmup").unwrap().as_u64(), Some(2_000));
+        assert_eq!(s.get("window").unwrap().as_u64(), Some(3_000));
+        assert_eq!(s.get("ff_insts").unwrap().as_u64(), Some(900_000));
+        assert_eq!(s.get("halted"), Some(&json::JsonValue::Bool(false)));
+        let ipc = s.get("ipc").unwrap();
+        assert_eq!(ipc.get("n").unwrap().as_u64(), Some(20));
+        assert!((ipc.get("mean").unwrap().as_f64().unwrap() - 2.41).abs() < 1e-12);
+        assert!((ipc.get("half_width").unwrap().as_f64().unwrap() - 0.05).abs() < 1e-12);
+        let wins = s.get("windows").unwrap().as_arr().unwrap();
+        assert_eq!(wins.len(), 1);
+        assert_eq!(wins[0].get("start_inst").unwrap().as_u64(), Some(45_000));
+        assert_eq!(
+            wins[0].get("checkpoint").unwrap().as_str(),
+            Some("deadbeef00000001")
+        );
+        assert_eq!(wins[0].get("cycles").unwrap().as_u64(), Some(1_250));
     }
 
     #[test]

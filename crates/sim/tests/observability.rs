@@ -161,7 +161,7 @@ fn snapshot_json_matches_the_stats_it_came_from() {
     let s = run("bzip2", Mode::Vect, 2_000);
     let doc = run_json("bzip2", "vect", &s);
     let v = json::parse(&doc).expect("snapshot must parse");
-    assert_eq!(v.get("schema_version").and_then(|x| x.as_u64()), Some(6));
+    assert_eq!(v.get("schema_version").and_then(|x| x.as_u64()), Some(7));
     assert_eq!(v.get("name").and_then(|x| x.as_str()), Some("bzip2"));
     assert_eq!(v.get("cycles").and_then(|x| x.as_u64()), Some(s.cycles));
     assert_eq!(

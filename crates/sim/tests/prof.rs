@@ -113,7 +113,7 @@ fn snapshot_scorecard_matches_global_stats_in_same_document() {
     let s = run("mcf", Mode::Ci);
     let doc = run_json("mcf", "ci", &s);
     let v = json::parse(&doc).expect("snapshot parses");
-    assert_eq!(v.get("schema_version").and_then(|x| x.as_u64()), Some(6));
+    assert_eq!(v.get("schema_version").and_then(|x| x.as_u64()), Some(7));
 
     let bp = v.get("branch_prof").expect("branch_prof object");
     let tot = bp.get("totals").expect("totals");

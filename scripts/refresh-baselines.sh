@@ -20,13 +20,21 @@ mkdir -p results/baselines
 # this script before anything is copied over the committed baselines.
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
-./target/release/cfir-suite --profile smoke --jobs 2 --emit-json \
+# The smoke profile plus the sampling-accuracy experiment in one
+# invocation, so BENCH_6.json records the sampled wall-clock alongside
+# the full runs (exp_sampling pins its own instruction budgets and
+# ignores CFIR_INSTS; its aggregator fails the suite — and therefore
+# this script — when any kernel misses the ±3%/CI accuracy gate).
+./target/release/cfir-suite table1 smoke exp_sampling --jobs 2 --emit-json \
   --bench-json BENCH_6.json --out-dir "$tmp" --quiet
 
 # Snapshot bundle (current schema): the perf gate.
 cp "$tmp/smoke.json" results/baselines/smoke.json
 # Machine-configuration table (a drift gate, not a perf gate).
 cp "$tmp/table1.json" results/baselines/table1.json
+# Sampled-vs-full accuracy table (window counts, estimates,
+# half-widths); CI compares byte-for-byte.
+cp "$tmp/exp_sampling.csv" results/baselines/sampling.csv
 
 # The bottleneck experiment: 12 kernels x 4 paper modes with lifecycle
 # recording, plus the 12 oracle-BP validation runs. Its aggregator

@@ -36,6 +36,7 @@ fn usage() -> ! {
          \x20      cfir-report check <baseline.json> <run.json> [--tolerance P%]\n\
          \x20      cfir-report bottleneck <run.json> [<baseline.json>]\n\
          \x20      cfir-report cidi <run.json>\n\
+         \x20      cfir-report sampling <sampled.json> [<full.json>]\n\
          \x20      cfir-report timeline <trace.kanata> [--pc N] [--cycle-range LO..HI]\n\
          \x20                  [--around-mispredict N] [--width N]"
     );
@@ -138,7 +139,7 @@ fn main() {
     let mut it = args.iter().map(|s| s.as_str()).peekable();
     while let Some(a) = it.next() {
         match a {
-            "diff" | "check" | "--check" | "bottleneck" | "cidi"
+            "diff" | "check" | "--check" | "bottleneck" | "cidi" | "sampling"
                 if sub.is_none() && files.is_empty() =>
             {
                 sub = Some(a.trim_start_matches("--"));
@@ -164,6 +165,18 @@ fn main() {
         (Some("cidi"), [path]) => {
             let doc = load(path);
             let out = report::render_cidi(&doc).unwrap_or_else(|e| {
+                eprintln!("cfir-report: {e}");
+                exit(2)
+            });
+            print!("{out}");
+        }
+        (Some("sampling"), [path]) | (Some("sampling"), [path, _]) => {
+            let doc = load(path);
+            let full_doc = match files.as_slice() {
+                [_, full] => Some(load(full)),
+                _ => None,
+            };
+            let out = report::render_sampling(&doc, full_doc.as_ref()).unwrap_or_else(|e| {
                 eprintln!("cfir-report: {e}");
                 exit(2)
             });

@@ -1,0 +1,332 @@
+//! `cfir-sample` — checkpointed statistical sampling from the command
+//! line: run a kernel (or an assembled program) under SMARTS-style
+//! systematic sampling, or replay one saved checkpoint as a detailed
+//! window.
+//!
+//! ```sh
+//! # Sampled run of a named kernel over a 1.5M-instruction budget.
+//! cfir-sample gzip --insts 1500000 --period 50000 --warmup 3500 --window 4000
+//!
+//! # Same, persisting every window checkpoint for later replay.
+//! cfir-sample gzip --insts 1500000 --ckpt-dir /tmp/ckpts
+//!
+//! # Replay one checkpoint as an independent detailed window.
+//! cfir-sample replay /tmp/ckpts/<id>.ckpt gzip --warmup 3500 --window 4000
+//! ```
+//!
+//! Options (sampled run):
+//!
+//! * `<kernel|prog.asm>` — a paper kernel name (`cfir-sample --list`)
+//!   or a path to an assembly file;
+//! * `--mode scal|wb|ci-iw|ci|vect` — machine variant (default `ci`);
+//! * `--insts N` — total instruction budget (default 1\_500\_000);
+//! * `--period N` / `--warmup N` / `--window N` — sampling unit:
+//!   one detailed window of `window` instructions per `period`,
+//!   preceded by `warmup` detailed (unmeasured) instructions
+//!   (defaults 50\_000 / 3\_500 / 4\_000);
+//! * `--max-windows N` — stop after N windows (0 = no cap);
+//! * `--jitter N` — max forward shift per window, derived
+//!   deterministically from checkpoint content (default 0);
+//! * `--ckpt-dir DIR` — persist each window's checkpoint to DIR;
+//! * `--regs N|inf` — physical register file size (default 512);
+//! * `--emit-json [path.json]` — emit the schema-v7 snapshot (with
+//!   the `sampling` object) instead of the table;
+//! * `--full` — run the same budget fully detailed instead of sampled
+//!   (the reference for accuracy/speedup comparisons).
+
+use cfir::prelude::*;
+use cfir_sample::{replay_window, run_sampled, Checkpoint, SamplingConfig};
+use std::process::exit;
+
+struct Args {
+    target: String,
+    mode: Mode,
+    insts: u64,
+    regs: RegFileSize,
+    scfg: SamplingConfig,
+    full: bool,
+    emit_json: bool,
+    emit_json_path: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cfir-sample <kernel|prog.asm> [--mode scal|wb|ci-iw|ci|vect] [--insts N]\n\
+         \x20                 [--period N] [--warmup N] [--window N] [--max-windows N]\n\
+         \x20                 [--jitter N] [--ckpt-dir DIR] [--regs N|inf]\n\
+         \x20                 [--emit-json [path.json]] [--full]\n\
+         \x20      cfir-sample replay <file.ckpt> <kernel|prog.asm> [--mode ...]\n\
+         \x20                 [--warmup N] [--window N] [--regs N|inf]\n\
+         \x20      cfir-sample --list\n\
+         one detailed window of --window instructions is measured per --period,\n\
+         after --warmup detailed warmup instructions; everything in between runs\n\
+         on the functional emulator with predictor/cache warming.\n\
+         `replay` re-executes a single saved checkpoint as a detailed window."
+    );
+    exit(2)
+}
+
+fn parse_common<I: Iterator<Item = String>>(
+    a: &mut Args,
+    arg: &str,
+    it: &mut std::iter::Peekable<I>,
+) -> bool {
+    match arg {
+        "--mode" => {
+            a.mode = it
+                .next()
+                .as_deref()
+                .and_then(Mode::from_label)
+                .unwrap_or_else(|| usage())
+        }
+        "--warmup" => a.scfg.warmup = num(it),
+        "--window" => a.scfg.window = num(it),
+        "--regs" => {
+            a.regs = match it.next().as_deref() {
+                Some("inf") => RegFileSize::Infinite,
+                Some(n) => RegFileSize::Finite(n.parse().unwrap_or_else(|_| usage())),
+                None => usage(),
+            }
+        }
+        _ => return false,
+    }
+    true
+}
+
+fn num<I: Iterator<Item = String>>(it: &mut std::iter::Peekable<I>) -> u64 {
+    it.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage())
+}
+
+fn load_target(target: &str) -> (cfir::isa::Program, MemImage, String) {
+    if target.ends_with(".asm") {
+        let src = std::fs::read_to_string(target).unwrap_or_else(|e| {
+            eprintln!("cannot read {target}: {e}");
+            exit(1)
+        });
+        let prog = cfir::isa::assemble(target, &src).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(1)
+        });
+        let name = std::path::Path::new(target)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("prog")
+            .to_string();
+        (prog, MemImage::new(), name)
+    } else {
+        let w = cfir::workloads::by_name(target, cfir::workloads::WorkloadSpec::default())
+            .unwrap_or_else(|| {
+                eprintln!("unknown kernel {target:?} (try `cfir-sample --list`)");
+                exit(1)
+            });
+        (w.prog, w.mem, w.name.to_string())
+    }
+}
+
+fn main() {
+    let mut raw = std::env::args().skip(1).peekable();
+    match raw.peek().map(String::as_str) {
+        Some("--list") => {
+            for n in cfir::workloads::NAMES {
+                println!("{n}");
+            }
+            return;
+        }
+        Some("replay") => {
+            raw.next();
+            return replay_main(raw);
+        }
+        None => usage(),
+        _ => {}
+    }
+
+    let mut a = Args {
+        target: String::new(),
+        mode: Mode::Ci,
+        insts: 1_500_000,
+        regs: RegFileSize::Finite(512),
+        scfg: SamplingConfig::default(),
+        full: false,
+        emit_json: false,
+        emit_json_path: None,
+    };
+    while let Some(arg) = raw.next() {
+        if parse_common(&mut a, &arg, &mut raw) {
+            continue;
+        }
+        match arg.as_str() {
+            "--insts" => a.insts = num(&mut raw),
+            "--full" => a.full = true,
+            "--period" => a.scfg.period = num(&mut raw),
+            "--max-windows" => a.scfg.max_windows = num(&mut raw) as usize,
+            "--jitter" => a.scfg.jitter = num(&mut raw),
+            "--ckpt-dir" => {
+                a.scfg.checkpoint_dir = Some(raw.next().unwrap_or_else(|| usage()).into())
+            }
+            "--emit-json" => {
+                a.emit_json = true;
+                if raw.peek().is_some_and(|n| n.ends_with(".json")) {
+                    a.emit_json_path = raw.next();
+                }
+            }
+            _ if a.target.is_empty() && !arg.starts_with('-') => a.target = arg,
+            _ => usage(),
+        }
+    }
+    if a.target.is_empty() {
+        usage()
+    }
+    if a.scfg.period < a.scfg.warmup + a.scfg.window + a.scfg.jitter {
+        eprintln!(
+            "invalid sampling unit: period {} < warmup {} + window {} + jitter {}",
+            a.scfg.period, a.scfg.warmup, a.scfg.window, a.scfg.jitter
+        );
+        exit(1)
+    }
+
+    let (prog, mem, name) = load_target(&a.target);
+    let cfg = SimConfig::paper_baseline()
+        .with_mode(a.mode)
+        .with_regs(a.regs)
+        .with_max_insts(a.insts);
+
+    if a.full {
+        // Reference mode for speedup measurements: the identical
+        // budget, every instruction through the detailed pipeline.
+        let mut p = cfir::sim::Pipeline::new(&prog, mem, cfg);
+        let halted = matches!(p.run(), cfir::sim::RunExit::Halted);
+        if a.emit_json {
+            let doc = cfir::sim::run_json(&name, a.mode.label(), &p.stats);
+            match &a.emit_json_path {
+                Some(path) => {
+                    std::fs::write(path, &doc).unwrap_or_else(|e| {
+                        eprintln!("cannot write {path}: {e}");
+                        exit(1)
+                    });
+                    eprintln!("[{path} written]");
+                }
+                None => println!("{doc}"),
+            }
+        } else {
+            println!(
+                "{name} ({}) — full detailed run{}",
+                a.mode.label(),
+                if halted { " (halted)" } else { "" }
+            );
+            println!(
+                "  committed {}  cycles {}  ipc {:.4}  reuse {:.4}",
+                p.stats.committed,
+                p.stats.cycles,
+                p.stats.ipc(),
+                p.stats.reuse_fraction()
+            );
+        }
+        return;
+    }
+
+    let s = run_sampled(&prog, &mem, &name, cfg, a.scfg);
+
+    if a.emit_json {
+        let doc = s.snapshot_json(a.mode.label());
+        match &a.emit_json_path {
+            Some(p) => {
+                std::fs::write(p, &doc).unwrap_or_else(|e| {
+                    eprintln!("cannot write {p}: {e}");
+                    exit(1)
+                });
+                eprintln!("[{p} written]");
+            }
+            None => println!("{doc}"),
+        }
+        return;
+    }
+
+    println!(
+        "{name} ({}) — sampled: period {} / warmup {} / window {}",
+        a.mode.label(),
+        s.period,
+        s.warmup,
+        s.window
+    );
+    println!(
+        "budget {} insts: {} fast-forwarded, {} detailed ({} measured), {} windows{}",
+        a.insts,
+        s.ff_insts,
+        s.detailed_insts,
+        s.measured_insts,
+        s.windows.len(),
+        if s.halted { ", halted" } else { "" }
+    );
+    println!("  window  start_inst        checkpoint  committed  cycles    ipc   reuse  ci_expl");
+    for (k, w) in s.windows.iter().enumerate() {
+        println!(
+            "  {k:6}  {:10}  {:016x}  {:9}  {:6}  {:5.3}  {:6.4}  {:7.4}",
+            w.start_inst,
+            w.checkpoint_id,
+            w.committed,
+            w.cycles,
+            w.ipc,
+            w.reuse_rate,
+            w.ci_exploited
+        );
+    }
+    let pm = |e: &cfir_sample::Estimate| format!("{:.4} ± {:.4} (n={})", e.mean, e.half_width, e.n);
+    println!("  IPC          {}", pm(&s.ipc));
+    println!("  reuse rate   {}", pm(&s.reuse_rate));
+    println!("  CI exploited {}", pm(&s.ci_exploited));
+}
+
+fn replay_main<I: Iterator<Item = String>>(mut raw: std::iter::Peekable<I>) {
+    let ckpt_path = raw.next().unwrap_or_else(|| usage());
+    let mut a = Args {
+        target: String::new(),
+        mode: Mode::Ci,
+        insts: 0,
+        regs: RegFileSize::Finite(512),
+        scfg: SamplingConfig::default(),
+        full: false,
+        emit_json: false,
+        emit_json_path: None,
+    };
+    while let Some(arg) = raw.next() {
+        if parse_common(&mut a, &arg, &mut raw) {
+            continue;
+        }
+        match arg.as_str() {
+            _ if a.target.is_empty() && !arg.starts_with('-') => a.target = arg,
+            _ => usage(),
+        }
+    }
+    if a.target.is_empty() {
+        usage()
+    }
+
+    let ckpt = Checkpoint::load(std::path::Path::new(&ckpt_path)).unwrap_or_else(|e| {
+        eprintln!("cannot load checkpoint: {e}");
+        exit(1)
+    });
+    let (prog, _mem, name) = load_target(&a.target);
+    let cfg = SimConfig::paper_baseline()
+        .with_mode(a.mode)
+        .with_regs(a.regs);
+    let rep = replay_window(&prog, &ckpt, &cfg, a.scfg.warmup, a.scfg.window);
+    println!(
+        "{name} ({}) — replayed checkpoint {:016x} @ inst {}",
+        a.mode.label(),
+        ckpt.content_id(),
+        ckpt.retired
+    );
+    println!(
+        "  warmup committed {}  measured committed {}  cycles {}{}",
+        rep.warmup_committed,
+        rep.row.committed,
+        rep.row.cycles,
+        if rep.halted { "  (halted)" } else { "" }
+    );
+    println!(
+        "  ipc {:.4}  reuse {:.4}  ci_exploited {:.4}",
+        rep.row.ipc, rep.row.reuse_rate, rep.row.ci_exploited
+    );
+}

@@ -67,6 +67,7 @@ pub use cfir_isa as isa;
 pub use cfir_mem as mem;
 pub use cfir_obs as obs;
 pub use cfir_predict as predict;
+pub use cfir_sample as sample;
 pub use cfir_sim as sim;
 pub use cfir_workloads as workloads;
 

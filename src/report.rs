@@ -626,6 +626,162 @@ pub fn render_cidi(doc: &JsonValue) -> Result<String, String> {
     Ok(out)
 }
 
+/// Pretty-print the statistical-sampling view of a document: per-run
+/// sampling parameters, window tables and mean ± 95% CI estimates
+/// (the schema-v7 `sampling` object). When `full` is given, sampled
+/// runs are matched against its runs by `(name, mode)` and a
+/// full-vs-sampled error table is appended: relative error of each
+/// estimate against the full detailed value and whether the CI covers
+/// it.
+pub fn render_sampling(doc: &JsonValue, full: Option<&JsonValue>) -> Result<String, String> {
+    let runs: Vec<&JsonValue> = match doc.get("runs").and_then(|r| r.as_arr()) {
+        Some(rs) => rs.iter().collect(),
+        None => vec![doc],
+    };
+    let sampled: Vec<&JsonValue> = runs
+        .iter()
+        .copied()
+        .filter(|r| r.get("sampling").is_some())
+        .collect();
+    if sampled.is_empty() {
+        return Err("document carries no sampling objects (not a cfir-sample run?)".into());
+    }
+
+    // Index the full-detailed reference runs by (name, mode) for the
+    // error table: (ipc, reuse_fraction,
+    // branch_prof.ci_exploited_fraction). With no second document the
+    // sampled document itself serves as the reference — a mixed
+    // bundle (what `cfir-suite exp_sampling --emit-json` writes)
+    // carries the full runs alongside the sampled ones. Runs that are
+    // themselves sampled never act as references.
+    let mut full_runs: Vec<(String, String, f64, f64, f64)> = Vec::new();
+    {
+        let fd = full.unwrap_or(doc);
+        let frs: Vec<&JsonValue> = match fd.get("runs").and_then(|r| r.as_arr()) {
+            Some(rs) => rs.iter().collect(),
+            None => vec![fd],
+        };
+        for r in frs.iter().filter(|r| r.get("sampling").is_none()) {
+            let s = |k: &str| r.get(k).and_then(|x| x.as_str()).unwrap_or("?").to_string();
+            let f = |k: &str| r.get(k).and_then(|x| x.as_f64()).unwrap_or(0.0);
+            let ci = r
+                .get("branch_prof")
+                .and_then(|bp| bp.get("ci_exploited_fraction"))
+                .and_then(|x| x.as_f64())
+                .unwrap_or(0.0);
+            full_runs.push((s("name"), s("mode"), f("ipc"), f("reuse_fraction"), ci));
+        }
+    }
+
+    let mut out = String::new();
+    for run in sampled {
+        let s = |k: &str| run.get(k).and_then(|x| x.as_str()).unwrap_or("?");
+        let sam = run.get("sampling").expect("filtered on presence");
+        let g = |k: &str| sam.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+        let _ = writeln!(out, "\n{} / {}", s("name"), s("mode"));
+        let _ = writeln!(
+            out,
+            "  period {} / warmup {} / window {} — {} fast-forwarded, {} detailed{}",
+            g("period"),
+            g("warmup"),
+            g("window"),
+            g("ff_insts"),
+            g("detailed_insts"),
+            if sam.get("halted") == Some(&JsonValue::Bool(true)) {
+                ", halted"
+            } else {
+                ""
+            }
+        );
+
+        // est name -> (n, mean, half_width)
+        let est = |k: &str| -> (u64, f64, f64) {
+            let Some(e) = sam.get(k) else {
+                return (0, 0.0, 0.0);
+            };
+            (
+                e.get("n").and_then(|x| x.as_u64()).unwrap_or(0),
+                e.get("mean").and_then(|x| x.as_f64()).unwrap_or(0.0),
+                e.get("half_width").and_then(|x| x.as_f64()).unwrap_or(0.0),
+            )
+        };
+        let full_vals = full_runs
+            .iter()
+            .find(|(n, m, ..)| n == s("name") && m == s("mode"));
+        let _ = writeln!(
+            out,
+            "  {:<13} {:>3} {:>9} {:>9}{}",
+            "metric",
+            "n",
+            "mean",
+            "hw95",
+            if full_vals.is_some() {
+                "      full    err%  covered"
+            } else {
+                ""
+            }
+        );
+        for (label, key, pick) in [
+            ("IPC", "ipc", 0usize),
+            ("reuse rate", "reuse_rate", 1),
+            ("CI exploited", "ci_exploited", 2),
+        ] {
+            let (n, mean, hw) = est(key);
+            let _ = write!(out, "  {label:<13} {n:>3} {mean:>9.4} {hw:>9.4}");
+            if let Some((_, _, fi, fr, fc)) = full_vals {
+                let fv = [*fi, *fr, *fc][pick];
+                let err = if fv != 0.0 {
+                    (mean - fv).abs() / fv.abs() * 100.0
+                } else {
+                    0.0
+                };
+                let covered = n >= 2 && (fv - mean).abs() <= hw;
+                let _ = write!(
+                    out,
+                    "  {fv:>8.4} {err:>6.2}%  {}",
+                    if covered { "yes" } else { "no" }
+                );
+            }
+            let _ = writeln!(out);
+        }
+
+        if let Some(wins) = sam.get("windows").and_then(|w| w.as_arr()) {
+            let _ = writeln!(
+                out,
+                "  {:>6} {:>11} {:>17} {:>9} {:>7} {:>6} {:>7} {:>8}",
+                "window",
+                "start_inst",
+                "checkpoint",
+                "committed",
+                "cycles",
+                "ipc",
+                "reuse",
+                "ci_expl"
+            );
+            const SHOWN: usize = 16;
+            for (k, w) in wins.iter().take(SHOWN).enumerate() {
+                let u = |k: &str| w.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+                let f = |k: &str| w.get(k).and_then(|x| x.as_f64()).unwrap_or(0.0);
+                let _ = writeln!(
+                    out,
+                    "  {k:>6} {:>11} {:>17} {:>9} {:>7} {:>6.3} {:>7.4} {:>8.4}",
+                    u("start_inst"),
+                    w.get("checkpoint").and_then(|x| x.as_str()).unwrap_or("?"),
+                    u("committed"),
+                    u("cycles"),
+                    f("ipc"),
+                    f("reuse_rate"),
+                    f("ci_exploited")
+                );
+            }
+            if wins.len() > SHOWN {
+                let _ = writeln!(out, "  … and {} more windows", wins.len() - SHOWN);
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// Pretty-print a snapshot document: headline metrics per run, the
 /// top of the per-branch scorecard, and histogram percentiles.
 pub fn render(doc: &JsonValue) -> String {
