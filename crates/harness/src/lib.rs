@@ -38,8 +38,8 @@ pub use cache::Cache;
 pub use job::{IntervalRow, JobResult, JobSpec, SamplingParams, WorkloadRef};
 pub use pool::{JobOutcome, PoolOptions};
 pub use suite::{
-    run_suite, AggCtx, Artifact, Experiment, ExperimentOutput, ExperimentStatus, SuiteOptions,
-    SuiteReport,
+    run_suite, AggCtx, Artifact, Experiment, ExperimentOutput, ExperimentStatus, JobPerf,
+    SuiteOptions, SuiteReport,
 };
 
 /// FNV-1a 64-bit hash (the content address of a job fingerprint).

@@ -88,7 +88,7 @@ struct Shared {
     slots: Vec<Mutex<SlotState>>,
     undecided: AtomicUsize,
     retries: u32,
-    tx: mpsc::Sender<(usize, JobOutcome)>,
+    tx: mpsc::Sender<(usize, JobOutcome, Duration)>,
     /// Jobs executing right now / the high-water mark of that count
     /// (reported as [`PoolStats::peak_workers`]).
     running: AtomicUsize,
@@ -110,9 +110,10 @@ impl Shared {
         None
     }
 
-    /// Move a slot to Decided and report it, unless the watchdog got
-    /// there first. Returns whether *we* decided it.
-    fn decide(&self, idx: usize, outcome: JobOutcome) -> bool {
+    /// Move a slot to Decided and report it (with the wall-clock time
+    /// the deciding run took), unless the watchdog got there first.
+    /// Returns whether *we* decided it.
+    fn decide(&self, idx: usize, outcome: JobOutcome, wall: Duration) -> bool {
         let mut st = self.slots[idx].lock().unwrap();
         if matches!(*st, SlotState::Decided) {
             return false; // watchdog already expired this job
@@ -120,16 +121,17 @@ impl Shared {
         *st = SlotState::Decided;
         drop(st);
         self.undecided.fetch_sub(1, Ordering::SeqCst);
-        let _ = self.tx.send((idx, outcome));
+        let _ = self.tx.send((idx, outcome, wall));
         true
     }
 
     fn run_task(&self, me: usize, idx: usize) {
+        let started = Instant::now();
         let attempt = {
             let mut st = self.slots[idx].lock().unwrap();
             match *st {
                 SlotState::Queued(a) => {
-                    *st = SlotState::Running(Instant::now());
+                    *st = SlotState::Running(started);
                     a
                 }
                 _ => return, // decided (or racing); nothing to do
@@ -142,7 +144,7 @@ impl Shared {
         self.running.fetch_sub(1, Ordering::SeqCst);
         let error = match outcome {
             Ok(Ok(result)) => {
-                self.decide(idx, JobOutcome::Done(Box::new(result)));
+                self.decide(idx, JobOutcome::Done(Box::new(result)), started.elapsed());
                 return;
             }
             Ok(Err(e)) => e,
@@ -168,6 +170,7 @@ impl Shared {
                     error,
                     attempts: attempt + 1,
                 },
+                started.elapsed(),
             );
         }
     }
@@ -192,13 +195,15 @@ pub struct PoolStats {
 }
 
 /// Run every spec to a terminal outcome, invoking `on_done(index,
-/// outcome)` on the **calling thread** as jobs finish (in completion
-/// order). Workers steal from each other; panics are isolated per
-/// job; `opts.timeout` bounds each job's wall clock.
+/// outcome, wall)` on the **calling thread** as jobs finish (in
+/// completion order); `wall` is the wall-clock time of the deciding
+/// attempt, for throughput accounting. Workers steal from each other;
+/// panics are isolated per job; `opts.timeout` bounds each job's wall
+/// clock.
 pub fn execute(
     specs: Vec<JobSpec>,
     opts: &PoolOptions,
-    mut on_done: impl FnMut(usize, JobOutcome),
+    mut on_done: impl FnMut(usize, JobOutcome, Duration),
 ) -> PoolStats {
     let n = specs.len();
     if n == 0 {
@@ -244,9 +249,9 @@ pub fn execute(
     let mut timed_out = false;
     while decided < n {
         match rx.recv_timeout(Duration::from_millis(50)) {
-            Ok((idx, outcome)) => {
+            Ok((idx, outcome, wall)) => {
                 decided += 1;
-                on_done(idx, outcome);
+                on_done(idx, outcome, wall);
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 if let Some(limit) = opts.timeout {
@@ -259,7 +264,7 @@ pub fn execute(
                                 shared.undecided.fetch_sub(1, Ordering::SeqCst);
                                 timed_out = true;
                                 decided += 1;
-                                on_done(idx, JobOutcome::TimedOut { limit });
+                                on_done(idx, JobOutcome::TimedOut { limit }, since.elapsed());
                             }
                         }
                     }
@@ -298,7 +303,7 @@ mod tests {
 
     fn run(specs: Vec<JobSpec>, opts: &PoolOptions) -> Vec<Option<JobOutcome>> {
         let mut out: Vec<Option<JobOutcome>> = specs.iter().map(|_| None).collect();
-        execute(specs, opts, |i, o| out[i] = Some(o));
+        execute(specs, opts, |i, o, _| out[i] = Some(o));
         out
     }
 
@@ -361,7 +366,7 @@ mod tests {
                 jobs: 3,
                 ..Default::default()
             },
-            |_, _| {},
+            |_, _, _| {},
         );
         assert!(
             (1..=3).contains(&stats.peak_workers),

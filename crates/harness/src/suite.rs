@@ -120,10 +120,20 @@ pub struct ExperimentStatus {
     /// it aggregated (experiments stream, so these overlap; they do
     /// not sum to the suite wall clock).
     pub wall: Duration,
-    /// Of this experiment's unique points, how many were simulated.
+    /// Jobs in this experiment's definition (duplicates included).
+    pub jobs: usize,
+    /// Of this experiment's jobs, how many it owned and simulated.
     pub executed: usize,
-    /// Of this experiment's unique points, how many came from cache.
+    /// Of this experiment's jobs, how many it owned and served from
+    /// cache.
     pub cached: usize,
+    /// Of this experiment's jobs, how many resolved to a point owned
+    /// elsewhere: first claimed by an earlier experiment, or a repeat
+    /// of a point already counted within this one. The invariant
+    /// `executed + cached + deduped == jobs` holds per experiment, and
+    /// summing `executed`/`cached` across experiments reproduces the
+    /// suite totals exactly.
+    pub deduped: usize,
 }
 
 impl ExperimentStatus {
@@ -154,6 +164,35 @@ pub struct SuiteReport {
     pub wall: Duration,
     /// High-water mark of jobs executing simultaneously on the pool.
     pub peak_workers: usize,
+    /// Throughput of every point simulated this run (cache hits and
+    /// failures excluded), in job-definition order.
+    pub perf: Vec<JobPerf>,
+}
+
+/// Detailed-core throughput of one executed simulation point.
+#[derive(Debug, Clone)]
+pub struct JobPerf {
+    /// Workload name (`bzip2` … `vpr`).
+    pub name: String,
+    /// Machine-mode label (`scal`, `wb`, `ci-iw`, `ci`, `vect`).
+    pub mode: String,
+    /// Instructions the detailed core committed.
+    pub committed: u64,
+    /// Wall-clock time of the simulating attempt.
+    pub wall: Duration,
+}
+
+impl JobPerf {
+    /// Committed instructions per wall-clock second (0 when the clock
+    /// read as zero).
+    pub fn insts_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s > 0.0 {
+            self.committed as f64 / s
+        } else {
+            0.0
+        }
+    }
 }
 
 impl SuiteReport {
@@ -190,15 +229,20 @@ pub fn run_suite(experiments: Vec<Experiment>, opts: &SuiteOptions) -> SuiteRepo
     // Deduplicate identical points across (and within) experiments.
     let mut unique: Vec<JobSpec> = Vec::new();
     let mut by_fp: HashMap<String, usize> = HashMap::new();
+    // Which experiment first introduced each unique point: that one
+    // (and only that one) counts it as executed/cached; everyone else
+    // attributes it to `deduped`.
+    let mut owner: Vec<usize> = Vec::new();
     // Per experiment: its jobs as indices into `unique`.
     let mut exp_jobs: Vec<Vec<usize>> = Vec::new();
-    for exp in &experiments {
+    for (e, exp) in experiments.iter().enumerate() {
         let idxs = exp
             .jobs
             .iter()
             .map(|spec| {
                 *by_fp.entry(spec.fingerprint()).or_insert_with(|| {
                     unique.push(spec.clone());
+                    owner.push(e);
                     unique.len() - 1
                 })
             })
@@ -250,14 +294,17 @@ pub fn run_suite(experiments: Vec<Experiment>, opts: &SuiteOptions) -> SuiteRepo
         let (mut status, stdout_block) =
             finalize_experiment(exp, &exp_jobs[e], outcomes, &ctx, opts);
         status.wall = t0.elapsed();
+        status.jobs = exp_jobs[e].len();
         let mut seen = std::collections::HashSet::new();
         for &i in &exp_jobs[e] {
-            if seen.insert(i) {
+            if owner[i] == e && seen.insert(i) {
                 if from_cache[i] {
                     status.cached += 1;
                 } else {
                     status.executed += 1;
                 }
+            } else {
+                status.deduped += 1;
             }
         }
         if !opts.quiet {
@@ -293,8 +340,10 @@ pub fn run_suite(experiments: Vec<Experiment>, opts: &SuiteOptions) -> SuiteRepo
         retries: opts.retries,
         timeout: opts.timeout,
     };
-    let pool_stats = pool::execute(specs, &pool_opts, |k, outcome| {
+    let mut job_wall: Vec<Duration> = vec![Duration::ZERO; unique.len()];
+    let pool_stats = pool::execute(specs, &pool_opts, |k, outcome, wall| {
         let i = to_run[k];
+        job_wall[i] = wall;
         match &outcome {
             JobOutcome::Done(result) => {
                 report.executed += 1;
@@ -333,6 +382,21 @@ pub fn run_suite(experiments: Vec<Experiment>, opts: &SuiteOptions) -> SuiteRepo
         .collect();
     report.wall = t0.elapsed();
     report.peak_workers = pool_stats.peak_workers;
+    // Throughput of every point simulated this run, in definition
+    // order (cache hits carry no fresh wall clock and are excluded).
+    for (i, spec) in unique.iter().enumerate() {
+        if from_cache[i] || matches!(spec.workload, crate::job::WorkloadRef::SelfTest { .. }) {
+            continue;
+        }
+        if let Some(JobOutcome::Done(r)) = &outcomes[i] {
+            report.perf.push(JobPerf {
+                name: r.name.clone(),
+                mode: r.mode_label.clone(),
+                committed: r.committed,
+                wall: job_wall[i],
+            });
+        }
+    }
     report
 }
 
@@ -343,8 +407,9 @@ fn finalize_experiment(
     ctx: &AggCtx,
     opts: &SuiteOptions,
 ) -> (ExperimentStatus, String) {
-    // `wall`/`executed`/`cached` are filled in by the caller, which
-    // owns the suite clock and the cache bookkeeping.
+    // `wall` and the job accounting (`jobs`/`executed`/`cached`/
+    // `deduped`) are filled in by the caller, which owns the suite
+    // clock and the cache bookkeeping.
     let fail = |error: String| {
         (
             ExperimentStatus {
@@ -352,8 +417,10 @@ fn finalize_experiment(
                 error: Some(error),
                 artifacts: Vec::new(),
                 wall: Duration::ZERO,
+                jobs: 0,
                 executed: 0,
                 cached: 0,
+                deduped: 0,
             },
             String::new(),
         )
@@ -399,8 +466,10 @@ fn finalize_experiment(
             error: None,
             artifacts: written,
             wall: Duration::ZERO,
+            jobs: 0,
             executed: 0,
             cached: 0,
+            deduped: 0,
         },
         stdout_block,
     )

@@ -1,0 +1,188 @@
+//! Suite bookkeeping and determinism gates.
+//!
+//! * The per-experiment accounting must close: every job in an
+//!   experiment's definition is attributed to exactly one of
+//!   `executed` / `cached` / `deduped`, cross-experiment duplicates
+//!   are charged to the experiment that first introduced the point,
+//!   and the per-experiment counts sum to the suite totals.
+//! * The artifacts must be byte-identical across `--jobs 1`,
+//!   `--jobs N` and repeat runs: aggregation reduces results in
+//!   job-definition order, so worker count and completion order must
+//!   never leak into what lands on disk (this extends the per-job
+//!   determinism test in `cfir-harness::job` to the whole suite path,
+//!   flat arenas and recycled buffers included).
+
+use cfir_harness::{
+    run_suite, Artifact, Experiment, ExperimentOutput, JobSpec, SuiteOptions, WorkloadRef,
+};
+use cfir_sim::{Mode, RegFileSize, SimConfig};
+use cfir_workloads::WorkloadSpec;
+use std::path::PathBuf;
+
+fn selftest(sleep_ms: u64) -> JobSpec {
+    JobSpec {
+        workload: WorkloadRef::SelfTest {
+            panic: false,
+            sleep_ms,
+        },
+        cfg: SimConfig::paper_baseline(),
+        // Part of the fingerprint: equal budgets = the same point.
+        max_insts: sleep_ms,
+        sampling: None,
+    }
+}
+
+fn named(bench: &str, mode: Mode) -> JobSpec {
+    JobSpec {
+        workload: WorkloadRef::Named {
+            name: bench.into(),
+            spec: WorkloadSpec {
+                iters: 1 << 30,
+                elems: 256,
+                seed: 7,
+            },
+        },
+        cfg: SimConfig::paper_baseline()
+            .with_mode(mode)
+            .with_regs(RegFileSize::Finite(512)),
+        max_insts: 2_000,
+        sampling: None,
+    }
+}
+
+/// An experiment whose artifact is the concatenation of its results'
+/// snapshots — any nondeterminism in job results or result routing
+/// changes the bytes.
+fn snapshot_exp(name: &'static str, jobs: Vec<JobSpec>) -> Experiment {
+    Experiment {
+        name,
+        title: "test",
+        jobs,
+        aggregate: Box::new(|_, results| {
+            let contents = results
+                .iter()
+                .map(|r| format!("{}/{}\n{}\n", r.name, r.mode_label, r.snapshot))
+                .collect::<String>();
+            Ok(ExperimentOutput {
+                artifacts: vec![Artifact {
+                    rel_path: format!("{}.txt", "bundle"),
+                    contents,
+                }],
+                stdout: String::new(),
+            })
+        }),
+    }
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cfir-suite-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(tag: &str) -> SuiteOptions {
+    SuiteOptions {
+        jobs: 1,
+        cache_dir: Some(tmp(&format!("cache-{tag}"))),
+        out_dir: tmp(&format!("out-{tag}")),
+        quiet: true,
+        ..SuiteOptions::default()
+    }
+}
+
+#[test]
+fn per_experiment_accounting_closes_under_dedup() {
+    // exp a: two distinct points. exp b: one point shared with a (it
+    // dedups to a's), one of its own, and that one repeated.
+    let experiments = vec![
+        Experiment {
+            name: "a",
+            title: "test",
+            jobs: vec![selftest(0), selftest(1)],
+            aggregate: Box::new(|_, _| Ok(ExperimentOutput::default())),
+        },
+        Experiment {
+            name: "b",
+            title: "test",
+            jobs: vec![selftest(1), selftest(2), selftest(2)],
+            aggregate: Box::new(|_, _| Ok(ExperimentOutput::default())),
+        },
+    ];
+    let report = run_suite(experiments, &opts("dedup"));
+    assert!(report.all_ok());
+    assert_eq!((report.total_jobs, report.unique_jobs), (5, 3));
+    assert_eq!((report.executed, report.cached), (3, 0));
+    let [a, b] = report.experiments.as_slice() else {
+        panic!("two experiments");
+    };
+    assert_eq!((a.jobs, a.executed, a.cached, a.deduped), (2, 2, 0, 0));
+    assert_eq!((b.jobs, b.executed, b.cached, b.deduped), (3, 1, 0, 2));
+    for e in &report.experiments {
+        assert_eq!(e.executed + e.cached + e.deduped, e.jobs, "{}", e.name);
+    }
+    // Ownership makes the per-experiment counts sum to the suite
+    // totals instead of double-counting shared points.
+    let (ex, ca): (usize, usize) = report
+        .experiments
+        .iter()
+        .fold((0, 0), |(x, c), e| (x + e.executed, c + e.cached));
+    assert_eq!((ex, ca), (report.executed, report.cached));
+    // SelfTest jobs never enter the throughput listing.
+    assert!(report.perf.is_empty());
+}
+
+#[test]
+fn cached_points_attribute_to_their_owner() {
+    let mut o = opts("cached");
+    o.resume = true;
+    let make = || {
+        vec![snapshot_exp(
+            "warm",
+            vec![named("bzip2", Mode::Scalar), named("bzip2", Mode::Ci)],
+        )]
+    };
+    let first = run_suite(make(), &o);
+    assert!(first.all_ok());
+    assert_eq!(first.experiments[0].executed, 2);
+    assert_eq!(first.perf.len(), 2, "both points carry a wall clock");
+    assert!(first.perf.iter().all(|p| p.committed >= 2_000));
+    let second = run_suite(make(), &o);
+    assert!(second.all_ok());
+    let e = &second.experiments[0];
+    assert_eq!((e.jobs, e.executed, e.cached, e.deduped), (2, 0, 2, 0));
+    assert!(
+        second.perf.is_empty(),
+        "cache hits have no fresh wall clock"
+    );
+}
+
+#[test]
+fn artifacts_are_byte_identical_across_worker_counts_and_reruns() {
+    let make = || {
+        vec![snapshot_exp(
+            "det",
+            vec![
+                named("bzip2", Mode::Scalar),
+                named("bzip2", Mode::Ci),
+                named("gcc", Mode::Ci),
+                named("mcf", Mode::Vect),
+            ],
+        )]
+    };
+    let mut bundles = Vec::new();
+    for (tag, jobs) in [("j1", 1), ("j4", 4), ("j4-rerun", 4)] {
+        let mut o = opts(&format!("det-{tag}"));
+        o.jobs = jobs;
+        let report = run_suite(make(), &o);
+        assert!(report.all_ok(), "{tag}");
+        let bytes = std::fs::read(o.out_dir.join("bundle.txt")).expect("artifact written");
+        assert!(!bytes.is_empty(), "{tag}");
+        bundles.push((tag, bytes));
+    }
+    for (tag, bytes) in &bundles[1..] {
+        assert_eq!(
+            bytes, &bundles[0].1,
+            "{tag}: artifact bytes diverge from the --jobs 1 run"
+        );
+    }
+}

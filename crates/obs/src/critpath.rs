@@ -262,20 +262,20 @@ pub const TOP_SEGMENTS: usize = 16;
 /// End-of-life event time of a record: when its value (or death)
 /// became visible downstream.
 fn end_time(r: &InstRecord) -> Option<u64> {
-    r.retire
-        .or(r.complete)
-        .or(r.issue)
-        .or(r.dispatch)
-        .or(r.fetch)
+    r.retire()
+        .or(r.complete())
+        .or(r.issue())
+        .or(r.dispatch())
+        .or(r.fetch())
 }
 
 /// Value-availability time of a record (for dependence edges).
 fn value_time(r: &InstRecord) -> Option<u64> {
-    r.complete
-        .or(r.retire)
-        .or(r.issue)
-        .or(r.dispatch)
-        .or(r.fetch)
+    r.complete()
+        .or(r.retire())
+        .or(r.issue())
+        .or(r.dispatch())
+        .or(r.fetch())
 }
 
 struct Walk {
@@ -308,7 +308,7 @@ pub fn critical_path(log: &LifecycleLog) -> CritPath {
     let mut last_fetched: Option<usize> = None;
     for (i, r) in recs.iter().enumerate() {
         prev_fetch[i] = last_fetched;
-        if r.fetch.is_some() {
+        if r.fetch().is_some() {
             last_fetched = Some(i);
         }
     }
@@ -317,7 +317,7 @@ pub fn critical_path(log: &LifecycleLog) -> CritPath {
         .iter()
         .enumerate()
         .filter(|(_, r)| r.fate == Fate::Squashed && r.lane == InstLane::Normal)
-        .filter_map(|(i, r)| r.retire.map(|c| (c, i)))
+        .filter_map(|(i, r)| r.retire().map(|c| (c, i)))
         .collect();
     squashes.sort_unstable();
 
@@ -362,13 +362,13 @@ pub fn critical_path(log: &LifecycleLog) -> CritPath {
             }
         };
         // Completed-to-retired: waiting for in-order commit.
-        if let Some(c) = r.complete.filter(|&c| c < t) {
-            w.add(r.pc, cls(EdgeClass::Commit), t - c);
+        if let Some(c) = r.complete().filter(|&c| c < t) {
+            w.add(r.pc(), cls(EdgeClass::Commit), t - c);
             t = c;
         }
         // Issue-to-complete: execution latency, with the record's own
         // memory/port wait-edges carved out of the span first.
-        if let Some(i) = r.issue.filter(|&i| i < t) {
+        if let Some(i) = r.issue().filter(|&i| i < t) {
             let mut span = t - i;
             for e in &r.edges {
                 if span == 0 {
@@ -376,16 +376,16 @@ pub fn critical_path(log: &LifecycleLog) -> CritPath {
                 }
                 if matches!(e.kind, WaitEdgeKind::CacheMiss | WaitEdgeKind::Port) {
                     let take = e.cycles.min(span);
-                    w.add(r.pc, cls(EdgeClass::from_wait(e.kind, e.detail)), take);
+                    w.add(r.pc(), cls(EdgeClass::from_wait(e.kind, e.detail)), take);
                     span -= take;
                 }
             }
-            w.add(r.pc, cls(EdgeClass::Execute), span);
+            w.add(r.pc(), cls(EdgeClass::Execute), span);
             t = i;
         }
         // Dispatch-to-issue: follow the binding (latest-arriving)
         // causal edge to an older record when one explains the wait.
-        let d = r.dispatch.or(r.decode).or(r.fetch).unwrap_or(start);
+        let d = r.dispatch().or(r.decode()).or(r.fetch()).unwrap_or(start);
         let binding = r
             .edges
             .iter()
@@ -396,18 +396,18 @@ pub fn critical_path(log: &LifecycleLog) -> CritPath {
             })
             .max_by_key(|&(te, lid, ..)| (te, lid));
         if let Some((te, _, j, kind, detail)) = binding {
-            w.add(r.pc, cls(EdgeClass::from_wait(kind, detail)), t - te);
+            w.add(r.pc(), cls(EdgeClass::from_wait(kind, detail)), t - te);
             t = te;
             cur = j;
             continue;
         }
         if d < t {
-            w.add(r.pc, cls(EdgeClass::Schedule), t - d);
+            w.add(r.pc(), cls(EdgeClass::Schedule), t - d);
             t = d;
         }
         // Frontend depth down to the fetch cycle.
-        if let Some(f) = r.fetch.filter(|&f| f < t) {
-            w.add(r.pc, cls(EdgeClass::Frontend), t - f);
+        if let Some(f) = r.fetch().filter(|&f| f < t) {
+            w.add(r.pc(), cls(EdgeClass::Frontend), t - f);
             t = f;
         }
         // Fetch chain: either a refetch after a squash (attribute the
@@ -416,7 +416,7 @@ pub fn critical_path(log: &LifecycleLog) -> CritPath {
         let Some(p) = prev_fetch[cur] else {
             break;
         };
-        let pf = recs[p].fetch.unwrap_or(start);
+        let pf = recs[p].fetch().unwrap_or(start);
         // Latest squash retirement in (pf, t], by binary search
         // (`squashes` is sorted by retire cycle).
         let flush = squashes
@@ -425,13 +425,13 @@ pub fn critical_path(log: &LifecycleLog) -> CritPath {
             .map(|i| squashes[i])
             .filter(|&(c, _)| c > pf);
         if let Some((c, si)) = flush {
-            w.add(recs[si].pc, EdgeClass::MispredictRefetch, t - c);
+            w.add(recs[si].pc(), EdgeClass::MispredictRefetch, t - c);
             t = c;
             cur = si;
             continue;
         }
         if pf < t {
-            w.add(r.pc, cls(EdgeClass::Frontend), t - pf);
+            w.add(r.pc(), cls(EdgeClass::Frontend), t - pf);
             t = pf;
         }
         cur = p;
@@ -556,7 +556,7 @@ pub fn project(log: &LifecycleLog, zero: ZeroSet, width: u64, window: usize) -> 
     let mut squash_retires: Vec<u64> = recs
         .iter()
         .filter(|r| r.fate == Fate::Squashed && r.lane == InstLane::Normal)
-        .filter_map(|r| r.retire)
+        .filter_map(|r| r.retire())
         .collect();
     squash_retires.sort_unstable();
     let crossed_flush = |lo: u64, hi: u64| {
@@ -584,7 +584,7 @@ pub fn project(log: &LifecycleLog, zero: ZeroSet, width: u64, window: usize) -> 
             skipped[i] = true;
             continue;
         }
-        let mut t = match r.fetch {
+        let mut t = match r.fetch() {
             Some(f) => {
                 let (gap_lo, mut delta) = match last_fetch_obs {
                     Some(pf) => (pf, f - pf),
@@ -596,13 +596,13 @@ pub fn project(log: &LifecycleLog, zero: ZeroSet, width: u64, window: usize) -> 
                 last_fetch_proj += delta;
                 last_fetch_obs = Some(f);
                 // Front-end depth (decode/rename) at its observed cost.
-                let depth_fe = r.dispatch.or(r.decode).unwrap_or(f).saturating_sub(f);
+                let depth_fe = r.dispatch().or(r.decode()).unwrap_or(f).saturating_sub(f);
                 last_fetch_proj + depth_fe
             }
             // Replicas are injected by the engine, not fetched; keep
             // their observed creation time.
             None => r
-                .dispatch
+                .dispatch()
                 .or(end_time(r))
                 .unwrap_or(start)
                 .saturating_sub(start),
@@ -623,13 +623,13 @@ pub fn project(log: &LifecycleLog, zero: ZeroSet, width: u64, window: usize) -> 
         }
         // Finite window: this record cannot dispatch before the record
         // `window` slots ahead of it has drained.
-        let occupies = window > 0 && r.lane == InstLane::Normal && r.dispatch.is_some();
+        let occupies = window > 0 && r.lane == InstLane::Normal && r.dispatch().is_some();
         if occupies && occupancy.len() == window {
             let freed = occupancy.pop_front().unwrap_or(0);
             t = t.max(freed);
         }
         // Execution latency at its observed cost.
-        let exec = match (r.issue, r.complete) {
+        let exec = match (r.issue(), r.complete()) {
             (Some(i_), Some(c)) => c.saturating_sub(i_),
             _ => 0,
         };
@@ -654,7 +654,7 @@ pub fn project(log: &LifecycleLog, zero: ZeroSet, width: u64, window: usize) -> 
     let measured = recs
         .iter()
         .filter(|r| r.fate == Fate::Committed)
-        .filter_map(|r| r.retire.or_else(|| end_time(r)))
+        .filter_map(|r| r.retire().or_else(|| end_time(r)))
         .max()
         .unwrap_or(0)
         .saturating_sub(start);
@@ -737,26 +737,26 @@ mod tests {
     fn chain_log() -> LifecycleLog {
         let mut log = LifecycleLog::new(0);
         // lid 1: load, fetched at 0, issues at 3, completes at 103.
-        let l1 = log.begin_fetch(0x10, "ld".into(), 0, 2);
+        let l1 = log.begin_fetch(0x10, || "ld".into(), 0, 2);
         log.note_dispatch(l1, 1, 2);
         log.note_issue(l1, 3);
         log.edge(l1, WaitEdgeKind::CacheMiss, None, "mem", 4);
         log.note_complete(l1, 103);
         // lid 2: consumer, waits on the load's value.
-        let l2 = log.begin_fetch(0x18, "add".into(), 1, 3);
+        let l2 = log.begin_fetch(0x18, || "add".into(), 1, 3);
         log.note_dispatch(l2, 2, 3);
         log.edge(l2, WaitEdgeKind::Producer, Some(l1), "", 10);
         log.note_issue(l2, 104);
         log.note_complete(l2, 105);
         // lid 3: mispredicted branch, squashed path dies at 110.
-        let l3 = log.begin_fetch(0x20, "beq".into(), 2, 4);
+        let l3 = log.begin_fetch(0x20, || "beq".into(), 2, 4);
         log.note_dispatch(l3, 3, 4);
         log.note_issue(l3, 105);
         log.note_complete(l3, 106);
-        let wrong = log.begin_fetch(0x28, "wrong".into(), 3, 5);
+        let wrong = log.begin_fetch(0x28, || "wrong".into(), 3, 5);
         log.note_squash(wrong, 110);
         // lid 5: refetched correct path at 112.
-        let l5 = log.begin_fetch(0x30, "sub".into(), 112, 114);
+        let l5 = log.begin_fetch(0x30, || "sub".into(), 112, 114);
         log.note_dispatch(l5, 4, 114);
         log.note_issue(l5, 115);
         log.note_complete(l5, 116);

@@ -40,7 +40,7 @@
 use crate::stall::{StallBreakdown, StallCause, ALL_CAUSES, NUM_CAUSES};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt::Write as _;
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// Which Konata lane (thread id) a record renders on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,85 +142,193 @@ pub struct WaitEdge {
     pub first_cycle: u64,
 }
 
+/// Sentinel for an absent stage timestamp / edge cycle. Record
+/// timestamps are stored as `u32` to halve the record footprint (the
+/// retired ring is the recorder's memory hot spot); a lifecycle-enabled
+/// run is therefore bounded at `u32::MAX - 1` cycles, asserted at
+/// record time. A run long enough to hit the bound would need terabytes
+/// of record storage first.
+const NO_CYCLE: u32 = u32::MAX;
+/// Sentinel for "not dispatched" in [`InstRecord`]'s packed `seq`.
+const NO_SEQ: u64 = u64::MAX;
+
+/// Stage indices into [`InstRecord`]'s packed timestamp table.
+const ST_FETCH: usize = 0;
+const ST_DECODE: usize = 1;
+const ST_DISPATCH: usize = 2;
+const ST_ISSUE: usize = 3;
+const ST_COMPLETE: usize = 4;
+const ST_RETIRE: usize = 5;
+const NUM_STAGES: usize = 6;
+
+#[inline]
+fn pack_cycle(cycle: u64) -> u32 {
+    assert!(
+        cycle < u64::from(NO_CYCLE),
+        "lifecycle recording is bounded at u32::MAX - 1 cycles"
+    );
+    cycle as u32
+}
+
 /// One dynamic instruction's lifecycle.
+///
+/// The record is deliberately packed — stage timestamps, wait charges
+/// and the sequence number are stored in compact sentinel-coded form
+/// behind accessors — because every fetched instruction (wrong path
+/// included) produces one and the retired ring holds them for the
+/// whole run: record size is directly the recorder's memory-bandwidth
+/// and page-fault bill.
 #[derive(Debug, Clone)]
 pub struct InstRecord {
     /// Lifecycle id: dense, assigned at fetch/creation, unique across
     /// the run (wrong-path instructions included — unlike `seq`, which
     /// only exists once dispatched).
     pub lid: u64,
-    /// Dynamic sequence number, once dispatched into the window.
-    pub seq: Option<u64>,
+    /// Dynamic sequence number ([`NO_SEQ`] until dispatched).
+    seq: u64,
+    /// Interned disassembly id (see [`LifecycleLog::disasm`]) —
+    /// thousands of dynamic records share one string per static
+    /// instruction.
+    disasm: u32,
+    /// Causal wait-edges, coalesced.
+    pub edges: Vec<WaitEdge>,
     /// Static word PC.
-    pub pc: u64,
-    /// Disassembly.
-    pub disasm: String,
+    pc: u32,
+    /// Stage-entry cycles, [`NO_CYCLE`]-coded, indexed by `ST_*`.
+    stages: [u32; NUM_STAGES],
+    /// Commit-slot charges routed to this instruction, by cause.
+    /// Boxed and lazily allocated: only window-head instructions ever
+    /// absorb charges, so the (majority) wrong-path records carry a
+    /// null pointer instead of a 48-byte table. `u32` per record (a
+    /// single record cannot absorb more charges than the run has
+    /// commit slots, and cycles are bounded by [`NO_CYCLE`]); the
+    /// log-level totals stay `u64`.
+    waits: Option<Box<[u32; NUM_CAUSES]>>,
     /// Normal instruction or replica.
     pub lane: InstLane,
-    /// Cycle fetched (replicas: none).
-    pub fetch: Option<u64>,
-    /// Cycle decode finished (reaches rename).
-    pub decode: Option<u64>,
-    /// Cycle dispatched into the window (replicas: created).
-    pub dispatch: Option<u64>,
-    /// Cycle issued to a functional unit / port.
-    pub issue: Option<u64>,
-    /// Cycle the result was produced (writeback).
-    pub complete: Option<u64>,
-    /// Cycle committed or squashed.
-    pub retire: Option<u64>,
     /// How it ended.
     pub fate: Fate,
     /// Whether it reused a precomputed replica value.
     pub reused: bool,
-    /// Commit-slot charges routed to this instruction, by cause
-    /// (reconciles with the aggregate stall breakdown).
-    pub waits: [u64; NUM_CAUSES],
-    /// Causal wait-edges, coalesced.
-    pub edges: Vec<WaitEdge>,
 }
 
 impl InstRecord {
-    fn new(lid: u64, pc: u64, disasm: String, lane: InstLane) -> Self {
+    fn new(lid: u64, pc: u64, disasm: u32, lane: InstLane) -> Self {
         InstRecord {
             lid,
-            seq: None,
-            pc,
+            seq: NO_SEQ,
+            pc: pc as u32,
             disasm,
             lane,
-            fetch: None,
-            decode: None,
-            dispatch: None,
-            issue: None,
-            complete: None,
-            retire: None,
+            stages: [NO_CYCLE; NUM_STAGES],
             fate: Fate::InFlight,
             reused: false,
-            waits: [0; NUM_CAUSES],
+            waits: None,
             edges: Vec::new(),
         }
     }
 
+    fn bump_wait(&mut self, cause: StallCause, slots: u32) {
+        let w = self.waits.get_or_insert_with(|| Box::new([0; NUM_CAUSES]));
+        w[cause as usize] += slots;
+    }
+
+    fn stage(&self, idx: usize) -> Option<u64> {
+        match self.stages[idx] {
+            NO_CYCLE => None,
+            c => Some(u64::from(c)),
+        }
+    }
+
+    /// Static word PC.
+    pub fn pc(&self) -> u64 {
+        u64::from(self.pc)
+    }
+
+    /// Dynamic sequence number, once dispatched into the window.
+    pub fn seq(&self) -> Option<u64> {
+        (self.seq != NO_SEQ).then_some(self.seq)
+    }
+
+    /// Cycle fetched (replicas: none).
+    pub fn fetch(&self) -> Option<u64> {
+        self.stage(ST_FETCH)
+    }
+
+    /// Cycle decode finished (reaches rename).
+    pub fn decode(&self) -> Option<u64> {
+        self.stage(ST_DECODE)
+    }
+
+    /// Cycle dispatched into the window (replicas: created).
+    pub fn dispatch(&self) -> Option<u64> {
+        self.stage(ST_DISPATCH)
+    }
+
+    /// Cycle issued to a functional unit / port.
+    pub fn issue(&self) -> Option<u64> {
+        self.stage(ST_ISSUE)
+    }
+
+    /// Cycle the result was produced (writeback).
+    pub fn complete(&self) -> Option<u64> {
+        self.stage(ST_COMPLETE)
+    }
+
+    /// Cycle committed or squashed.
+    pub fn retire(&self) -> Option<u64> {
+        self.stage(ST_RETIRE)
+    }
+
+    /// Commit-slot charges routed to this instruction for `cause`
+    /// (reconciles with the aggregate stall breakdown).
+    pub fn wait(&self, cause: StallCause) -> u64 {
+        self.waits
+            .as_ref()
+            .map_or(0, |w| u64::from(w[cause as usize]))
+    }
+
     /// Sum of all wait-slot charges (including `useful`).
     pub fn wait_total(&self) -> u64 {
-        self.waits.iter().sum()
+        self.waits
+            .as_ref()
+            .map_or(0, |w| w.iter().map(|&n| u64::from(n)).sum())
     }
 
     /// Stage timestamps in pipeline order, present ones only.
     pub fn stage_cycles(&self) -> Vec<(&'static str, u64)> {
         [
-            ("fetch", self.fetch),
-            ("decode", self.decode),
-            ("dispatch", self.dispatch),
-            ("issue", self.issue),
-            ("complete", self.complete),
-            ("retire", self.retire),
+            ("fetch", self.fetch()),
+            ("decode", self.decode()),
+            ("dispatch", self.dispatch()),
+            ("issue", self.issue()),
+            ("complete", self.complete()),
+            ("retire", self.retire()),
         ]
         .into_iter()
         .filter_map(|(n, c)| c.map(|c| (n, c)))
         .collect()
     }
 }
+
+/// Recycled backing buffers of a finished recorder. Lifecycle-enabled
+/// runs append hundreds of megabytes of records; in a harness process
+/// running many jobs back-to-back, re-growing those buffers from
+/// nothing every job re-pays the whole page-fault bill. Finished
+/// recorders park their (cleared, capacity-preserving) buffers here so
+/// the next recorder starts on memory that is already mapped and warm.
+#[derive(Default)]
+struct RecycledBufs {
+    retired: VecDeque<InstRecord>,
+    active: VecDeque<Option<InstRecord>>,
+    active_edge: VecDeque<(u32, u32)>,
+}
+
+/// Process-wide pool of [`RecycledBufs`], bounded so a wide parallel
+/// harness cannot hoard unbounded memory (excess buffers are simply
+/// dropped).
+static BUF_POOL: Mutex<Vec<RecycledBufs>> = Mutex::new(Vec::new());
+const BUF_POOL_MAX: usize = 8;
 
 /// The per-instruction lifecycle recorder.
 #[derive(Debug)]
@@ -229,38 +337,104 @@ pub struct LifecycleLog {
     next_lid: u64,
     start_cycle: u64,
     started: bool,
-    active: HashMap<u64, InstRecord>,
+    /// In-flight records in a lid-indexed sliding window: slot `i`
+    /// holds lid `active_base + i`. Lids are dense and handed out in
+    /// order, so every insertion lands at the back and the live span is
+    /// bounded by the machine's in-flight population (window entries
+    /// plus replicas) — a hot-path lookup is one subtraction and an
+    /// index instead of a hash.
+    active: VecDeque<Option<InstRecord>>,
+    /// Per-slot edge-coalescing memory for `active`: `(edge index,
+    /// cycle)` of the most recent [`LifecycleLog::edge`] observation
+    /// ([`NO_CYCLE`] index = none), so consecutive observations of the
+    /// same condition extend one edge without a side-table lookup.
+    /// Kept out of [`InstRecord`] because it is dead weight once the
+    /// record retires into the ring.
+    active_edge: VecDeque<(u32, u32)>,
+    /// Lid of the front `active` slot.
+    active_base: u64,
+    /// Number of `Some` slots in `active`.
+    active_len: usize,
     retired: VecDeque<InstRecord>,
     dropped: u64,
     /// All slot charges ever made, by cause (survives record drops).
     totals: [u64; NUM_CAUSES],
     /// Charges made while no instruction was in the window.
     frontend: [u64; NUM_CAUSES],
-    /// Edge-coalescing memory: last cycle each (lid, kind, target) was
-    /// observed, so repeated observations extend one edge.
-    last_edge: HashMap<u64, (usize, u64)>,
+    /// Disassembly ids interned per `(word pc, lane)`: the text is a
+    /// pure function of the static instruction, so it is formatted
+    /// once, stored in `strings`, and every dynamic record carries a
+    /// 4-byte id.
+    interned: HashMap<(u32, u8), u32>,
+    /// Interned disassembly texts, indexed by the records' ids.
+    strings: Vec<Box<str>>,
 }
 
 impl LifecycleLog {
     /// Recorder retaining up to `cap` retired records (0 = unbounded).
     pub fn new(cap: usize) -> Self {
+        let bufs = BUF_POOL
+            .lock()
+            .ok()
+            .and_then(|mut p| p.pop())
+            .unwrap_or_default();
         LifecycleLog {
             cap,
             next_lid: 1,
             start_cycle: 0,
             started: false,
-            active: HashMap::new(),
-            retired: VecDeque::new(),
+            active: bufs.active,
+            active_edge: bufs.active_edge,
+            active_base: 0,
+            active_len: 0,
+            retired: bufs.retired,
             dropped: 0,
             totals: [0; NUM_CAUSES],
             frontend: [0; NUM_CAUSES],
-            last_edge: HashMap::new(),
+            interned: HashMap::new(),
+            strings: Vec::new(),
         }
     }
 
     /// Records currently retained (retired + in flight).
     pub fn len(&self) -> usize {
-        self.retired.len() + self.active.len()
+        self.retired.len() + self.active_len
+    }
+
+    /// Slot index of `lid` in `active`, when the record is in flight.
+    fn active_idx(&self, lid: u64) -> Option<usize> {
+        let idx = lid.checked_sub(self.active_base)? as usize;
+        self.active.get(idx)?.as_ref()?;
+        Some(idx)
+    }
+
+    fn active_get_mut(&mut self, lid: u64) -> Option<&mut InstRecord> {
+        let idx = self.active_idx(lid)?;
+        self.active[idx].as_mut()
+    }
+
+    fn active_push(&mut self, r: InstRecord) {
+        if self.active.is_empty() {
+            self.active_base = r.lid;
+        }
+        debug_assert_eq!(r.lid, self.active_base + self.active.len() as u64);
+        self.active.push_back(Some(r));
+        self.active_edge.push_back((NO_CYCLE, 0));
+        self.active_len += 1;
+    }
+
+    fn active_remove(&mut self, lid: u64) -> Option<InstRecord> {
+        let idx = self.active_idx(lid)?;
+        let r = self.active[idx].take();
+        self.active_len -= 1;
+        // Advance the window past retired front slots so the span
+        // tracks the in-flight population.
+        while matches!(self.active.front(), Some(None)) {
+            self.active.pop_front();
+            self.active_edge.pop_front();
+            self.active_base += 1;
+        }
+        r
     }
 
     /// Whether nothing has been recorded yet.
@@ -291,9 +465,9 @@ impl LifecycleLog {
 
     /// Every retained record, oldest first (retired, then in-flight).
     pub fn records(&self) -> impl Iterator<Item = &InstRecord> {
-        let mut act: Vec<&InstRecord> = self.active.values().collect();
-        act.sort_by_key(|r| r.lid);
-        self.retired.iter().chain(act)
+        // `active` slots are already in lid order: no sort, no staging
+        // allocation.
+        self.retired.iter().chain(self.active.iter().flatten())
     }
 
     fn note_start(&mut self, cycle: u64) {
@@ -303,82 +477,105 @@ impl LifecycleLog {
         }
     }
 
+    /// Interned disassembly id for `(pc, lane)`; `disasm` is only
+    /// invoked the first time the static instruction is seen.
+    fn intern(&mut self, pc: u64, lane: InstLane, disasm: impl FnOnce() -> String) -> u32 {
+        *self
+            .interned
+            .entry((pc as u32, lane as u8))
+            .or_insert_with(|| {
+                self.strings.push(disasm().into_boxed_str());
+                (self.strings.len() - 1) as u32
+            })
+    }
+
+    /// The interned disassembly text of one of this log's records.
+    pub fn disasm(&self, r: &InstRecord) -> &str {
+        &self.strings[r.disasm as usize]
+    }
+
     /// New record for a fetched instruction; `decode_ready` is the
-    /// cycle it will reach rename.
-    pub fn begin_fetch(&mut self, pc: u64, disasm: String, cycle: u64, decode_ready: u64) -> u64 {
+    /// cycle it will reach rename. `disasm` is invoked at most once per
+    /// static `(pc, lane)` — the text is interned.
+    pub fn begin_fetch(
+        &mut self,
+        pc: u64,
+        disasm: impl FnOnce() -> String,
+        cycle: u64,
+        decode_ready: u64,
+    ) -> u64 {
         self.note_start(cycle);
         let lid = self.next_lid;
         self.next_lid += 1;
+        let disasm = self.intern(pc, InstLane::Normal, disasm);
         let mut r = InstRecord::new(lid, pc, disasm, InstLane::Normal);
-        r.fetch = Some(cycle);
-        r.decode = Some(decode_ready);
-        self.active.insert(lid, r);
+        r.stages[ST_FETCH] = pack_cycle(cycle);
+        r.stages[ST_DECODE] = pack_cycle(decode_ready);
+        self.active_push(r);
         lid
     }
 
-    /// New record for a replica created by the CI engine.
-    pub fn begin_replica(&mut self, pc: u64, disasm: String, cycle: u64) -> u64 {
+    /// New record for a replica created by the CI engine. `disasm` is
+    /// invoked at most once per static `(pc, lane)` — the text is
+    /// interned.
+    pub fn begin_replica(&mut self, pc: u64, disasm: impl FnOnce() -> String, cycle: u64) -> u64 {
         self.note_start(cycle);
         let lid = self.next_lid;
         self.next_lid += 1;
+        let disasm = self.intern(pc, InstLane::Replica, disasm);
         let mut r = InstRecord::new(lid, pc, disasm, InstLane::Replica);
-        r.dispatch = Some(cycle);
-        self.active.insert(lid, r);
+        r.stages[ST_DISPATCH] = pack_cycle(cycle);
+        self.active_push(r);
         lid
     }
 
     /// The instruction entered the window with sequence number `seq`.
     pub fn note_dispatch(&mut self, lid: u64, seq: u64, cycle: u64) {
-        if let Some(r) = self.active.get_mut(&lid) {
-            r.seq = Some(seq);
-            r.dispatch = Some(cycle);
+        if let Some(r) = self.active_get_mut(lid) {
+            r.seq = seq;
+            r.stages[ST_DISPATCH] = pack_cycle(cycle);
         }
     }
 
     /// The instruction issued to a functional unit / port.
     pub fn note_issue(&mut self, lid: u64, cycle: u64) {
-        if let Some(r) = self.active.get_mut(&lid) {
-            r.issue = Some(cycle);
+        if let Some(r) = self.active_get_mut(lid) {
+            r.stages[ST_ISSUE] = pack_cycle(cycle);
         }
     }
 
     /// The result is available (writeback / reuse delivery).
     pub fn note_complete(&mut self, lid: u64, cycle: u64) {
-        if let Some(r) = self.active.get_mut(&lid) {
-            r.complete = Some(cycle);
+        if let Some(r) = self.active_get_mut(lid) {
+            r.stages[ST_COMPLETE] = pack_cycle(cycle);
         }
     }
 
     /// Mark (or clear, when a pending reuse falls back to normal
     /// execution) the reused flag.
     pub fn set_reused(&mut self, lid: u64, reused: bool) {
-        if let Some(r) = self.active.get_mut(&lid) {
+        if let Some(r) = self.active_get_mut(lid) {
             r.reused = reused;
         }
     }
 
     fn retire_record(&mut self, lid: u64, cycle: u64, fate: Fate) {
-        let Some(mut r) = self.active.remove(&lid) else {
+        let Some(mut r) = self.active_remove(lid) else {
             return;
         };
-        r.retire = Some(cycle);
+        let cycle = pack_cycle(cycle);
+        r.stages[ST_RETIRE] = cycle;
         r.fate = fate;
         if fate == Fate::Squashed {
             // `decode` is a predicted timestamp (fetch + decode delay);
             // a squash can land before it. Drop stage times the
             // instruction never reached so records stay monotonic.
-            for stage in [
-                &mut r.decode,
-                &mut r.dispatch,
-                &mut r.issue,
-                &mut r.complete,
-            ] {
-                if stage.is_some_and(|c| c > cycle) {
-                    *stage = None;
+            for idx in [ST_DECODE, ST_DISPATCH, ST_ISSUE, ST_COMPLETE] {
+                if r.stages[idx] != NO_CYCLE && r.stages[idx] > cycle {
+                    r.stages[idx] = NO_CYCLE;
                 }
             }
         }
-        self.last_edge.remove(&lid);
         if self.cap > 0 && self.retired.len() == self.cap {
             self.retired.pop_front();
             self.dropped += 1;
@@ -391,10 +588,14 @@ impl LifecycleLog {
     /// aggregate stall attribution.
     pub fn note_commit(&mut self, lid: u64, cycle: u64) {
         self.totals[StallCause::Useful as usize] += 1;
-        if let Some(r) = self.active.get_mut(&lid) {
-            r.waits[StallCause::Useful as usize] += 1;
-        } else {
-            self.frontend[StallCause::Useful as usize] += 1;
+        match self.active_idx(lid) {
+            Some(i) => {
+                self.active[i]
+                    .as_mut()
+                    .unwrap()
+                    .bump_wait(StallCause::Useful, 1);
+            }
+            None => self.frontend[StallCause::Useful as usize] += 1,
         }
         self.retire_record(lid, cycle, Fate::Committed);
     }
@@ -423,8 +624,11 @@ impl LifecycleLog {
     /// window is empty. Mirrors `StallBreakdown::charge` exactly.
     pub fn charge(&mut self, lid: Option<u64>, cause: StallCause, slots: u64) {
         self.totals[cause as usize] += slots;
-        match lid.and_then(|l| self.active.get_mut(&l)) {
-            Some(r) => r.waits[cause as usize] += slots,
+        match lid.and_then(|l| self.active_idx(l)) {
+            Some(i) => self.active[i]
+                .as_mut()
+                .unwrap()
+                .bump_wait(cause, slots as u32),
             None => self.frontend[cause as usize] += slots,
         }
     }
@@ -440,14 +644,17 @@ impl LifecycleLog {
         detail: &'static str,
         cycle: u64,
     ) {
-        let Some(r) = self.active.get_mut(&lid) else {
+        let Some(slot) = self.active_idx(lid) else {
             return;
         };
-        if let Some(&(idx, last)) = self.last_edge.get(&lid) {
-            if let Some(e) = r.edges.get_mut(idx) {
-                if e.kind == kind && e.target == target && last < cycle {
+        let r = self.active[slot].as_mut().unwrap();
+        let cycle32 = pack_cycle(cycle);
+        let (last_idx, last) = self.active_edge[slot];
+        if last_idx != NO_CYCLE {
+            if let Some(e) = r.edges.get_mut(last_idx as usize) {
+                if e.kind == kind && e.target == target && u64::from(last) < cycle {
                     e.cycles += 1;
-                    self.last_edge.insert(lid, (idx, cycle));
+                    self.active_edge[slot] = (last_idx, cycle32);
                     return;
                 }
             }
@@ -461,7 +668,7 @@ impl LifecycleLog {
             .find(|(_, e)| e.kind == kind && e.target == target)
         {
             e.cycles += 1;
-            self.last_edge.insert(lid, (idx, cycle));
+            self.active_edge[slot] = (idx as u32, cycle32);
             return;
         }
         r.edges.push(WaitEdge {
@@ -471,7 +678,7 @@ impl LifecycleLog {
             cycles: 1,
             first_cycle: cycle,
         });
-        self.last_edge.insert(lid, (r.edges.len() - 1, cycle));
+        self.active_edge[slot] = ((r.edges.len() - 1) as u32, cycle32);
     }
 
     /// Check that the per-instruction wait-cycle sums reconcile exactly
@@ -517,7 +724,11 @@ impl LifecycleLog {
             };
             let sid = r.lid;
             push(start, 0, format!("I\t{sid}\t{sid}\t{}", r.lane as u64));
-            push(start, 1, format!("L\t{sid}\t0\t{}: {}", r.pc, r.disasm));
+            push(
+                start,
+                1,
+                format!("L\t{sid}\t0\t{}: {}", r.pc(), self.disasm(r)),
+            );
             push(start, 1, format!("L\t{sid}\t1\t{}", metadata_line(r)));
             for &(name, s, e) in &stages {
                 push(s, 2, format!("S\t{sid}\t0\t{name}"));
@@ -528,7 +739,7 @@ impl LifecycleLog {
                     push(edge.first_cycle, 4, format!("W\t{sid}\t{t}\t0"));
                 }
             }
-            if let Some(retire) = r.retire {
+            if let Some(retire) = r.retire() {
                 let ty = match r.fate {
                     Fate::Squashed => 1,
                     _ => 0,
@@ -562,22 +773,42 @@ impl LifecycleLog {
     }
 }
 
+impl Drop for LifecycleLog {
+    fn drop(&mut self) {
+        // Park the big buffers (cleared, capacity kept) for the next
+        // recorder in this process; see [`RecycledBufs`].
+        let mut bufs = RecycledBufs {
+            retired: std::mem::take(&mut self.retired),
+            active: std::mem::take(&mut self.active),
+            active_edge: std::mem::take(&mut self.active_edge),
+        };
+        bufs.retired.clear();
+        bufs.active.clear();
+        bufs.active_edge.clear();
+        if let Ok(mut pool) = BUF_POOL.lock() {
+            if pool.len() < BUF_POOL_MAX {
+                pool.push(bufs);
+            }
+        }
+    }
+}
+
 /// The stage segments `[(name, start, end)]` a record renders as.
 /// `end_of_trace` bounds records still in flight.
 fn stage_segments(r: &InstRecord, end_of_trace: u64) -> Vec<(&'static str, u64, u64)> {
     // Pipeline-order timestamps; each segment runs to the next present
     // timestamp, the last one to retire (or the end of the trace).
     let points: Vec<(&'static str, u64)> = [
-        ("F", r.fetch),
-        ("Dc", r.decode),
-        ("Ds", r.dispatch),
-        ("Ex", r.issue),
-        ("Cm", r.complete),
+        ("F", r.fetch()),
+        ("Dc", r.decode()),
+        ("Ds", r.dispatch()),
+        ("Ex", r.issue()),
+        ("Cm", r.complete()),
     ]
     .into_iter()
     .filter_map(|(n, c)| c.map(|c| (n, c)))
     .collect();
-    let fin = r.retire.unwrap_or(end_of_trace);
+    let fin = r.retire().unwrap_or(end_of_trace);
     let mut segs = Vec::with_capacity(points.len());
     for (i, &(name, start)) in points.iter().enumerate() {
         let end = points.get(i + 1).map(|&(_, c)| c).unwrap_or(fin).max(start);
@@ -611,15 +842,15 @@ fn stage_segments(r: &InstRecord, end_of_trace: u64) -> Vec<(&'static str, u64, 
 fn metadata_line(r: &InstRecord) -> String {
     let mut s = format!(
         "pc={} seq={} fate={} reused={} lane={}",
-        r.pc,
-        r.seq.map(|q| q.to_string()).unwrap_or_else(|| "-".into()),
+        r.pc(),
+        r.seq().map(|q| q.to_string()).unwrap_or_else(|| "-".into()),
         r.fate.key(),
         r.reused as u8,
         r.lane as u64,
     );
     let mut waits = String::new();
     for cause in ALL_CAUSES {
-        let n = r.waits[cause as usize];
+        let n = r.wait(cause);
         if n > 0 {
             if !waits.is_empty() {
                 waits.push(',');
@@ -1147,10 +1378,10 @@ mod tests {
     /// instruction, a reused validation, and a replica.
     fn sample() -> LifecycleLog {
         let mut log = LifecycleLog::new(0);
-        let p = log.begin_fetch(4, "ld r1, 0(r2)".into(), 0, 2);
-        let c = log.begin_fetch(5, "addi r3, r1, 1".into(), 0, 2);
-        let w = log.begin_fetch(6, "addi r9, r9, 1".into(), 1, 3);
-        let u = log.begin_fetch(7, "add r4, r4, r1".into(), 1, 3);
+        let p = log.begin_fetch(4, || "ld r1, 0(r2)".into(), 0, 2);
+        let c = log.begin_fetch(5, || "addi r3, r1, 1".into(), 0, 2);
+        let w = log.begin_fetch(6, || "addi r9, r9, 1".into(), 1, 3);
+        let u = log.begin_fetch(7, || "add r4, r4, r1".into(), 1, 3);
         log.note_dispatch(p, 1, 2);
         log.note_dispatch(c, 2, 2);
         log.note_dispatch(w, 3, 3);
@@ -1171,7 +1402,7 @@ mod tests {
         log.note_complete(c, 11);
         log.note_commit(c, 12);
         log.note_commit(u, 12);
-        let r = log.begin_replica(20, "mul r5, r5, r6".into(), 6);
+        let r = log.begin_replica(20, || "mul r5, r5, r6".into(), 6);
         log.note_issue(r, 7);
         log.finish_replica(r, 9, true);
         log
@@ -1192,12 +1423,12 @@ mod tests {
     #[test]
     fn edges_coalesce() {
         let log = sample();
-        let c = log.records().find(|r| r.pc == 5).unwrap();
+        let c = log.records().find(|r| r.pc() == 5).unwrap();
         assert_eq!(c.edges.len(), 1);
         assert_eq!(c.edges[0].kind, WaitEdgeKind::Producer);
         assert_eq!(c.edges[0].cycles, 6);
         assert_eq!(c.edges[0].first_cycle, 3);
-        let p = log.records().find(|r| r.pc == 4).unwrap();
+        let p = log.records().find(|r| r.pc() == 4).unwrap();
         assert_eq!(p.edges[0].detail, "l2");
         assert_eq!(p.edges[0].cycles, 2);
     }
@@ -1206,7 +1437,7 @@ mod tests {
     fn ring_cap_drops_oldest_but_keeps_totals() {
         let mut log = LifecycleLog::new(2);
         for i in 0..5 {
-            let l = log.begin_fetch(i, format!("op{i}"), i, i + 1);
+            let l = log.begin_fetch(i, || format!("op{i}"), i, i + 1);
             log.note_dispatch(l, i + 1, i + 1);
             log.note_commit(l, i + 2);
         }

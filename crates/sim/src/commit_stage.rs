@@ -171,8 +171,7 @@ impl Pipeline<'_> {
                         self.teardown_srsmt(&mut m, idx, "commit_repair");
                         // Confidence: repeated commit-time repairs
                         // blacklist the PC from re-vectorization.
-                        let c = m.misspec_count.entry(Program::byte_pc(e.pc)).or_insert(0);
-                        *c = c.saturating_add(1);
+                        m.bump_misspec(Program::byte_pc(e.pc));
                         self.mech = Some(m);
                     }
                     flush_after = true;
@@ -313,10 +312,7 @@ impl Pipeline<'_> {
             // failures should not bar a PC forever, only chronic ones.
             if self.stats.committed.is_multiple_of(32_768) {
                 if let Some(m) = &mut self.mech {
-                    m.misspec_count
-                        .values_mut()
-                        .for_each(|c| *c = c.saturating_sub(1));
-                    m.misspec_count.retain(|_, c| *c > 0);
+                    m.age_misspec();
                 }
             }
             slots = slots.saturating_sub(1);
@@ -426,7 +422,7 @@ impl Pipeline<'_> {
         if let Some(mut m) = self.mech.take() {
             m.nrbq.clear();
             m.crp.deactivate();
-            m.squash_buf.clear();
+            m.clear_squash_buf();
             // Entries created by any squashed (uncommitted) instruction
             // lose their instance alignment.
             let last_committed = self.last_committed_seq;

@@ -331,7 +331,7 @@ impl Pipeline<'_> {
                 self.stats.h_branch_resolve.record(wait);
                 if let Inst::Jr { .. } = inst {
                     let (pc, tgt) = (self.rob[i].pc, self.rob[i].actual_target);
-                    self.jr_btb.insert(pc, tgt);
+                    self.jr_btb[pc as usize] = tgt;
                 }
                 let e = &self.rob[i];
                 if e.actual_target != e.pred_target && mispredicted.is_none() {

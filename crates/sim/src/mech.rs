@@ -4,7 +4,12 @@
 use cfir_core::{Crp, Mbs, MechConfig, Nrbq, SpecMem, Srsmt};
 use cfir_isa::Inst;
 use cfir_predict::StridePredictor;
-use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Sentinel for an empty [`Mech::sel_event`] slot. Event ids are
+/// sequential counters starting at 0, so `u64::MAX` can never be a
+/// real event.
+pub(crate) const SEL_EVENT_EMPTY: u64 = u64::MAX;
 
 /// A replica's source operand, resolved at batch-creation time.
 #[derive(Debug, Clone, Copy)]
@@ -80,6 +85,92 @@ pub struct Replica {
     pub addr: Option<u64>,
 }
 
+/// Free-list arena for in-flight replicas. Records live in a slab and
+/// never move; `order` holds slot ids in exactly the sequence the old
+/// `Vec<Replica>` held the records, so issue priority under bandwidth
+/// pressure is bit-for-bit unchanged (`reap` keeps relative order like
+/// `Vec::retain`, [`ReplicaArena::swap_remove`] performs the same
+/// last-into-hole permutation) — but removals now shift 4-byte ids
+/// instead of whole records, and freed slots are recycled without
+/// touching the allocator.
+#[derive(Debug, Default)]
+pub(crate) struct ReplicaArena {
+    slab: Vec<Replica>,
+    free: Vec<u32>,
+    order: Vec<u32>,
+    /// Scratch for [`ReplicaArena::reap`]'s killed-lid list, kept warm
+    /// across calls.
+    killed: Vec<u64>,
+}
+
+impl ReplicaArena {
+    pub(crate) fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Only test assertions need emptiness; the pipeline always works
+    /// from `len`/iteration.
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Append a replica at the back of the issue order.
+    pub(crate) fn push(&mut self, r: Replica) {
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.slab[id as usize] = r;
+                id
+            }
+            None => {
+                self.slab.push(r);
+                (self.slab.len() - 1) as u32
+            }
+        };
+        self.order.push(id);
+    }
+
+    /// Remove the replica at order position `pos` with the same
+    /// last-into-hole permutation `Vec::swap_remove` used, recycling
+    /// its slot.
+    pub(crate) fn swap_remove(&mut self, pos: usize) {
+        let id = self.order.swap_remove(pos);
+        self.free.push(id);
+    }
+
+    /// Drop every replica matching `pred`, preserving the relative
+    /// order of survivors (exactly like `Vec::retain`). Returns the
+    /// lids of the dropped replicas for lifecycle close-out.
+    pub(crate) fn reap(&mut self, pred: impl Fn(&Replica) -> bool) -> &[u64] {
+        self.killed.clear();
+        let (slab, free, killed) = (&self.slab, &mut self.free, &mut self.killed);
+        self.order.retain(|&id| {
+            let r = &slab[id as usize];
+            if pred(r) {
+                killed.push(r.lid);
+                free.push(id);
+                false
+            } else {
+                true
+            }
+        });
+        &self.killed
+    }
+}
+
+impl std::ops::Index<usize> for ReplicaArena {
+    type Output = Replica;
+    fn index(&self, pos: usize) -> &Replica {
+        &self.slab[self.order[pos] as usize]
+    }
+}
+
+impl std::ops::IndexMut<usize> for ReplicaArena {
+    fn index_mut(&mut self, pos: usize) -> &mut Replica {
+        &mut self.slab[self.order[pos] as usize]
+    }
+}
+
 /// Pending register-file copy injected by a validation in the
 /// speculative-data-memory mode (§2.4.6).
 #[derive(Debug, Clone, Copy)]
@@ -119,22 +210,36 @@ pub struct Mech {
     /// Speculative data memory, when configured (`ci-h-N`).
     pub specmem: Option<SpecMem>,
     /// Event id that selected each load PC (Figure 5 attribution).
-    pub sel_event: HashMap<u64, u64>,
-    /// Self-loop entries waiting for their seed value, keyed by the
-    /// creating instruction's sequence number -> (entry idx, gen).
-    pub seed_waiters: HashMap<u64, (usize, u32)>,
-    /// Commit-time mis-speculation count per instruction PC. A PC that
-    /// repeatedly delivers wrong values (each costing a repair flush)
-    /// is refused further vectorization — a small confidence counter a
-    /// real implementation would also want.
-    pub misspec_count: HashMap<u64, u8>,
-    /// Squash-reuse buffer: wrong-path CI values keyed by PC (ci-iw).
-    pub squash_buf: HashMap<u32, std::collections::VecDeque<SquashReuse>>,
+    /// Dense table indexed by *word* PC ([`SEL_EVENT_EMPTY`] = never
+    /// selected); one indexed load replaces a hash lookup on the
+    /// decode path. Entries are only ever overwritten, never erased —
+    /// exactly the map semantics this replaces.
+    pub sel_event: Vec<u64>,
+    /// Self-loop entries waiting for their seed value: `(creating
+    /// instruction's sequence number, entry idx, gen)`. Lookups are by
+    /// exact seq; the population is bounded by live SRSMT self-loop
+    /// entries (a handful), so a linear scan over a flat vector beats
+    /// hashing and never allocates once warm. Order is irrelevant —
+    /// no caller iterates, so `swap_remove` is safe.
+    pub seed_waiters: Vec<(u64, usize, u32)>,
+    /// Commit-time mis-speculation count per instruction PC, dense by
+    /// *word* PC. A PC that repeatedly delivers wrong values (each
+    /// costing a repair flush) is refused further vectorization — a
+    /// small confidence counter a real implementation would also want.
+    /// A zero count is identical to "absent" in the map semantics this
+    /// replaces (the blacklist threshold is ≥ 1).
+    pub misspec_count: Vec<u8>,
+    /// Squash-reuse buffer: wrong-path CI values, dense by *word* PC
+    /// (ci-iw). [`Mech::clear_squash_buf`] empties the queues in place
+    /// so their allocations survive across harvests.
+    pub squash_buf: Vec<VecDeque<SquashReuse>>,
 }
 
 impl Mech {
-    /// Build the mechanism state from its configuration.
-    pub fn new(cfg: MechConfig) -> Self {
+    /// Build the mechanism state from its configuration. `prog_len`
+    /// (program length in instructions) sizes the dense PC-indexed
+    /// tables.
+    pub fn new(cfg: MechConfig, prog_len: usize) -> Self {
         let specmem = cfg
             .specmem_positions
             .map(|n| SpecMem::new(n, cfg.specmem_latency));
@@ -145,11 +250,66 @@ impl Mech {
             stride: StridePredictor::new(cfg.stride_sets, cfg.stride_ways),
             srsmt: Srsmt::new(cfg.srsmt_sets, cfg.srsmt_ways, cfg.daec_threshold),
             specmem,
-            sel_event: HashMap::new(),
-            seed_waiters: HashMap::new(),
-            misspec_count: HashMap::new(),
-            squash_buf: HashMap::new(),
+            sel_event: vec![SEL_EVENT_EMPTY; prog_len],
+            seed_waiters: Vec::new(),
+            misspec_count: vec![0; prog_len],
+            squash_buf: vec![VecDeque::new(); prog_len],
             cfg,
+        }
+    }
+
+    /// Record the event that selected the load at byte PC `bpc`.
+    pub(crate) fn set_sel_event(&mut self, bpc: u64, event: u64) {
+        self.sel_event[(bpc >> 2) as usize] = event;
+    }
+
+    /// The event that selected byte PC `bpc`, if any.
+    pub(crate) fn sel_event(&self, bpc: u64) -> Option<u64> {
+        match self.sel_event[(bpc >> 2) as usize] {
+            SEL_EVENT_EMPTY => None,
+            ev => Some(ev),
+        }
+    }
+
+    /// Register a self-loop entry waiting for its seed value.
+    pub(crate) fn add_seed_waiter(&mut self, seq: u64, idx: usize, gen: u32) {
+        debug_assert!(
+            !self.seed_waiters.iter().any(|&(s, _, _)| s == seq),
+            "duplicate seed waiter for seq {seq}"
+        );
+        self.seed_waiters.push((seq, idx, gen));
+    }
+
+    /// Remove and return the waiter registered under `seq`, if any.
+    pub(crate) fn take_seed_waiter(&mut self, seq: u64) -> Option<(usize, u32)> {
+        let at = self.seed_waiters.iter().position(|&(s, _, _)| s == seq)?;
+        let (_, idx, gen) = self.seed_waiters.swap_remove(at);
+        Some((idx, gen))
+    }
+
+    /// Current mis-speculation count of byte PC `bpc`.
+    pub(crate) fn misspec(&self, bpc: u64) -> u8 {
+        self.misspec_count[(bpc >> 2) as usize]
+    }
+
+    /// Count one commit-time repair against byte PC `bpc`.
+    pub(crate) fn bump_misspec(&mut self, bpc: u64) {
+        let c = &mut self.misspec_count[(bpc >> 2) as usize];
+        *c = c.saturating_add(1);
+    }
+
+    /// Age every mis-speculation counter by one (bootstrap-phase
+    /// failures should not bar a PC forever, only chronic ones).
+    pub(crate) fn age_misspec(&mut self) {
+        for c in &mut self.misspec_count {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Empty every squash-reuse queue in place, keeping allocations.
+    pub(crate) fn clear_squash_buf(&mut self) {
+        for q in &mut self.squash_buf {
+            q.clear();
         }
     }
 }
@@ -160,15 +320,55 @@ mod tests {
 
     #[test]
     fn builds_from_paper_config() {
-        let m = Mech::new(MechConfig::paper());
+        let m = Mech::new(MechConfig::paper(), 64);
         assert!(m.specmem.is_none());
         assert!(!m.crp.active);
         assert!(m.nrbq.is_empty());
+        assert_eq!(m.sel_event.len(), 64);
+        assert_eq!(m.misspec_count.len(), 64);
+        assert_eq!(m.squash_buf.len(), 64);
     }
 
     #[test]
     fn specmem_configured_when_requested() {
-        let m = Mech::new(MechConfig::paper_with_specmem(256));
+        let m = Mech::new(MechConfig::paper_with_specmem(256), 16);
         assert_eq!(m.specmem.as_ref().unwrap().capacity(), 256);
+    }
+
+    #[test]
+    fn sel_event_round_trips_including_zero() {
+        let mut m = Mech::new(MechConfig::paper(), 8);
+        assert_eq!(m.sel_event(4), None);
+        m.set_sel_event(4, 0); // event ids start at 0
+        assert_eq!(m.sel_event(4), Some(0));
+        m.set_sel_event(4, 7);
+        assert_eq!(m.sel_event(4), Some(7));
+        assert_eq!(m.sel_event(0), None);
+    }
+
+    #[test]
+    fn seed_waiters_add_take_semantics() {
+        let mut m = Mech::new(MechConfig::paper(), 4);
+        m.add_seed_waiter(10, 3, 1);
+        m.add_seed_waiter(11, 4, 2);
+        assert_eq!(m.take_seed_waiter(12), None);
+        assert_eq!(m.take_seed_waiter(10), Some((3, 1)));
+        assert_eq!(m.take_seed_waiter(10), None, "removed on take");
+        assert_eq!(m.take_seed_waiter(11), Some((4, 2)));
+        assert!(m.seed_waiters.is_empty());
+    }
+
+    #[test]
+    fn misspec_counters_saturate_and_age() {
+        let mut m = Mech::new(MechConfig::paper(), 4);
+        assert_eq!(m.misspec(8), 0);
+        for _ in 0..300 {
+            m.bump_misspec(8);
+        }
+        assert_eq!(m.misspec(8), u8::MAX, "saturating add");
+        m.bump_misspec(0);
+        m.age_misspec();
+        assert_eq!(m.misspec(0), 0, "aged back to absent");
+        assert_eq!(m.misspec(8), u8::MAX - 1);
     }
 }

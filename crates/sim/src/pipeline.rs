@@ -19,7 +19,7 @@
 
 use crate::config::{RegFileSize, SimConfig};
 use crate::lsq::Lsq;
-use crate::mech::{Mech, Replica};
+use crate::mech::{Mech, ReplicaArena};
 use crate::regfile::{PhysId, PhysRegFile};
 use crate::rob::{Checkpoint, ReuseInfo, RobEntry, RobState};
 use crate::stall_attr::DispatchBlock;
@@ -30,9 +30,13 @@ use cfir_isa::{Inst, Program, NUM_LOGICAL_REGS};
 use cfir_mem::Hierarchy;
 use cfir_obs::{LifecycleLog, PipeviewSpec, Tracer, WaitEdgeKind};
 use cfir_predict::Gshare;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 const NLR: usize = NUM_LOGICAL_REGS;
+
+/// Sentinel for an empty [`Pipeline::jr_btb`] slot (no program target
+/// can be `u32::MAX`).
+pub(crate) const JR_BTB_EMPTY: u32 = u32::MAX;
 
 /// An instruction in flight between fetch and dispatch.
 #[derive(Debug, Clone, Copy)]
@@ -183,11 +187,16 @@ pub struct Pipeline<'a> {
 
     // Predictors.
     pub(crate) gshare: Gshare,
-    pub(crate) jr_btb: HashMap<u32, u32>,
+    /// Indirect-jump BTB: last resolved target per static word PC, or
+    /// [`JR_BTB_EMPTY`] when the PC has never resolved. Dense (one slot
+    /// per program instruction) so the fetch-path lookup is a single
+    /// indexed load; program targets can never be `u32::MAX`, so the
+    /// sentinel is unambiguous.
+    pub(crate) jr_btb: Vec<u32>,
 
     // Mechanism.
     pub(crate) mech: Option<Mech>,
-    pub(crate) replicas: Vec<Replica>,
+    pub(crate) replicas: ReplicaArena,
 
     // Golden model.
     pub(crate) emu: Option<Emulator>,
@@ -222,12 +231,17 @@ pub struct Pipeline<'a> {
     /// reconciliation against the stall breakdown is exact only from
     /// cycle 0.
     pub(crate) lifecycle_since: u64,
-    /// Physical register → lid of the instruction that produces it.
-    /// Maintained only while lifecycle recording is on; gives every
-    /// dispatched instruction true dataflow (`Producer`) wait-edges so
-    /// the bottleneck DAG re-walk respects dependence chains even when
-    /// the per-cycle stall cascade never blamed them.
-    pub(crate) prod_lid: HashMap<PhysId, u64>,
+    /// Physical register → lid of the instruction that produces it
+    /// (0 = no producer recorded; real lids start at 1). Maintained
+    /// only while lifecycle recording is on; gives every dispatched
+    /// instruction true dataflow (`Producer`) wait-edges so the
+    /// bottleneck DAG re-walk respects dependence chains even when the
+    /// per-cycle stall cascade never blamed them. Dense, indexed by
+    /// physical register id; grows on demand so `RegFileSize::Infinite`
+    /// runs stay correct. Entries are never erased (exactly like the
+    /// map this replaces): a slot is only ever overwritten by the next
+    /// rename of the same physical register.
+    pub(crate) prod_lid: Vec<u64>,
     /// Where to write the Konata pipeview document at the end of the
     /// run (`--pipeview` / `CFIR_PIPEVIEW`).
     pub(crate) pipeview_path: Option<String>,
@@ -251,7 +265,7 @@ impl<'a> Pipeline<'a> {
             let _ = r;
         }
         let mech = if cfg.mode.vectorizes() || cfg.mode.selects_ci() {
-            Some(Mech::new(cfg.mech.clone()))
+            Some(Mech::new(cfg.mech.clone(), prog.insts.len()))
         } else {
             None
         };
@@ -292,9 +306,9 @@ impl<'a> Pipeline<'a> {
             hier,
             outstanding_misses: Vec::new(),
             gshare,
-            jr_btb: HashMap::new(),
+            jr_btb: vec![JR_BTB_EMPTY; prog.insts.len()],
             mech,
-            replicas: Vec::new(),
+            replicas: ReplicaArena::default(),
             emu,
             oracle,
             res: CycleRes::default(),
@@ -303,7 +317,7 @@ impl<'a> Pipeline<'a> {
             dispatch_block: None,
             last_flush_cycle: None,
             commit_log: None,
-            prod_lid: HashMap::new(),
+            prod_lid: Vec::new(),
             lifecycle: None,
             lifecycle_since: 0,
             pipeview_path: None,
@@ -507,19 +521,22 @@ impl<'a> Pipeline<'a> {
 
     /// Simulate one cycle.
     pub fn step(&mut self) {
-        self.res = CycleRes {
-            issue: self.cfg.issue_width,
-            int_alu: self.cfg.int_alu,
-            int_muldiv: self.cfg.int_muldiv,
-            fp_alu: self.cfg.fp_alu,
-            fp_muldiv: self.cfg.fp_muldiv,
-            dports: self.cfg.dports,
-            wide_groups: Vec::new(),
-            specmem_reads: 2,
-            specmem_writes: 2,
-            stores_committed: 0,
-        };
-        self.outstanding_misses.retain(|&(_, d)| d > self.cycle);
+        // Reset the per-cycle resource pool in place: `wide_groups`
+        // keeps its allocation across cycles instead of being dropped
+        // and re-grown every cycle of a wide-bus run.
+        self.res.issue = self.cfg.issue_width;
+        self.res.int_alu = self.cfg.int_alu;
+        self.res.int_muldiv = self.cfg.int_muldiv;
+        self.res.fp_alu = self.cfg.fp_alu;
+        self.res.fp_muldiv = self.cfg.fp_muldiv;
+        self.res.dports = self.cfg.dports;
+        self.res.wide_groups.clear();
+        self.res.specmem_reads = 2;
+        self.res.specmem_writes = 2;
+        self.res.stores_committed = 0;
+        if !self.outstanding_misses.is_empty() {
+            self.outstanding_misses.retain(|&(_, d)| d > self.cycle);
+        }
         self.flushed_this_cycle = false;
         self.dispatch_block = None;
         let committed_before = self.stats.committed;
@@ -690,7 +707,10 @@ impl<'a> Pipeline<'a> {
                     }
                     Inst::Jmp { target } => (true, target),
                     Inst::Jr { .. } => {
-                        let t = self.jr_btb.get(&pc).copied().unwrap_or(pc + 1);
+                        let t = match self.jr_btb[pc as usize] {
+                            JR_BTB_EMPTY => pc + 1,
+                            t => t,
+                        };
                         (true, t)
                     }
                     _ => (false, pc + 1),
@@ -698,7 +718,7 @@ impl<'a> Pipeline<'a> {
             };
             let ready_at = self.cycle + self.cfg.decode_delay as u64;
             let lid = match &mut self.lifecycle {
-                Some(log) => log.begin_fetch(pc as u64, inst.to_string(), self.cycle, ready_at),
+                Some(log) => log.begin_fetch(pc as u64, || inst.to_string(), self.cycle, ready_at),
                 None => 0,
             };
             self.decode_q.push_back(Fetched {
@@ -780,8 +800,11 @@ impl<'a> Pipeline<'a> {
                     let p = self.rmap[*r as usize];
                     e.src_phys[i] = Some(p);
                     if let Some(log) = &mut self.lifecycle {
-                        if let Some(&plid) = self.prod_lid.get(&p) {
-                            log.edge(f.lid, WaitEdgeKind::Producer, Some(plid), "", self.cycle);
+                        match self.prod_lid.get(p as usize) {
+                            Some(&plid) if plid != 0 => {
+                                log.edge(f.lid, WaitEdgeKind::Producer, Some(plid), "", self.cycle);
+                            }
+                            _ => {}
                         }
                     }
                 }
@@ -802,7 +825,10 @@ impl<'a> Pipeline<'a> {
                 e.ldest = Some(d);
                 self.rmap[d as usize] = p;
                 if self.lifecycle.is_some() {
-                    self.prod_lid.insert(p, f.lid);
+                    if self.prod_lid.len() <= p as usize {
+                        self.prod_lid.resize(p as usize + 1, 0);
+                    }
+                    self.prod_lid[p as usize] = f.lid;
                 }
             }
             // Memory instructions enter the LSQ.
@@ -953,10 +979,17 @@ impl<'a> Pipeline<'a> {
 mod tests {
     use super::*;
     use crate::config::Mode;
-    use cfir_isa::assemble;
+    use cfir_isa::{assemble, AluOp, Cond, Program, ProgramBuilder};
 
     fn run_program(src: &str, mode: Mode) -> (SimStats, [u64; NLR]) {
-        let p = assemble("t", src).unwrap();
+        run_built(assemble("t", src).unwrap(), mode)
+    }
+
+    /// Debug kernels with generated instruction sequences go through
+    /// [`ProgramBuilder`] — the entry point the workloads crate builds
+    /// every suite kernel with — rather than `format!`-assembled text,
+    /// so there is only one generator path to keep correct.
+    fn run_built(p: Program, mode: Mode) -> (SimStats, [u64; NLR]) {
         let mut cfg = SimConfig::paper_baseline().with_mode(mode);
         cfg.cosim_check = true;
         let mut pl = Pipeline::new(&p, MemImage::new(), cfg);
@@ -976,12 +1009,13 @@ mod tests {
     #[test]
     fn dependent_chain_respects_latency() {
         // 10 dependent multiplies: at least 2 cycles each.
-        let mut src = String::from("li r1, 1\nli r2, 3\n");
+        let mut b = ProgramBuilder::new("dep-chain");
+        b.li(1, 1).li(2, 3);
         for _ in 0..10 {
-            src.push_str("mul r1, r1, r2\n");
+            b.alu(AluOp::Mul, 1, 1, 2);
         }
-        src.push_str("halt");
-        let (s, regs) = run_program(&src, Mode::Scalar);
+        b.halt();
+        let (s, regs) = run_built(b.finish(), Mode::Scalar);
         assert_eq!(regs[1], 3u64.pow(10));
         assert!(
             s.cycles >= 20,
@@ -995,12 +1029,16 @@ mod tests {
         // A warm loop of independent instructions should commit far
         // faster than 1 IPC (cold straight-line code would miss the
         // I-cache on every 64B line instead).
-        let mut src = String::from("li r61, 0\nli r62, 40\ntop:\n");
-        for i in 1..=24u64 {
-            src.push_str(&format!("li r{i}, {i}\n"));
+        let mut b = ProgramBuilder::new("wide");
+        b.li(61, 0).li(62, 40);
+        let top = b.label_here();
+        for i in 1..=24u8 {
+            b.li(i, i as i64);
         }
-        src.push_str("addi r61, r61, 1\nblt r61, r62, top\nhalt");
-        let (s, _) = run_program(&src, Mode::Scalar);
+        b.alui(AluOp::Add, 61, 61, 1);
+        b.br(Cond::Lt, 61, 62, top);
+        b.halt();
+        let (s, _) = run_built(b.finish(), Mode::Scalar);
         assert_eq!(s.committed, 2 + 40 * 26 + 1);
         assert!(s.ipc() > 2.0, "ipc = {}", s.ipc());
     }

@@ -106,7 +106,7 @@ impl Pipeline<'_> {
                         for s in inst.sources().iter().flatten() {
                             for &lp in self.ext[*s as usize].strided_pcs() {
                                 if m.stride.is_strided(lp) && m.stride.set_selected(lp, true) {
-                                    m.sel_event.insert(lp, m.crp.event);
+                                    m.set_sel_event(lp, m.crp.event);
                                 }
                             }
                         }
@@ -114,7 +114,7 @@ impl Pipeline<'_> {
                         // independent selects itself.
                         if inst.is_load() && m.stride.is_strided(bpc) {
                             m.stride.set_selected(bpc, true);
-                            m.sel_event.insert(bpc, m.crp.event);
+                            m.set_sel_event(bpc, m.crp.event);
                         }
                     }
                 }
@@ -132,18 +132,16 @@ impl Pipeline<'_> {
         // --- ci-iw: squash-reuse buffer lookup ---
         if mode == Mode::CiIw {
             if is_ci {
-                if let Some(q) = m.squash_buf.get_mut(&pc) {
-                    if let Some(sr) = q.pop_front() {
-                        self.stats.squash_reuse_hits += 1;
-                        return Some(ReuseInfo {
-                            value: sr.value,
-                            pending: false,
-                            srsmt_idx: None,
-                            gen: 0,
-                            replica: 0,
-                            event: Some(sr.event),
-                        });
-                    }
+                if let Some(sr) = m.squash_buf[pc as usize].pop_front() {
+                    self.stats.squash_reuse_hits += 1;
+                    return Some(ReuseInfo {
+                        value: sr.value,
+                        pending: false,
+                        srsmt_idx: None,
+                        gen: 0,
+                        replica: 0,
+                        event: Some(sr.event),
+                    });
                 }
             }
             return None;
@@ -625,18 +623,10 @@ impl Pipeline<'_> {
     /// Drop every replica matching `pred`, closing its lifecycle record
     /// (if tracing is on) as squashed-undelivered.
     pub(crate) fn reap_replicas(&mut self, pred: impl Fn(&Replica) -> bool) {
-        let mut killed: Vec<u64> = Vec::new();
-        self.replicas.retain(|r| {
-            if pred(r) {
-                killed.push(r.lid);
-                false
-            } else {
-                true
-            }
-        });
         let cyc = self.cycle;
+        let killed = self.replicas.reap(pred);
         if let Some(log) = &mut self.lifecycle {
-            for lid in killed {
+            for &lid in killed {
                 log.finish_replica(lid, cyc, false);
             }
         }
@@ -646,7 +636,7 @@ impl Pipeline<'_> {
     /// worth vectorizing again (off unless configured — see
     /// `MechConfig::misspec_blacklist`).
     fn blacklisted(&self, m: &Mech, bpc: u64) -> bool {
-        m.misspec_count.get(&bpc).copied().unwrap_or(0) >= self.cfg.mech.misspec_blacklist
+        m.misspec(bpc) >= self.cfg.mech.misspec_blacklist
     }
 
     /// Vectorize a strided load (§2.3.3). The stride predictor trains
@@ -680,7 +670,7 @@ impl Pipeline<'_> {
             SeqId::None,
             SeqId::None,
         );
-        ent.event = m.sel_event.get(&bpc).copied();
+        ent.event = m.sel_event(bpc);
         ent.creator = creator;
         match m.srsmt.alloc(ent) {
             AllocOutcome::Placed { idx, evicted } => {
@@ -791,7 +781,7 @@ impl Pipeline<'_> {
                 }
                 if wants_seed {
                     let gen = m.srsmt.get(idx).unwrap().gen;
-                    m.seed_waiters.insert(seed, (idx, gen));
+                    m.add_seed_waiter(seed, idx, gen);
                 }
                 self.stats.vectorizations += 1;
                 trace_event!(
@@ -818,7 +808,7 @@ impl Pipeline<'_> {
         let Some(mut m) = self.mech.take() else {
             return;
         };
-        if let Some((idx, gen)) = m.seed_waiters.remove(&seq) {
+        if let Some((idx, gen)) = m.take_seed_waiter(seq) {
             if let Some(ent) = m.srsmt.get_mut(idx) {
                 if ent.gen == gen {
                     ent.seed_value = Some(value);
@@ -835,7 +825,7 @@ impl Pipeline<'_> {
         let Some(mut m) = self.mech.take() else {
             return;
         };
-        if let Some((idx, gen)) = m.seed_waiters.remove(&seq) {
+        if let Some((idx, gen)) = m.take_seed_waiter(seq) {
             if m.srsmt.get(idx).map(|e| e.gen == gen).unwrap_or(false) {
                 self.teardown_srsmt(&mut m, idx, "seed_squashed");
             }
@@ -901,7 +891,7 @@ impl Pipeline<'_> {
         };
         // SRSMT stores byte PCs; the lifecycle view uses word PCs.
         let lid = match &mut self.lifecycle {
-            Some(log) => log.begin_replica(pc / 4, inst.to_string(), self.cycle),
+            Some(log) => log.begin_replica(pc / 4, || inst.to_string(), self.cycle),
             None => 0,
         };
         self.replicas.push(Replica {
@@ -1240,7 +1230,7 @@ impl Pipeline<'_> {
         init_mask: u64,
         event: u64,
     ) {
-        m.squash_buf.clear();
+        m.clear_squash_buf();
         let mut mask = init_mask;
         let mut reached = false;
         for j in branch_idx + 1..self.rob.len() {
@@ -1264,13 +1254,10 @@ impl Pipeline<'_> {
             }
             if is_ci {
                 self.stats.events.mark_selected(event);
-                m.squash_buf
-                    .entry(e.pc)
-                    .or_default()
-                    .push_back(SquashReuse {
-                        value: e.value,
-                        event,
-                    });
+                m.squash_buf[e.pc as usize].push_back(SquashReuse {
+                    value: e.value,
+                    event,
+                });
             } else if let Some(d) = e.ldest {
                 mask |= 1u64 << d;
             }

@@ -73,10 +73,10 @@ fn stage_cycles_are_monotonic_and_squashes_postdate_dispatch() {
                 match r.fate {
                     Fate::Committed => {
                         committed += 1;
-                        assert!(r.retire.is_some(), "{bench} {mode:?} lid {}", r.lid);
+                        assert!(r.retire().is_some(), "{bench} {mode:?} lid {}", r.lid);
                     }
                     Fate::Squashed => {
-                        if let (Some(d), Some(sq)) = (r.dispatch, r.retire) {
+                        if let (Some(d), Some(sq)) = (r.dispatch(), r.retire()) {
                             assert!(
                                 sq >= d,
                                 "{bench} {mode:?} lid {}: squashed at {sq} before dispatch {d}",
@@ -99,11 +99,7 @@ fn wait_sums_reconcile_exactly_with_stall_attribution() {
             let (stats, snap) = run(bench, mode);
             assert_eq!(snap.dropped, 0, "{bench} {mode:?}");
             for cause in ALL_CAUSES {
-                let per_inst: u64 = snap
-                    .records
-                    .iter()
-                    .map(|r| r.waits[cause as usize])
-                    .sum::<u64>()
+                let per_inst: u64 = snap.records.iter().map(|r| r.wait(cause)).sum::<u64>()
                     + snap.frontend[cause as usize];
                 assert_eq!(
                     per_inst,

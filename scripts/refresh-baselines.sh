@@ -59,5 +59,25 @@ cp "$tmp/exp_cidi_validation.csv" results/baselines/cidi_validation.csv
 # CI reruns `cfir-analyze --all --check --baseline` against this file.
 ./target/release/cfir-analyze --all --emit-json results/baselines/analyze.json
 
+# Throughput floor for the CI perf gate: detailed-core insts/sec over
+# the smoke profile, single worker, fresh cache each run (cache hits
+# carry no wall clock and would zero the measurement). Both this
+# script and the CI step take the best of three runs, so the floor and
+# the fresh number are each the machine's demonstrated peak and the
+# gate's 10% tolerance only has to absorb residual noise, not
+# cold-start outliers.
+best=0
+for _ in 1 2 3; do
+  rm -rf "$tmp/perf-cache" "$tmp/perf-out"
+  ./target/release/cfir-suite --profile smoke --jobs 1 --quiet \
+    --cache-dir "$tmp/perf-cache" --out-dir "$tmp/perf-out" \
+    --bench-json "$tmp/perf.json" > /dev/null
+  best=$(python3 -c "import json,sys; \
+    print(max(json.load(open('$tmp/perf.json'))['perf']['insts_per_sec'], float(sys.argv[1])))" \
+    "$best")
+done
+printf '{"insts_per_sec_floor": %s, "profile": "smoke", "insts": %s, "jobs": 1, "runs": "best-of-3"}\n' \
+  "$best" "$CFIR_INSTS" > results/baselines/perf_floor.json
+
 echo "baselines refreshed (CFIR_INSTS=$CFIR_INSTS):"
 ls -l results/baselines/

@@ -211,16 +211,40 @@ fn main() {
         for (i, e) in report.experiments.iter().enumerate() {
             let _ = write!(
                 doc,
-                "{}{{\"name\": \"{}\", \"wall_s\": {:.3}, \"executed\": {}, \"cached\": {}, \"ok\": {}}}",
+                "{}{{\"name\": \"{}\", \"wall_s\": {:.3}, \"executed\": {}, \"cached\": {}, \"ok\": {}, \"jobs\": {}, \"deduped\": {}}}",
                 if i > 0 { ", " } else { "" },
                 e.name,
                 e.wall.as_secs_f64(),
                 e.executed,
                 e.cached,
-                e.ok()
+                e.ok(),
+                e.jobs,
+                e.deduped
             );
         }
-        doc.push_str("]}\n");
+        // Detailed-core throughput of the points simulated this run
+        // (cache hits excluded); `insts_per_sec` is what the CI perf
+        // gate compares against the committed floor.
+        let committed: u64 = report.perf.iter().map(|p| p.committed).sum();
+        let wall_s: f64 = report.perf.iter().map(|p| p.wall.as_secs_f64()).sum();
+        let _ = write!(
+            doc,
+            "], \"perf\": {{\"committed_insts\": {committed}, \"detailed_wall_s\": {wall_s:.3}, \"insts_per_sec\": {:.1}, \"kernels\": [",
+            if wall_s > 0.0 { committed as f64 / wall_s } else { 0.0 }
+        );
+        for (i, p) in report.perf.iter().enumerate() {
+            let _ = write!(
+                doc,
+                "{}{{\"name\": \"{}\", \"mode\": \"{}\", \"committed\": {}, \"wall_s\": {:.3}, \"insts_per_sec\": {:.1}}}",
+                if i > 0 { ", " } else { "" },
+                p.name,
+                p.mode,
+                p.committed,
+                p.wall.as_secs_f64(),
+                p.insts_per_sec()
+            );
+        }
+        doc.push_str("]}}\n");
         match std::fs::write(path, doc) {
             Ok(()) => println!("[bench summary written to {path}]"),
             Err(e) => {

@@ -101,7 +101,10 @@ fn snapshots_are_byte_identical_to_committed_baselines() {
         }
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
         std::fs::write(&path, doc).unwrap();
-        eprintln!("differential gate: baseline rewritten at {}", path.display());
+        eprintln!(
+            "differential gate: baseline rewritten at {}",
+            path.display()
+        );
         return;
     }
 
